@@ -1,0 +1,180 @@
+"""Shared benchmark lab: caches campaigns so figures that share data
+(e.g. Figs. 3.6/3.8 and Table 3.3) run the experiments once per session.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — workload scale multiplier (default 1);
+* ``REPRO_BENCH_SEEDS`` — runs per experiment (default 1; the paper uses
+  several runs per configuration);
+* ``REPRO_BENCH_APPS``  — comma-separated subset of workloads.
+
+Each figure/table bench prints its rows and writes them under
+``benchmarks/results/`` for inclusion in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import pytest
+
+from repro.apps import WORKLOAD_ORDER, app_factory
+from repro.eval import (
+    CoverageComponents,
+    ExperimentRecord,
+    WorkloadHarness,
+    by_variant,
+    conditional_coverage_components,
+    coverage_components,
+    diversity_variants,
+    mean_time_to_detection,
+    policy_variants,
+    std_not_all_det_sites,
+    stdapp_variant,
+)
+from repro.faultinject import HEAP_ARRAY_RESIZE, IMMEDIATE_FREE
+
+SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "1"))
+N_SEEDS = int(os.environ.get("REPRO_BENCH_SEEDS", "1"))
+APPS = tuple(
+    a
+    for a in os.environ.get("REPRO_BENCH_APPS", ",".join(WORKLOAD_ORDER)).split(",")
+    if a
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+DIVERSITY_ORDER = (
+    "stdapp",
+    "no-diversity",
+    "zero-before-free",
+    "rearrange-heap",
+    "pad-malloc-8",
+    "pad-malloc-32",
+    "pad-malloc-256",
+    "pad-malloc-1024",
+)
+POLICY_ORDER = (
+    "stdapp",
+    "all-loads",
+    "temporal-1/8",
+    "temporal-1/2",
+    "temporal-7/8",
+    "static-10%",
+    "static-50%",
+    "static-90%",
+)
+
+
+class BenchLab:
+    """Session-wide cache of harnesses, campaigns, and overhead runs."""
+
+    def __init__(self, scale: int = SCALE, n_seeds: int = N_SEEDS):
+        self.scale = scale
+        self.seeds = tuple(range(n_seeds))
+        self._harnesses: Dict[str, WorkloadHarness] = {}
+        self._campaigns: Dict[Tuple, List[ExperimentRecord]] = {}
+        self._overheads: Dict[Tuple, Dict[Tuple[str, str], float]] = {}
+
+    # -- harnesses ---------------------------------------------------------
+
+    def harness(self, app: str) -> WorkloadHarness:
+        if app not in self._harnesses:
+            self._harnesses[app] = WorkloadHarness(
+                app, app_factory(app, self.scale), seeds=self.seeds
+            )
+        return self._harnesses[app]
+
+    # -- variant families ------------------------------------------------------
+
+    def variants(self, family: str, design: str):
+        if family == "diversity":
+            return [stdapp_variant()] + diversity_variants(design)
+        if family == "policy":
+            return [stdapp_variant()] + policy_variants(design)
+        raise ValueError(family)
+
+    # -- campaigns ----------------------------------------------------------------
+
+    def campaign(
+        self, family: str, design: str, kind: str
+    ) -> List[ExperimentRecord]:
+        """All fault-injection records for one (family, design, kind)."""
+        key = (family, design, kind)
+        if key not in self._campaigns:
+            records: List[ExperimentRecord] = []
+            variants = self.variants(family, design)
+            for app in APPS:
+                records.extend(
+                    self.harness(app).run_campaign(variants, kind)
+                )
+            self._campaigns[key] = records
+        return self._campaigns[key]
+
+    def overheads(self, family: str, design: str) -> Dict[Tuple[str, str], float]:
+        """(variant, app) → overhead (Eq. 3.1) for non-FI runs."""
+        key = (family, design)
+        if key not in self._overheads:
+            out: Dict[Tuple[str, str], float] = {}
+            for app in APPS:
+                h = self.harness(app)
+                out[("golden", app)] = 1.0
+                for variant in self.variants(family, design):
+                    if not variant.dpmr:
+                        continue
+                    out[(variant.name, app)] = h.overhead(variant)
+            self._overheads[key] = out
+        return self._overheads[key]
+
+    # -- aggregation helpers ------------------------------------------------------
+
+    def coverage_rows(
+        self, records: Iterable[ExperimentRecord]
+    ) -> Dict[Tuple[str, str], CoverageComponents]:
+        rows: Dict[Tuple[str, str], CoverageComponents] = {}
+        per_variant: Dict[Tuple[str, str], List[ExperimentRecord]] = {}
+        for r in records:
+            per_variant.setdefault((r.variant, r.workload), []).append(r)
+        for key, recs in per_variant.items():
+            rows[key] = coverage_components(recs)
+        return rows
+
+    def conditional_rows(
+        self, records: Iterable[ExperimentRecord]
+    ) -> Dict[str, CoverageComponents]:
+        records = list(records)
+        groups = by_variant(records)
+        qualifying = std_not_all_det_sites(groups.get("stdapp", []))
+        return {
+            name: conditional_coverage_components(recs, qualifying)
+            for name, recs in groups.items()
+        }
+
+    def latency_rows(
+        self, records: Iterable[ExperimentRecord]
+    ) -> Dict[Tuple[str, str], Optional[float]]:
+        per: Dict[Tuple[str, str], List[ExperimentRecord]] = {}
+        for r in records:
+            per.setdefault((r.variant, r.workload), []).append(r)
+        return {k: mean_time_to_detection(v) for k, v in per.items()}
+
+    # -- output ---------------------------------------------------------------------
+
+    def emit(self, exp_id: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{exp_id}.txt"
+        path.write_text(text + "\n")
+        print()
+        print(text)
+
+
+@pytest.fixture(scope="session")
+def lab() -> BenchLab:
+    return BenchLab()
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,93 @@
+"""Chapter 5 — DSA scope expansion (qualitative evaluation).
+
+The chapter's claim is functional rather than tabular: programs with
+int-to-pointer casts and pointers masquerading as integers, which SDS/MDS
+must reject (§2.9/§4.4), run correctly under MDS with a DSA-derived
+replication plan, while the *replicated* portion of the program keeps its
+detection capability.  This bench quantifies the refined partial replica
+(how many operations stay replicated) and its overhead.
+"""
+
+import pytest
+
+from repro.core import DpmrCompiler, DpmrTransformError
+from repro.dsa import DsaReplicationPlan
+from repro.ir import INT32, INT64, ModuleBuilder, VOID, verify_module
+from repro.machine import ExitStatus, run_process
+
+from benchmarks.conftest import once
+
+
+def build_mixed_program(n: int = 60):
+    """Half the work happens through an int-escaped pointer (unreplicated),
+    half through ordinary heap arrays (replicated)."""
+    mb = ModuleBuilder("ch5-mixed")
+    mb.declare_external("print_i64", VOID, [INT64])
+    fn, b = mb.define("main", INT32)
+    escaped = b.malloc(INT64, b.i64(n))
+    handle = b.ptr_to_int(b.elem_addr(escaped, b.i64(0)))  # escapes to int
+    clean = b.malloc(INT64, b.i64(n))
+    with b.for_range(b.i64(n)) as i:
+        b.store(b.elem_addr(clean, i), b.mul(i, b.i64(3)))
+        off = b.mul(i, b.i64(8))
+        p = b.int_to_ptr(b.add(handle, off), INT64)
+        b.store(p, b.add(i, b.i64(100)))
+    total = b.alloca(INT64)
+    b.store(total, b.i64(0))
+    with b.for_range(b.i64(n)) as i:
+        a = b.load(b.elem_addr(clean, i))
+        off = b.mul(i, b.i64(8))
+        p = b.int_to_ptr(b.add(handle, off), INT64)
+        c = b.load(p)
+        b.store(total, b.add(b.load(total), b.add(a, c)))
+    b.call("print_i64", [b.load(total)])
+    b.free(escaped)
+    b.free(clean)
+    b.ret(b.i32(0))
+    verify_module(mb.module)
+    return mb.module
+
+
+def test_ch5_scope_expansion(benchmark, lab):
+    def build():
+        golden = run_process(build_mixed_program())
+        assert golden.status is ExitStatus.NORMAL
+
+        # Plain MDS rejects the program outright.
+        rejected = False
+        try:
+            DpmrCompiler(design="mds").compile(build_mixed_program())
+        except DpmrTransformError:
+            rejected = True
+
+        m = build_mixed_program()
+        plan = DsaReplicationPlan(m)
+        summary = plan.summary()
+        result = DpmrCompiler(design="mds", plan=plan).compile(m).run()
+        lines = [
+            "Ch. 5: DSA scope expansion (MDS + refined partial replica)",
+            "=" * 60,
+            f"plain MDS rejects int-to-pointer program : {rejected}",
+            f"DSA-MDS run status                       : {result.status.value}",
+            f"output preserved                         : "
+            f"{result.output_text == golden.output_text}",
+            f"allocs replicated / excluded             : "
+            f"{summary['allocs_replicated']} / {summary['allocs_excluded']}",
+            f"loads compared / excluded                : "
+            f"{summary['loads_compared']} / {summary['loads_excluded']}",
+            f"stores mirrored / excluded               : "
+            f"{summary['stores_mirrored']} / {summary['stores_excluded']}",
+            f"overhead (refined replica)               : "
+            f"{result.cycles / golden.cycles:.2f}x",
+        ]
+        return rejected, golden, result, summary, "\n".join(lines)
+
+    rejected, golden, result, summary, text = once(benchmark, build)
+    lab.emit("ch5", text)
+    assert rejected
+    assert result.status is ExitStatus.NORMAL
+    assert result.output_text == golden.output_text
+    assert summary["allocs_excluded"] >= 1
+    assert summary["allocs_replicated"] >= 1
+    # excluding part of the replica must cost less than full replication
+    assert result.cycles / golden.cycles < 3.5

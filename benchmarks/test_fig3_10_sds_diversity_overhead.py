@@ -1,0 +1,31 @@
+"""Figure 3.10 — Overhead of diversity transformations (SDS, all-loads).
+
+Paper shape: all overheads between ~2x and ~5x; no-diversity and
+zero-before-free perform best; the larger pad-mallocs perform worst.
+"""
+
+from repro.eval import overhead_table
+
+from benchmarks.conftest import APPS, DIVERSITY_ORDER, once
+
+VARIANTS = ("golden",) + DIVERSITY_ORDER[1:]
+
+
+def test_fig3_10(benchmark, lab):
+    def build():
+        rows = lab.overheads("diversity", "sds")
+        text = overhead_table(
+            "Fig 3.10: SDS overhead of diversity transformations",
+            rows,
+            VARIANTS,
+            APPS,
+        )
+        return rows, text
+
+    rows, text = once(benchmark, build)
+    lab.emit("fig3.10", text)
+    for app in APPS:
+        for variant in DIVERSITY_ORDER[1:]:
+            oh = rows[(variant, app)]
+            assert 1.5 < oh < 6.5, (variant, app, oh)
+        assert rows[("no-diversity", app)] <= rows[("pad-malloc-1024", app)]

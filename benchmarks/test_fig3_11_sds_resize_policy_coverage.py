@@ -1,0 +1,31 @@
+"""Figure 3.11 — Mean heap array resize coverage of state comparison
+policies (SDS, rearrange-heap diversity).
+
+Paper shape: coverage robust in the face of reduced checking; reduction
+appears only at static 10%.
+"""
+
+from repro.eval import coverage, coverage_table
+from repro.eval.metrics import by_variant
+from repro.faultinject import HEAP_ARRAY_RESIZE
+
+from benchmarks.conftest import APPS, POLICY_ORDER, once
+
+
+def test_fig3_11(benchmark, lab):
+    def build():
+        records = lab.campaign("policy", "sds", HEAP_ARRAY_RESIZE)
+        rows = lab.coverage_rows(records)
+        text = coverage_table(
+            "Fig 3.11: SDS heap-array-resize coverage (comparison policies)",
+            rows,
+            POLICY_ORDER,
+            APPS,
+        )
+        return records, text
+
+    records, text = once(benchmark, build)
+    lab.emit("fig3.11", text)
+    groups = by_variant(records)
+    for name in ("all-loads", "temporal-1/2", "temporal-7/8", "static-90%"):
+        assert coverage(groups[name]) >= 0.9, name

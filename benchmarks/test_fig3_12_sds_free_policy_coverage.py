@@ -1,0 +1,32 @@
+"""Figure 3.12 — Mean immediate free coverage of state comparison policies
+(SDS, rearrange-heap diversity).
+
+Paper shape: coverage remains high under reduced checking (temporal and
+static), with static load-checking as viable as temporal (spatial
+robustness).
+"""
+
+from repro.eval import coverage, coverage_table
+from repro.eval.metrics import by_variant
+from repro.faultinject import IMMEDIATE_FREE
+
+from benchmarks.conftest import APPS, POLICY_ORDER, once
+
+
+def test_fig3_12(benchmark, lab):
+    def build():
+        records = lab.campaign("policy", "sds", IMMEDIATE_FREE)
+        rows = lab.coverage_rows(records)
+        text = coverage_table(
+            "Fig 3.12: SDS immediate-free coverage (comparison policies)",
+            rows,
+            POLICY_ORDER,
+            APPS,
+        )
+        return records, text
+
+    records, text = once(benchmark, build)
+    lab.emit("fig3.12", text)
+    groups = by_variant(records)
+    assert coverage(groups["all-loads"]) >= 0.9
+    assert coverage(groups["static-50%"]) >= coverage(groups["stdapp"])

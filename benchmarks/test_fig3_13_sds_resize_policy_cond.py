@@ -1,0 +1,26 @@
+"""Figure 3.13 — SDS heap array resize conditional coverage of comparison
+policies (all apps, conditioned on StdNotAllDet)."""
+
+from repro.eval import conditional_coverage_table
+from repro.faultinject import HEAP_ARRAY_RESIZE
+
+from benchmarks.conftest import POLICY_ORDER, once
+
+
+def test_fig3_13(benchmark, lab):
+    def build():
+        records = lab.campaign("policy", "sds", HEAP_ARRAY_RESIZE)
+        rows = lab.conditional_rows(records)
+        text = conditional_coverage_table(
+            "Fig 3.13: SDS heap-array-resize conditional coverage "
+            "(comparison policies, all apps)",
+            rows,
+            POLICY_ORDER,
+        )
+        return rows, text
+
+    rows, text = once(benchmark, build)
+    lab.emit("fig3.13", text)
+    al = rows.get("all-loads")
+    if al is not None and al.total_runs:
+        assert al.coverage >= 0.99

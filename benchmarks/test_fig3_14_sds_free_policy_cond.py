@@ -1,0 +1,27 @@
+"""Figure 3.14 — SDS immediate free conditional coverage of comparison
+policies (all apps, conditioned on StdNotAllDet)."""
+
+from repro.eval import conditional_coverage_table
+from repro.faultinject import IMMEDIATE_FREE
+
+from benchmarks.conftest import POLICY_ORDER, once
+
+
+def test_fig3_14(benchmark, lab):
+    def build():
+        records = lab.campaign("policy", "sds", IMMEDIATE_FREE)
+        rows = lab.conditional_rows(records)
+        text = conditional_coverage_table(
+            "Fig 3.14: SDS immediate-free conditional coverage "
+            "(comparison policies, all apps)",
+            rows,
+            POLICY_ORDER,
+        )
+        return rows, text
+
+    rows, text = once(benchmark, build)
+    lab.emit("fig3.14", text)
+    std = rows.get("stdapp")
+    al = rows.get("all-loads")
+    if std is not None and al is not None and std.total_runs:
+        assert al.coverage >= std.coverage

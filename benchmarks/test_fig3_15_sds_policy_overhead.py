@@ -1,0 +1,34 @@
+"""Figure 3.15 — Overhead of state comparison policies (SDS,
+rearrange-heap).
+
+Paper shape: static load-checking reduces overhead (~1/3 speedup at 10%);
+temporal load-checking *increases* overhead over all-loads because of the
+per-load counter/branch bookkeeping.
+"""
+
+from repro.eval import overhead_table
+
+from benchmarks.conftest import APPS, POLICY_ORDER, once
+
+VARIANTS = ("golden",) + POLICY_ORDER[1:]
+
+
+def test_fig3_15(benchmark, lab):
+    def build():
+        rows = lab.overheads("policy", "sds")
+        text = overhead_table(
+            "Fig 3.15: SDS overhead of state comparison policies "
+            "(rearrange-heap diversity)",
+            rows,
+            VARIANTS,
+            APPS,
+        )
+        return rows, text
+
+    rows, text = once(benchmark, build)
+    lab.emit("fig3.15", text)
+    for app in APPS:
+        all_loads = rows[("all-loads", app)]
+        assert rows[("static-10%", app)] < all_loads, app
+        assert rows[("temporal-1/8", app)] > all_loads, app
+        assert rows[("static-10%", app)] < rows[("static-90%", app)], app

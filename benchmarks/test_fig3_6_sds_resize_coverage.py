@@ -1,0 +1,34 @@
+"""Figure 3.6 — Mean heap array resize coverage of diversity transformations
+(SDS, all-loads).
+
+Paper shape: coverage is high everywhere; every DPMR variant (including
+no-diversity, i.e. implicit diversity alone) covers 100% of heap array
+resizes; the stdapp bar is the only one that can fall short.
+"""
+
+from repro.eval import coverage_table
+from repro.faultinject import HEAP_ARRAY_RESIZE
+
+from benchmarks.conftest import APPS, DIVERSITY_ORDER, once
+
+
+def test_fig3_6(benchmark, lab):
+    def build():
+        records = lab.campaign("diversity", "sds", HEAP_ARRAY_RESIZE)
+        rows = lab.coverage_rows(records)
+        return rows, coverage_table(
+            "Fig 3.6: SDS heap-array-resize coverage (diversity transformations)",
+            rows,
+            DIVERSITY_ORDER,
+            APPS,
+        )
+
+    rows, text = once(benchmark, build)
+    lab.emit("fig3.6", text)
+    for app in APPS:
+        no_div = rows.get(("no-diversity", app))
+        if no_div is not None and no_div.total_runs:
+            assert no_div.coverage == 1.0, (app, no_div)
+        std = rows.get(("stdapp", app))
+        if std is not None and no_div is not None and std.total_runs:
+            assert no_div.coverage >= std.coverage

@@ -1,0 +1,35 @@
+"""Figure 3.7 — Mean immediate free coverage of diversity transformations
+(SDS, all-loads).
+
+Paper shape: coverage high; rearrange-heap is the best-performing diversity
+transformation and the only one covering 100% of immediate frees.
+"""
+
+from repro.eval import coverage, coverage_table
+from repro.eval.metrics import by_variant
+from repro.faultinject import IMMEDIATE_FREE
+
+from benchmarks.conftest import APPS, DIVERSITY_ORDER, once
+
+
+def test_fig3_7(benchmark, lab):
+    def build():
+        records = lab.campaign("diversity", "sds", IMMEDIATE_FREE)
+        rows = lab.coverage_rows(records)
+        text = coverage_table(
+            "Fig 3.7: SDS immediate-free coverage (diversity transformations)",
+            rows,
+            DIVERSITY_ORDER,
+            APPS,
+        )
+        return records, text
+
+    records, text = once(benchmark, build)
+    lab.emit("fig3.7", text)
+    groups = by_variant(records)
+    rearrange = coverage(groups["rearrange-heap"])
+    assert rearrange == 1.0
+    for name, recs in groups.items():
+        if name == "stdapp":
+            continue
+        assert rearrange >= coverage(recs), name

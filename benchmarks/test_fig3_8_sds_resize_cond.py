@@ -1,0 +1,31 @@
+"""Figure 3.8 — Mean heap array resize *conditional* coverage of diversity
+transformations (SDS), conditioned on incorrect output and StdNotAllDet.
+
+Paper shape: restricted to faults where the standard application would
+sometimes silently corrupt, DPMR variants retain full coverage.
+"""
+
+from repro.eval import conditional_coverage_table
+from repro.faultinject import HEAP_ARRAY_RESIZE
+
+from benchmarks.conftest import DIVERSITY_ORDER, once
+
+
+def test_fig3_8(benchmark, lab):
+    def build():
+        records = lab.campaign("diversity", "sds", HEAP_ARRAY_RESIZE)
+        rows = lab.conditional_rows(records)
+        text = conditional_coverage_table(
+            "Fig 3.8: SDS heap-array-resize conditional coverage "
+            "(diversity transformations, all apps)",
+            rows,
+            DIVERSITY_ORDER,
+        )
+        return rows, text
+
+    rows, text = once(benchmark, build)
+    lab.emit("fig3.8", text)
+    for name, cc in rows.items():
+        if name == "stdapp" or cc.total_runs == 0:
+            continue
+        assert cc.coverage >= 0.99, (name, cc)

@@ -1,0 +1,31 @@
+"""Figure 3.9 — Mean immediate free conditional coverage of diversity
+transformations (SDS), conditioned on incorrect output and StdNotAllDet.
+
+Paper shape: rearrange-heap leads; all DPMR variants beat stdapp.
+"""
+
+from repro.eval import conditional_coverage_table
+from repro.faultinject import IMMEDIATE_FREE
+
+from benchmarks.conftest import DIVERSITY_ORDER, once
+
+
+def test_fig3_9(benchmark, lab):
+    def build():
+        records = lab.campaign("diversity", "sds", IMMEDIATE_FREE)
+        rows = lab.conditional_rows(records)
+        text = conditional_coverage_table(
+            "Fig 3.9: SDS immediate-free conditional coverage "
+            "(diversity transformations, all apps)",
+            rows,
+            DIVERSITY_ORDER,
+        )
+        return rows, text
+
+    rows, text = once(benchmark, build)
+    lab.emit("fig3.9", text)
+    std = rows.get("stdapp")
+    rearrange = rows.get("rearrange-heap")
+    if std is not None and rearrange is not None and std.total_runs:
+        assert rearrange.coverage >= std.coverage
+        assert rearrange.coverage == 1.0

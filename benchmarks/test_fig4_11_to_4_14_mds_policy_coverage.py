@@ -1,0 +1,75 @@
+"""Figures 4.11–4.14 — MDS coverage (and conditional coverage) of state
+comparison policies (rearrange-heap diversity).
+
+Paper shape: coverage robust under reduced checking; under MDS, temporal
+checking looks slightly more robust than static (every load site eventually
+gets checked), with dips at the small static fractions.
+"""
+
+from repro.eval import coverage, coverage_table, conditional_coverage_table
+from repro.eval.metrics import by_variant
+from repro.faultinject import HEAP_ARRAY_RESIZE, IMMEDIATE_FREE
+
+from benchmarks.conftest import APPS, POLICY_ORDER, once
+
+
+def test_fig4_11_resize_coverage(benchmark, lab):
+    def build():
+        records = lab.campaign("policy", "mds", HEAP_ARRAY_RESIZE)
+        rows = lab.coverage_rows(records)
+        text = coverage_table(
+            "Fig 4.11: MDS heap-array-resize coverage (comparison policies)",
+            rows, POLICY_ORDER, APPS,
+        )
+        return records, text
+
+    records, text = once(benchmark, build)
+    lab.emit("fig4.11", text)
+    groups = by_variant(records)
+    assert coverage(groups["all-loads"]) >= 0.9
+
+
+def test_fig4_12_free_coverage(benchmark, lab):
+    def build():
+        records = lab.campaign("policy", "mds", IMMEDIATE_FREE)
+        rows = lab.coverage_rows(records)
+        text = coverage_table(
+            "Fig 4.12: MDS immediate-free coverage (comparison policies)",
+            rows, POLICY_ORDER, APPS,
+        )
+        return records, text
+
+    records, text = once(benchmark, build)
+    lab.emit("fig4.12", text)
+    groups = by_variant(records)
+    assert coverage(groups["all-loads"]) >= coverage(groups["stdapp"])
+
+
+def test_fig4_13_resize_conditional(benchmark, lab):
+    def build():
+        records = lab.campaign("policy", "mds", HEAP_ARRAY_RESIZE)
+        rows = lab.conditional_rows(records)
+        text = conditional_coverage_table(
+            "Fig 4.13: MDS heap-array-resize conditional coverage "
+            "(comparison policies, all apps)",
+            rows, POLICY_ORDER,
+        )
+        return rows, text
+
+    rows, text = once(benchmark, build)
+    lab.emit("fig4.13", text)
+
+
+def test_fig4_14_free_conditional(benchmark, lab):
+    def build():
+        records = lab.campaign("policy", "mds", IMMEDIATE_FREE)
+        rows = lab.conditional_rows(records)
+        text = conditional_coverage_table(
+            "Fig 4.14: MDS immediate-free conditional coverage "
+            "(comparison policies, all apps)",
+            rows, POLICY_ORDER,
+        )
+        return rows, text
+
+    rows, text = once(benchmark, build)
+    lab.emit("fig4.14", text)

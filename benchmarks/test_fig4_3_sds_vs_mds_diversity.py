@@ -1,0 +1,46 @@
+"""Figure 4.3 — Side-by-side diversity transformation overheads of SDS and
+MDS.
+
+Paper shape: MDS beats (or matches) its SDS counterpart nearly everywhere;
+gains are marginal on art/bzip2 and strongest on the pointer-heavy
+equake/mcf (§4.5).
+"""
+
+from repro.eval import overhead_table
+
+from benchmarks.conftest import APPS, once
+
+VARIANTS = ("no-diversity", "zero-before-free", "rearrange-heap", "pad-malloc-32")
+
+
+def test_fig4_3(benchmark, lab):
+    def build():
+        sds = lab.overheads("diversity", "sds")
+        mds = lab.overheads("diversity", "mds")
+        rows = {}
+        order = []
+        for v in VARIANTS:
+            for label, table in (("SDS", sds), ("MDS", mds)):
+                key = f"{label} {v}"
+                order.append(key)
+                for app in APPS:
+                    rows[(key, app)] = table[(v, app)]
+        text = overhead_table(
+            "Fig 4.3: side-by-side diversity overheads, SDS vs MDS",
+            rows,
+            order,
+            APPS,
+        )
+        return sds, mds, text
+
+    sds, mds, text = once(benchmark, build)
+    lab.emit("fig4.3", text)
+    for app in ("equake", "mcf"):
+        if app in APPS:
+            for v in VARIANTS:
+                assert mds[(v, app)] < sds[(v, app)], (v, app)
+    # the MDS advantage is larger on pointer-heavy apps than on array apps
+    if set(("art", "mcf")) <= set(APPS):
+        gap_art = sds[("no-diversity", "art")] - mds[("no-diversity", "art")]
+        gap_mcf = sds[("no-diversity", "mcf")] - mds[("no-diversity", "mcf")]
+        assert gap_mcf > gap_art

@@ -1,0 +1,38 @@
+"""Figure 4.4 — Side-by-side comparison-policy overheads of SDS and MDS
+(rearrange-heap; static policies and all-loads, as in the paper's figure).
+
+Paper shape: pointer-heavy benchmarks gain from MDS; bzip2 roughly ties.
+"""
+
+from repro.eval import overhead_table
+
+from benchmarks.conftest import APPS, once
+
+VARIANTS = ("static-10%", "static-50%", "static-90%", "all-loads")
+
+
+def test_fig4_4(benchmark, lab):
+    def build():
+        sds = lab.overheads("policy", "sds")
+        mds = lab.overheads("policy", "mds")
+        rows = {}
+        order = []
+        for v in VARIANTS:
+            for label, table in (("SDS", sds), ("MDS", mds)):
+                key = f"{label} {v}"
+                order.append(key)
+                for app in APPS:
+                    rows[(key, app)] = table[(v, app)]
+        text = overhead_table(
+            "Fig 4.4: side-by-side comparison-policy overheads, SDS vs MDS",
+            rows,
+            order,
+            APPS,
+        )
+        return sds, mds, text
+
+    sds, mds, text = once(benchmark, build)
+    lab.emit("fig4.4", text)
+    for app in ("equake", "mcf"):
+        if app in APPS:
+            assert mds[("all-loads", app)] < sds[("all-loads", app)], app

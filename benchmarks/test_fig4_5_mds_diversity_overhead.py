@@ -1,0 +1,29 @@
+"""Figure 4.5 — MDS overhead of diversity transformations.
+
+Paper shape: same ordering as Fig. 3.10 (no-diversity cheapest, pad-malloc
+1024 most expensive), at lower absolute levels than SDS.
+"""
+
+from repro.eval import overhead_table
+
+from benchmarks.conftest import APPS, DIVERSITY_ORDER, once
+
+VARIANTS = ("golden",) + DIVERSITY_ORDER[1:]
+
+
+def test_fig4_5(benchmark, lab):
+    def build():
+        rows = lab.overheads("diversity", "mds")
+        text = overhead_table(
+            "Fig 4.5: MDS overhead of diversity transformations",
+            rows,
+            VARIANTS,
+            APPS,
+        )
+        return rows, text
+
+    rows, text = once(benchmark, build)
+    lab.emit("fig4.5", text)
+    for app in APPS:
+        assert rows[("no-diversity", app)] <= rows[("pad-malloc-1024", app)]
+        assert 1.2 < rows[("no-diversity", app)] < 6.0

@@ -1,0 +1,30 @@
+"""Figure 4.6 — MDS overhead of state comparison policies (rearrange-heap).
+
+Paper shape: static checking cheaper than all-loads, temporal costlier; the
+relative reduction from reduced checking is smaller than under SDS because
+pointer loads (never compared under MDS) cannot be "saved" (§4.5).
+"""
+
+from repro.eval import overhead_table
+
+from benchmarks.conftest import APPS, POLICY_ORDER, once
+
+VARIANTS = ("golden",) + POLICY_ORDER[1:]
+
+
+def test_fig4_6(benchmark, lab):
+    def build():
+        rows = lab.overheads("policy", "mds")
+        text = overhead_table(
+            "Fig 4.6: MDS overhead of state comparison policies",
+            rows,
+            VARIANTS,
+            APPS,
+        )
+        return rows, text
+
+    rows, text = once(benchmark, build)
+    lab.emit("fig4.6", text)
+    for app in APPS:
+        assert rows[("static-10%", app)] < rows[("all-loads", app)]
+        assert rows[("temporal-1/8", app)] > rows[("all-loads", app)]

@@ -1,0 +1,85 @@
+"""Figures 4.7–4.10 — MDS coverage (and conditional coverage) of diversity
+transformations for heap array resizes and immediate frees.
+
+Paper shape: as with SDS, all heap array resizes are covered with implicit
+diversity, and rearrange-heap is the only policy to detect all immediate
+frees.
+"""
+
+from repro.eval import coverage, coverage_table, conditional_coverage_table
+from repro.eval.metrics import by_variant
+from repro.faultinject import HEAP_ARRAY_RESIZE, IMMEDIATE_FREE
+
+from benchmarks.conftest import APPS, DIVERSITY_ORDER, once
+
+
+def test_fig4_7_resize_coverage(benchmark, lab):
+    def build():
+        records = lab.campaign("diversity", "mds", HEAP_ARRAY_RESIZE)
+        rows = lab.coverage_rows(records)
+        text = coverage_table(
+            "Fig 4.7: MDS heap-array-resize coverage (diversity transformations)",
+            rows, DIVERSITY_ORDER, APPS,
+        )
+        return records, text
+
+    records, text = once(benchmark, build)
+    lab.emit("fig4.7", text)
+    groups = by_variant(records)
+    assert coverage(groups["no-diversity"]) == 1.0
+
+
+def test_fig4_8_free_coverage(benchmark, lab):
+    def build():
+        records = lab.campaign("diversity", "mds", IMMEDIATE_FREE)
+        rows = lab.coverage_rows(records)
+        text = coverage_table(
+            "Fig 4.8: MDS immediate-free coverage (diversity transformations)",
+            rows, DIVERSITY_ORDER, APPS,
+        )
+        return records, text
+
+    records, text = once(benchmark, build)
+    lab.emit("fig4.8", text)
+    groups = by_variant(records)
+    rearrange = coverage(groups["rearrange-heap"])
+    assert rearrange == 1.0
+    for name, recs in groups.items():
+        if name != "stdapp":
+            assert rearrange >= coverage(recs), name
+
+
+def test_fig4_9_resize_conditional(benchmark, lab):
+    def build():
+        records = lab.campaign("diversity", "mds", HEAP_ARRAY_RESIZE)
+        rows = lab.conditional_rows(records)
+        text = conditional_coverage_table(
+            "Fig 4.9: MDS heap-array-resize conditional coverage "
+            "(diversity transformations, all apps)",
+            rows, DIVERSITY_ORDER,
+        )
+        return rows, text
+
+    rows, text = once(benchmark, build)
+    lab.emit("fig4.9", text)
+    for name, cc in rows.items():
+        if name != "stdapp" and cc.total_runs:
+            assert cc.coverage >= 0.99, (name, cc)
+
+
+def test_fig4_10_free_conditional(benchmark, lab):
+    def build():
+        records = lab.campaign("diversity", "mds", IMMEDIATE_FREE)
+        rows = lab.conditional_rows(records)
+        text = conditional_coverage_table(
+            "Fig 4.10: MDS immediate-free conditional coverage "
+            "(diversity transformations, all apps)",
+            rows, DIVERSITY_ORDER,
+        )
+        return rows, text
+
+    rows, text = once(benchmark, build)
+    lab.emit("fig4.10", text)
+    rh = rows.get("rearrange-heap")
+    if rh is not None and rh.total_runs:
+        assert rh.coverage == 1.0

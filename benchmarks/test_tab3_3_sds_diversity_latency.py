@@ -1,0 +1,37 @@
+"""Table 3.3 — Mean time to detection of diversity transformations (SDS).
+
+Paper shape: rearrange-heap drastically outperforms the other policies on
+art and is comparable elsewhere.  (Latency is reported in kilocycles; the
+paper reports milliseconds on its testbed.)
+"""
+
+from repro.eval import latency_table
+from repro.faultinject import HEAP_ARRAY_RESIZE, IMMEDIATE_FREE
+
+from benchmarks.conftest import APPS, DIVERSITY_ORDER, once
+
+
+def test_tab3_3(benchmark, lab):
+    def build():
+        parts = []
+        for kind in (HEAP_ARRAY_RESIZE, IMMEDIATE_FREE):
+            records = [
+                r
+                for r in lab.campaign("diversity", "sds", kind)
+                if r.variant != "stdapp"
+            ]
+            rows = lab.latency_rows(records)
+            parts.append(
+                latency_table(
+                    f"Table 3.3 ({kind}): SDS mean time to detection, "
+                    "diversity transformations",
+                    rows,
+                    DIVERSITY_ORDER[1:],
+                    APPS,
+                )
+            )
+        return "\n\n".join(parts)
+
+    text = once(benchmark, build)
+    lab.emit("tab3.3", text)
+    assert "rearrange-heap" in text

@@ -1,0 +1,36 @@
+"""Table 3.4 — Mean time to detection of state comparison policies (SDS).
+
+Paper shape: static load-checking latencies are comparable to (sometimes
+below) all-loads; temporal load-checking latencies tend to be higher.
+"""
+
+from repro.eval import latency_table
+from repro.faultinject import HEAP_ARRAY_RESIZE, IMMEDIATE_FREE
+
+from benchmarks.conftest import APPS, POLICY_ORDER, once
+
+
+def test_tab3_4(benchmark, lab):
+    def build():
+        parts = []
+        for kind in (HEAP_ARRAY_RESIZE, IMMEDIATE_FREE):
+            records = [
+                r
+                for r in lab.campaign("policy", "sds", kind)
+                if r.variant != "stdapp"
+            ]
+            rows = lab.latency_rows(records)
+            parts.append(
+                latency_table(
+                    f"Table 3.4 ({kind}): SDS mean time to detection, "
+                    "comparison policies",
+                    rows,
+                    POLICY_ORDER[1:],
+                    APPS,
+                )
+            )
+        return "\n\n".join(parts)
+
+    text = once(benchmark, build)
+    lab.emit("tab3.4", text)
+    assert "all-loads" in text

@@ -1,0 +1,34 @@
+"""Table 4.5 — Mean time to detection of diversity transformations (MDS).
+
+Paper shape: very similar to the SDS latencies of Table 3.3; rearrange-heap
+has much lower latency on art and comparable latency elsewhere.
+"""
+
+from repro.eval import latency_table
+from repro.faultinject import HEAP_ARRAY_RESIZE, IMMEDIATE_FREE
+
+from benchmarks.conftest import APPS, DIVERSITY_ORDER, once
+
+
+def test_tab4_5(benchmark, lab):
+    def build():
+        parts = []
+        for kind in (HEAP_ARRAY_RESIZE, IMMEDIATE_FREE):
+            records = [
+                r
+                for r in lab.campaign("diversity", "mds", kind)
+                if r.variant != "stdapp"
+            ]
+            rows = lab.latency_rows(records)
+            parts.append(
+                latency_table(
+                    f"Table 4.5 ({kind}): MDS mean time to detection, "
+                    "diversity transformations",
+                    rows, DIVERSITY_ORDER[1:], APPS,
+                )
+            )
+        return "\n\n".join(parts)
+
+    text = once(benchmark, build)
+    lab.emit("tab4.5", text)
+    assert "rearrange-heap" in text

@@ -1,0 +1,34 @@
+"""Table 4.6 — Mean time to detection of state comparison policies (MDS).
+
+Paper shape: static load-checking latencies similar to or below all-loads;
+temporal load-checking latencies higher.
+"""
+
+from repro.eval import latency_table
+from repro.faultinject import HEAP_ARRAY_RESIZE, IMMEDIATE_FREE
+
+from benchmarks.conftest import APPS, POLICY_ORDER, once
+
+
+def test_tab4_6(benchmark, lab):
+    def build():
+        parts = []
+        for kind in (HEAP_ARRAY_RESIZE, IMMEDIATE_FREE):
+            records = [
+                r
+                for r in lab.campaign("policy", "mds", kind)
+                if r.variant != "stdapp"
+            ]
+            rows = lab.latency_rows(records)
+            parts.append(
+                latency_table(
+                    f"Table 4.6 ({kind}): MDS mean time to detection, "
+                    "comparison policies",
+                    rows, POLICY_ORDER[1:], APPS,
+                )
+            )
+        return "\n\n".join(parts)
+
+    text = once(benchmark, build)
+    lab.emit("tab4.6", text)
+    assert "temporal-1/8" in text

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Diverse Partial Replication beyond memory errors: the §1.2 banking race.
+
+A queue of account requests is drained by worker threads.  The system
+specification requires same-account requests to be processed in arrival
+order; overdrawn accounts pay a $15 penalty.  A racy implementation lets a
+fast withdrawal overtake a slow deposit — Alice deposits $200 then withdraws
+$250 from a $100 balance, and the buggy interleaving charges her a spurious
+penalty (Fig. 1.2a).
+
+DPR replicates the schedule-relevant component and re-runs it under a
+*diversified scheduler*; comparing final balances detects the race
+(Fig. 1.2b).
+
+Run:  python examples/banking_race.py
+"""
+
+from repro.dpr import paper_scenario, run_with_dpr
+
+
+def show(title, outcome):
+    print(title)
+    print(f"  original schedule committed: {outcome.original_commit_order}")
+    print(f"  diverse  schedule committed: {outcome.replica_commit_order}")
+    print(f"  original balances: {outcome.original_balances}")
+    print(f"  replica  balances: {outcome.replica_balances}")
+    verdict = "RACE DETECTED" if outcome.detected else "no divergence"
+    print(f"  => {verdict}\n")
+
+
+def main() -> None:
+    requests = paper_scenario()
+    balances = {"alice": 100}
+    print("Scenario (Fig. 1.2): balance $100; X = deposit $200 (slow check")
+    print("clearing), then Y = withdraw $250 (fast).\n")
+
+    show(
+        "Correct implementation (per-account ordering enforced):",
+        run_with_dpr(requests, balances, racy=False),
+    )
+    show(
+        "Racy implementation (ordering constraint dropped):",
+        run_with_dpr(requests, balances, racy=True),
+    )
+    print("The correct system is schedule-invariant, so the diverse replica")
+    print("agrees ($50).  Under the race, the original execution charges the")
+    print("overdraft penalty ($35) while the diverse replica does not — the")
+    print("state comparison exposes the bug without ever re-running the same")
+    print("interleaving twice.")
+
+
+if __name__ == "__main__":
+    main()

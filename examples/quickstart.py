@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: build a program, transform it with DPMR, detect a bug.
+
+Builds a small IR program with a latent heap buffer overflow, runs it
+natively (silent corruption), then runs it under SDS-based DPMR (detected).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import DpmrCompiler
+from repro.ir import INT32, INT64, ModuleBuilder, VOID, verify_module
+from repro.machine import ExitStatus, run_process
+
+
+def build_program(n_alloc: int, n_write: int):
+    """Sum an array after (possibly) overflowing its neighbour."""
+    mb = ModuleBuilder("quickstart")
+    mb.declare_external("print_i64", VOID, [INT64])
+    fn, b = mb.define("main", INT32)
+
+    table = b.malloc(INT64, b.i64(n_alloc))  # the buggy buffer
+    totals = b.malloc(INT64, b.i64(n_alloc))  # its innocent neighbour
+    with b.for_range(b.i64(n_alloc)) as i:
+        b.store(b.elem_addr(totals, i), b.i64(10))
+    # The bug: writes n_write elements into an n_alloc-element buffer.
+    with b.for_range(b.i64(n_write)) as i:
+        b.store(b.elem_addr(table, i), i)
+    acc = b.alloca(INT64)
+    b.store(acc, b.i64(0))
+    with b.for_range(b.i64(n_alloc)) as i:
+        b.store(acc, b.add(b.load(acc), b.load(b.elem_addr(totals, i))))
+    b.call("print_i64", [b.load(acc)])
+    b.ret(b.i32(0))
+    verify_module(mb.module)
+    return mb.module
+
+
+def main() -> None:
+    print("== clean program ==")
+    clean = build_program(8, 8)
+    golden = run_process(clean)
+    print(f"native run : {golden.status.value}, output={golden.output_text!r}")
+    build = DpmrCompiler(design="sds").compile(build_program(8, 8))
+    r = build.run()
+    print(
+        f"DPMR run   : {r.status.value}, output={r.output_text!r}, "
+        f"overhead={r.cycles / golden.cycles:.2f}x"
+    )
+    assert r.output_text == golden.output_text
+
+    print("\n== buggy program (16-element write into an 8-element buffer) ==")
+    buggy_native = run_process(build_program(8, 16))
+    print(
+        f"native run : {buggy_native.status.value}, "
+        f"output={buggy_native.output_text!r}   <- silently corrupted!"
+    )
+    # Implicit diversity alone (no explicit transformation) catches this:
+    build = DpmrCompiler(design="sds").compile(build_program(8, 16))
+    r = build.run()
+    print(f"DPMR run   : {r.status.value}  ({r.detail})")
+    assert r.status is ExitStatus.DPMR_DETECTED
+    print("\nDPMR caught the overflow that native execution silently absorbed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""repro — a reproduction of Diverse Partial Memory Replication (DPMR).
+
+DPMR (Lefever, DSN 2010 / UIUC dissertation 2011) is an automatic compiler
+transformation that replicates a subset of a program's data memory inside the
+same process, diversifies the replica, and detects memory-safety errors by
+comparing application loads against replica loads.
+
+Public API layers
+-----------------
+``repro.ir``
+    The typed intermediate representation the transformation operates on.
+``repro.machine``
+    Byte-accurate simulated machine (memory, heap allocator, interpreter).
+``repro.core``
+    The DPMR transformation itself: shadow/augmented types, the SDS and MDS
+    designs, diversity transformations, and state comparison policies.
+``repro.dsa``
+    Data Structure Analysis and replication-scope expansion (Ch. 5).
+``repro.faultinject``
+    Compiler-based software fault injection (§3.4).
+``repro.eval``
+    Variant builds, experiment runner, and the paper's metrics (§3.5–3.6).
+``repro.apps``
+    Analog benchmark workloads (art, bzip2, equake, mcf).
+"""
+
+__version__ = "1.0.0"
+
+# Top-level convenience re-exports of the primary user-facing API.
+from .core.pipeline import DpmrBuild, DpmrCompiler  # noqa: E402
+from .machine.process import ExitStatus, ProcessResult, run_process  # noqa: E402
+
+__all__ = [
+    "DpmrBuild",
+    "DpmrCompiler",
+    "ExitStatus",
+    "ProcessResult",
+    "run_process",
+]

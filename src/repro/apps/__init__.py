@@ -1,0 +1,44 @@
+"""Analog benchmark workloads (§3.3).
+
+Four applications matching the memory character of the paper's SPEC CPU2000
+selection: ``art`` (float, array-heavy), ``bzip2`` (integer, in-memory
+buffers), ``equake`` (float, pointer-linked mesh), ``mcf`` (integer,
+pointer-linked network).
+"""
+
+from functools import partial
+from typing import Callable, Dict
+
+from ..ir.module import Module
+from . import art, bzip2, equake, mcf
+
+#: name → build(scale) factory
+APP_BUILDERS: Dict[str, Callable[[int], Module]] = {
+    art.NAME: art.build,
+    bzip2.NAME: bzip2.build,
+    equake.NAME: equake.build,
+    mcf.NAME: mcf.build,
+}
+
+APP_NAMES = tuple(APP_BUILDERS)
+
+#: the paper's evaluation order
+WORKLOAD_ORDER = ("art", "bzip2", "equake", "mcf")
+
+
+def app_factory(name: str, scale: int = 1) -> Callable[[], Module]:
+    """A zero-argument deterministic program factory for campaigns."""
+    builder = APP_BUILDERS[name]
+    return partial(builder, scale)
+
+
+__all__ = [
+    "APP_BUILDERS",
+    "APP_NAMES",
+    "WORKLOAD_ORDER",
+    "app_factory",
+    "art",
+    "bzip2",
+    "equake",
+    "mcf",
+]

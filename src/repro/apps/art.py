@@ -1,0 +1,115 @@
+"""``art`` analog: floating-point neural-network image recognition.
+
+Mirrors the memory character of SPEC CPU2000 ``art`` (§3.3): almost all work
+happens in flat floating-point arrays allocated on the heap (an input
+"thermal image", a weight matrix, per-category activations), with very few
+pointers stored to memory — which is why the paper finds SDS and MDS nearly
+indistinguishable on art (§4.5).
+
+The kernel is an ART-style competitive learner: repeated rounds of
+dot-product activation, winner selection, and winner weight reinforcement.
+"""
+
+from __future__ import annotations
+
+from ..ir.module import Module
+from ..ir.builder import ModuleBuilder
+from ..ir.types import FLOAT64, INT32, INT64
+from .support import (
+    add_message_global,
+    declare_common_externals,
+    emit_app_error_if,
+    lcg_init,
+    lcg_next,
+    print_message,
+)
+
+NAME = "art"
+
+#: categories in the competitive layer
+CATEGORIES = 4
+
+
+def build(scale: int = 1) -> Module:
+    """Build the art workload; ``scale`` multiplies the image size."""
+    n_inputs = 12 * scale
+    rounds = 5
+    mb = ModuleBuilder(NAME)
+    declare_common_externals(mb)
+    add_message_global(mb, "art.banner", "art: scanning image\n")
+
+    fn, b = mb.define("main", INT32)
+    print_message(mb, b, "art.banner")
+    rng = lcg_init(b, 0xA27)
+
+    image = b.malloc(FLOAT64, b.i64(n_inputs), hint="image")
+    weights = b.malloc(FLOAT64, b.i64(CATEGORIES * n_inputs), hint="weights")
+    acts = b.malloc(FLOAT64, b.i64(CATEGORIES), hint="acts")
+    winners = b.malloc(INT64, b.i64(rounds), hint="winners")
+
+    # Initialize the image with pseudo-thermal intensities in [0, 1).
+    with b.for_range(b.i64(n_inputs)) as i:
+        raw = lcg_next(b, rng, 1000)
+        f = b.num_cast(raw, FLOAT64)
+        b.store(b.elem_addr(image, i), b.fdiv(f, b.f64(1000.0)))
+    # Initialize weights with small category-dependent biases.
+    with b.for_range(b.i64(CATEGORIES * n_inputs)) as i:
+        raw = lcg_next(b, rng, 100)
+        f = b.num_cast(raw, FLOAT64)
+        b.store(b.elem_addr(weights, i), b.fdiv(f, b.f64(400.0)))
+
+    with b.for_range(b.i64(rounds)) as r:
+        # activation[c] = dot(image, weights[c])
+        with b.for_range(b.i64(CATEGORIES)) as c:
+            acc = b.alloca(FLOAT64)
+            b.store(acc, b.f64(0.0))
+            base = b.mul(c, b.i64(n_inputs))
+            with b.for_range(b.i64(n_inputs)) as i:
+                x = b.load(b.elem_addr(image, i))
+                w = b.load(b.elem_addr(weights, b.add(base, i)))
+                b.store(acc, b.fadd(b.load(acc), b.fmul(x, w)))
+            b.store(b.elem_addr(acts, c), b.load(acc))
+        # winner = argmax activation
+        best = b.alloca(INT64)
+        b.store(best, b.i64(0))
+        with b.for_range(b.i64(CATEGORIES), start=b.i64(1)) as c:
+            cur = b.load(b.elem_addr(acts, c))
+            top = b.load(b.elem_addr(acts, b.load(best)))
+            better = b.cmp("sgt", cur, top)
+            with b.if_then(better):
+                b.store(best, c)
+        w_idx = b.load(best)
+        # Sanity check: the winner must be a valid category index.
+        bad_low = b.slt(w_idx, b.i64(0))
+        emit_app_error_if(b, bad_low, 20)
+        bad_high = b.sge(w_idx, b.i64(CATEGORIES))
+        emit_app_error_if(b, bad_high, 21)
+        b.store(b.elem_addr(winners, r), w_idx)
+        # Reinforce the winner's weights toward the image.
+        base = b.mul(w_idx, b.i64(n_inputs))
+        with b.for_range(b.i64(n_inputs)) as i:
+            wslot = b.elem_addr(weights, b.add(base, i))
+            x = b.load(b.elem_addr(image, i))
+            bumped = b.fadd(b.load(wslot), b.fmul(x, b.f64(0.05)))
+            b.store(wslot, bumped)
+
+    # Output: winner sequence checksum and final weight mass.
+    wsum = b.alloca(INT64)
+    b.store(wsum, b.i64(0))
+    with b.for_range(b.i64(rounds)) as r:
+        v = b.load(b.elem_addr(winners, r))
+        shifted = b.mul(b.load(wsum), b.i64(CATEGORIES + 1))
+        b.store(wsum, b.add(shifted, v))
+    b.call("print_i64", [b.load(wsum)])
+    mass = b.alloca(FLOAT64)
+    b.store(mass, b.f64(0.0))
+    with b.for_range(b.i64(CATEGORIES * n_inputs)) as i:
+        b.store(mass, b.fadd(b.load(mass), b.load(b.elem_addr(weights, i))))
+    b.call("print_f64", [b.load(mass)])
+
+    b.free(image)
+    b.free(weights)
+    b.free(acts)
+    b.free(winners)
+    b.ret(b.i32(0))
+    return mb.module

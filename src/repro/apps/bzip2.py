@@ -1,0 +1,135 @@
+"""``bzip2`` analog: integer, in-memory compression round trip.
+
+Mirrors the memory character of SPEC CPU2000 ``bzip2`` as modified by SPEC
+(§3.3): all compression and decompression happens entirely in memory, in
+flat byte buffers, integer-only, with few pointers stored to memory.
+
+The kernel is run-length encoding over a run-structured pseudo-random
+buffer, a decompression pass, a ``memcpy`` of the recovered data (exercising
+the external-code wrappers of §2.8), and a full round-trip verification — a
+mismatch is application-detected (error exit), giving the workload a strong
+*natural detection* path, just as real bzip2 has with its CRC checks.
+"""
+
+from __future__ import annotations
+
+from ..ir.module import Module
+from ..ir.builder import ModuleBuilder
+from ..ir.types import INT8, INT32, INT64, VOID, VOID_PTR
+from .support import (
+    add_message_global,
+    declare_common_externals,
+    emit_app_error_if,
+    lcg_init,
+    lcg_next,
+    print_message,
+)
+
+NAME = "bzip2"
+
+#: sentinel byte terminating the source buffer (never appears in data)
+SENTINEL = 255
+
+
+def build(scale: int = 1) -> Module:
+    """Build the bzip2 workload; ``scale`` multiplies the buffer size."""
+    n = 96 * scale
+    mb = ModuleBuilder(NAME)
+    declare_common_externals(mb)
+    mb.declare_external("memcpy", VOID, [VOID_PTR, VOID_PTR, INT64])
+    add_message_global(mb, "bzip2.banner", "bzip2: compressing\n")
+
+    fn, b = mb.define("main", INT32)
+    print_message(mb, b, "bzip2.banner")
+    rng = lcg_init(b, 0xB212)
+
+    # +1 for the run-terminating sentinel.
+    src = b.malloc(INT8, b.i64(n + 1), hint="src")
+    comp = b.malloc(INT8, b.i64(2 * n + 16), hint="comp")
+    out = b.malloc(INT8, b.i64(n), hint="out")
+    final = b.malloc(INT8, b.i64(n), hint="final")
+
+    # Fill the source with runs: run lengths 1..8, byte values 0..15.
+    pos = b.alloca(INT64)
+    b.store(pos, b.i64(0))
+    with b.while_loop(lambda bb: bb.slt(bb.load(pos), bb.i64(n))):
+        run = b.add(lcg_next(b, rng, 8), b.i64(1))
+        byte8 = b.num_cast(lcg_next(b, rng, 16), INT8)
+        with b.for_range(run):
+            p = b.load(pos)
+            in_range = b.slt(p, b.i64(n))
+            with b.if_then(in_range):
+                b.store(b.elem_addr(src, p), byte8)
+                b.store(pos, b.add(p, b.i64(1)))
+    b.store(b.elem_addr(src, b.i64(n)), b.i8(SENTINEL))
+
+    # Compress into (count, value) pairs.
+    clen = b.alloca(INT64)  # number of pairs
+    b.store(clen, b.i64(0))
+    i_slot = b.alloca(INT64)
+    b.store(i_slot, b.i64(0))
+    cnt = b.alloca(INT64)
+    with b.while_loop(lambda bb: bb.slt(bb.load(i_slot), bb.i64(n))):
+        i = b.load(i_slot)
+        cur = b.load(b.elem_addr(src, i))
+        b.store(cnt, b.i64(1))
+
+        def run_cond(bb):
+            j = bb.add(bb.load(i_slot), bb.load(cnt))
+            nxt = bb.load(bb.elem_addr(src, j))  # sentinel keeps this in-bounds
+            same = bb.eq(nxt, cur)
+            short = bb.slt(bb.load(cnt), bb.i64(127))
+            return bb.binop("and", same, short)
+
+        with b.while_loop(run_cond):
+            b.store(cnt, b.add(b.load(cnt), b.i64(1)))
+
+        pair = b.load(clen)
+        off = b.mul(pair, b.i64(2))
+        b.store(b.elem_addr(comp, off), b.num_cast(b.load(cnt), INT8))
+        b.store(
+            b.elem_addr(comp, b.add(off, b.i64(1))), cur
+        )
+        b.store(clen, b.add(pair, b.i64(1)))
+        b.store(i_slot, b.add(i, b.load(cnt)))
+
+    # Decompress.
+    k_slot = b.alloca(INT64)
+    b.store(k_slot, b.i64(0))
+    with b.for_range(b.load(clen)) as t:
+        off = b.mul(t, b.i64(2))
+        rl = b.num_cast(b.load(b.elem_addr(comp, off)), INT64)
+        val = b.load(b.elem_addr(comp, b.add(off, b.i64(1))))
+        with b.for_range(rl):
+            k = b.load(k_slot)
+            b.store(b.elem_addr(out, k), val)
+            b.store(k_slot, b.add(k, b.i64(1)))
+
+    # Recovered data must be exactly n bytes.
+    wrong_len = b.ne(b.load(k_slot), b.i64(n))
+    emit_app_error_if(b, wrong_len, 30)
+
+    # Copy through memcpy (external code) and verify the round trip.
+    b.call("memcpy", [final, out, b.i64(n)])
+    with b.for_range(b.i64(n)) as i:
+        a = b.load(b.elem_addr(final, i))
+        c = b.load(b.elem_addr(src, i))
+        differs = b.ne(a, c)
+        emit_app_error_if(b, differs, 31)
+
+    # Output: pair count and a positional checksum of the compressed stream.
+    b.call("print_i64", [b.load(clen)])
+    check = b.alloca(INT64)
+    b.store(check, b.i64(0))
+    with b.for_range(b.mul(b.load(clen), b.i64(2))) as i:
+        v = b.num_cast(b.load(b.elem_addr(comp, i)), INT64)
+        mixed = b.add(b.mul(b.load(check), b.i64(33)), v)
+        b.store(check, b.binop("and", mixed, b.i64(0xFFFF_FFFF)))
+    b.call("print_i64", [b.load(check)])
+
+    b.free(src)
+    b.free(comp)
+    b.free(out)
+    b.free(final)
+    b.ret(b.i32(0))
+    return mb.module

@@ -1,0 +1,66 @@
+"""Shared IR-level helpers for the analog benchmark applications.
+
+The workloads generate their own input data *inside the IR* with a
+deterministic 64-bit LCG, so application and replica behaviour is
+reproducible and the golden output is stable across runs and machines.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir.builder import IRBuilder, ModuleBuilder
+from ..ir.types import FLOAT64, INT64, VOID, VOID_PTR, INT32, INT8, ArrayType
+from ..ir.values import ConstInt, Register, Value
+
+LCG_MUL = 6364136223846793005
+LCG_ADD = 1442695040888963407
+
+
+def declare_common_externals(mb: ModuleBuilder) -> None:
+    """Externals every app uses (printing and error signalling)."""
+    mb.declare_external("print_i64", VOID, [INT64])
+    mb.declare_external("print_f64", VOID, [FLOAT64])
+    mb.declare_external("print_str", VOID, [VOID_PTR])
+    mb.declare_external("app_error", VOID, [INT32])
+
+
+def lcg_init(b: IRBuilder, seed: int) -> Register:
+    """Allocate and seed an LCG state slot (stack memory, replicated)."""
+    slot = b.alloca(INT64, hint="lcg")
+    b.store(slot, b.i64(seed))
+    return slot
+
+
+def lcg_next(b: IRBuilder, slot: Register, bound: Optional[int] = None) -> Register:
+    """Advance the LCG; returns a non-negative value (mod ``bound`` if given)."""
+    state = b.load(slot, hint="lcg")
+    nxt = b.add(b.mul(state, b.i64(LCG_MUL)), b.i64(LCG_ADD))
+    b.store(slot, nxt)
+    val = b.binop("shr", nxt, b.i64(17), hint="lcg")
+    val = b.binop("and", val, b.i64(0x7FFF_FFFF), hint="lcg")
+    if bound is not None:
+        val = b.srem(val, b.i64(bound))
+    return val
+
+
+def emit_app_error_if(b: IRBuilder, cond: Value, code: int) -> None:
+    """``if (cond) app_error(code)`` — an application-level sanity check.
+
+    These checks are the analog of the benchmarks' own error messages and
+    error-identifying exits; when they fire, the evaluation counts the run
+    as *naturally detected* (§3.6).
+    """
+    with b.if_then(cond):
+        b.call("app_error", [ConstInt(INT32, code)])
+
+
+def print_message(mb: ModuleBuilder, b: IRBuilder, global_name: str) -> None:
+    """Print a NUL-terminated global byte-array message via ``print_str``."""
+    g = mb.module.globals[global_name]
+    b.call("print_str", [g.ref()])
+
+
+def add_message_global(mb: ModuleBuilder, name: str, text: str) -> None:
+    data = text.encode("latin-1") + b"\x00"
+    mb.add_global(name, ArrayType(INT8, len(data)), bytes(data))

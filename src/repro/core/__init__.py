@@ -1,0 +1,71 @@
+"""The DPMR transformation: the paper's primary contribution.
+
+Exports the two replication designs (SDS, Ch. 2–3; MDS, Ch. 4), the type
+machinery (``st()``/``at()``), the diversity transformations (Table 2.8),
+the state comparison policies (§2.7), and the compiler facade.
+"""
+
+from .aug_types import AugTypeBuilder, ReplicationDesign, TypeMaps
+from .diversity import (
+    DiversityPolicy,
+    NoDiversity,
+    PadMalloc,
+    RearrangeHeap,
+    ZeroBeforeFree,
+    standard_diversity_suite,
+)
+from .mds import MdsTransform
+from .pipeline import DpmrBuild, DpmrCompiler
+from .plan import FULL_REPLICATION, ReplicationPlan
+from .policies import (
+    AllLoadsPolicy,
+    ComparisonPolicy,
+    StaticLoadCheckingPolicy,
+    TemporalLoadCheckingPolicy,
+    static_10,
+    static_50,
+    static_90,
+    temporal_1_2,
+    temporal_1_8,
+    temporal_7_8,
+)
+from .runtime import DpmrRuntime
+from .sds import SdsTransform
+from .shadow_types import NSOP_FIELD, ROP_FIELD, ShadowTypeBuilder
+from .transform import DpmrTransformError
+from .wrappers import WrapperSpec, get_wrapper_spec
+
+__all__ = [
+    "AllLoadsPolicy",
+    "AugTypeBuilder",
+    "ComparisonPolicy",
+    "DiversityPolicy",
+    "DpmrBuild",
+    "DpmrCompiler",
+    "DpmrRuntime",
+    "DpmrTransformError",
+    "FULL_REPLICATION",
+    "MdsTransform",
+    "NSOP_FIELD",
+    "NoDiversity",
+    "PadMalloc",
+    "ROP_FIELD",
+    "RearrangeHeap",
+    "ReplicationDesign",
+    "ReplicationPlan",
+    "SdsTransform",
+    "ShadowTypeBuilder",
+    "StaticLoadCheckingPolicy",
+    "TemporalLoadCheckingPolicy",
+    "TypeMaps",
+    "WrapperSpec",
+    "ZeroBeforeFree",
+    "get_wrapper_spec",
+    "standard_diversity_suite",
+    "static_10",
+    "static_50",
+    "static_90",
+    "temporal_1_2",
+    "temporal_1_8",
+    "temporal_7_8",
+]

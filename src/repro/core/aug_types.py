@@ -1,0 +1,209 @@
+"""Augmented types: ``at()``, ``rpt()``, ``spt()``, and ``(st∘at)()``.
+
+Augmented types (Table 2.3, Figs 2.6–2.8) thread replica and shadow pointers
+across function boundaries.  Only function types actually change:
+
+* every pointer parameter gains an ROP parameter (``rpt``) and — under SDS —
+  an NSOP parameter (``spt``);
+* a function returning a pointer gains a leading ``rvSop`` parameter (SDS:
+  pointer to the return value's shadow struct) or ``rvRopPtr`` (MDS: pointer
+  to an ROP slot) through which the callee returns replica/shadow pointers.
+
+:class:`TypeMaps` bundles the shadow and augmented builders and exposes the
+helper functions of §2.4: ``φ()`` (shadow field indices), ``γ()`` (register
+expansion) and ``π()`` (return-value parameter injection) live with the
+transforms, but their type-level ingredients come from here.
+
+The composed mapping ``(st∘at)(t)`` of Table 2.5 exists in the paper to avoid
+manipulating partially resolved placeholders; in this implementation
+recursive types are identified structs resolved by object identity, so the
+composition is computed literally as ``st(at(t))`` (and a unit test checks it
+against a direct implementation of Table 2.5's rules).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional
+
+from ..ir.types import (
+    ArrayType,
+    FloatType,
+    FunctionType,
+    IntType,
+    PointerType,
+    StructType,
+    Type,
+    UnionType,
+    VoidType,
+    VOID_PTR,
+)
+from .shadow_types import ShadowTypeBuilder
+
+
+class ReplicationDesign(enum.Enum):
+    """Which DPMR design shapes augmented function types."""
+
+    SDS = "sds"
+    MDS = "mds"
+
+
+def contains_function_type(t: Type) -> bool:
+    """Whether ``t`` transitively mentions a function type."""
+    return _contains_fn(t, set())
+
+
+def _contains_fn(t: Type, seen: set) -> bool:
+    if isinstance(t, FunctionType):
+        return True
+    if isinstance(t, PointerType):
+        return _contains_fn(t.pointee, seen)
+    if isinstance(t, ArrayType):
+        return _contains_fn(t.element, seen)
+    if isinstance(t, (StructType, UnionType)):
+        if id(t) in seen:
+            return False
+        seen.add(id(t))
+        parts = t.fields if isinstance(t, StructType) else t.members
+        return any(_contains_fn(p, seen) for p in parts)
+    return False
+
+
+class AugTypeBuilder:
+    """Computes and caches ``at()`` for one replication design."""
+
+    def __init__(self, shadow: ShadowTypeBuilder, design: ReplicationDesign):
+        self.shadow = shadow
+        self.design = design
+        self._cache: Dict[Type, Type] = {}
+        self._in_progress: Dict[Type, Type] = {}
+        self._counter = 0
+
+    # -- the at() mapping ----------------------------------------------------
+
+    def aug_type(self, t: Type) -> Type:
+        if t in self._cache:
+            return self._cache[t]
+        if t in self._in_progress:
+            return self._in_progress[t]
+        if not contains_function_type(t):
+            # at() only changes function types; everything else is identical
+            # (Table 2.3), so preserve object identity for cache coherence.
+            self._cache[t] = t
+            return t
+        rv = self._build(t)
+        self._cache[t] = rv
+        self._in_progress.pop(t, None)
+        return rv
+
+    def _build(self, t: Type) -> Type:
+        if isinstance(t, FunctionType):
+            return self.aug_function_type(t)
+        if isinstance(t, PointerType):
+            # Recursion can only thread through pointers; no placeholder is
+            # needed because pointee augmentation bottoms out at functions.
+            return PointerType(self.aug_type(t.pointee))
+        if isinstance(t, ArrayType):
+            return ArrayType(self.aug_type(t.element), t.count)
+        if isinstance(t, StructType):
+            if t.name is not None:
+                self._counter += 1
+                rv = StructType.opaque(f"aug.{t.name}.{self._counter}")
+                self._in_progress[t] = rv
+                rv.set_fields([self.aug_type(f) for f in t.fields])
+                return rv
+            return StructType([self.aug_type(f) for f in t.fields])
+        if isinstance(t, UnionType):
+            return UnionType([self.aug_type(m) for m in t.members])
+        return t
+
+    # -- function-type augmentation (Fig. 2.7 / Table 4.1) ---------------------
+
+    def aug_function_type(self, t: FunctionType) -> FunctionType:
+        ret = self.aug_type(t.ret)
+        params: List[Type] = []
+        if isinstance(ret, PointerType):
+            params.append(self.return_slot_type(ret))
+        for p in t.params:
+            ap = self.aug_type(p)
+            params.append(ap)
+            params.extend(self.extra_params_for(ap))
+        return FunctionType(ret, params)
+
+    def return_slot_type(self, aug_ret: PointerType) -> PointerType:
+        """Type of the injected return-value parameter (``π()``'s type).
+
+        SDS: ``st(at(r))*`` — pointer to the return value's shadow struct.
+        MDS: ``at(r)*`` — pointer to a slot holding the return value's ROP.
+        """
+        if self.design is ReplicationDesign.SDS:
+            return PointerType(self.shadow.pointer_shadow_struct(aug_ret))
+        return PointerType(aug_ret)
+
+    def extra_params_for(self, aug_param: Type) -> List[Type]:
+        """``rpt``/``spt`` parameters added after a pointer parameter."""
+        if not isinstance(aug_param, PointerType):
+            return []
+        extras: List[Type] = [aug_param]  # rpt(τ*) = at(τ)*
+        if self.design is ReplicationDesign.SDS:
+            extras.append(self.spt(aug_param))
+        return extras
+
+    def spt(self, aug_param: PointerType) -> Type:
+        """``spt(τ*)``: NSOP parameter type (Table 2.3)."""
+        inner = self.shadow.shadow_type(aug_param.pointee)
+        if inner is None:
+            return VOID_PTR
+        return PointerType(inner)
+
+
+class TypeMaps:
+    """Facade bundling ``st``, ``at`` and the composed ``(st∘at)``."""
+
+    def __init__(self, design: ReplicationDesign = ReplicationDesign.SDS):
+        self.design = design
+        self.shadow = ShadowTypeBuilder()
+        self.aug = AugTypeBuilder(self.shadow, design)
+
+    def st(self, t: Type) -> Optional[Type]:
+        return self.shadow.shadow_type(t)
+
+    def at(self, t: Type) -> Type:
+        return self.aug.aug_type(t)
+
+    def sat(self, t: Type) -> Optional[Type]:
+        """``(st∘at)(t)`` (Table 2.5)."""
+        return self.shadow.shadow_type(self.aug.aug_type(t))
+
+    def phi(self, t: StructType, index: int) -> int:
+        """``φ(t, f_i)`` over the augmented struct (Eq. 2.2)."""
+        aug = self.aug.aug_type(t)
+        assert isinstance(aug, StructType)
+        return self.shadow.shadow_field_index(aug, index)
+
+
+def composed_shadow_aug_reference(maps: TypeMaps, t: Type) -> Optional[Type]:
+    """Direct implementation of Table 2.5's ``(st∘at)`` rules.
+
+    Exists for cross-checking :meth:`TypeMaps.sat` in tests; not used by the
+    transformation itself.
+    """
+    if isinstance(t, (IntType, FloatType, VoidType, FunctionType)):
+        return None
+    if isinstance(t, ArrayType):
+        inner = composed_shadow_aug_reference(maps, t.element)
+        return None if inner is None else ArrayType(inner, t.count)
+    if isinstance(t, StructType):
+        inners = [composed_shadow_aug_reference(maps, f) for f in t.fields]
+        kept = [i for i in inners if i is not None]
+        return StructType(kept) if kept else None
+    if isinstance(t, UnionType):
+        inners = [composed_shadow_aug_reference(maps, m) for m in t.members]
+        kept = [i for i in inners if i is not None]
+        return UnionType(kept) if kept else None
+    if isinstance(t, PointerType):
+        inner = composed_shadow_aug_reference(maps, t.pointee)
+        rop = PointerType(maps.at(t.pointee))
+        nsop = VOID_PTR if inner is None else PointerType(inner)
+        return StructType([rop, nsop])
+    raise TypeError(f"unexpected type {t}")

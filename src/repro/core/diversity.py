@@ -1,0 +1,156 @@
+"""Diversity transformations (Table 2.8).
+
+Diversity makes memory errors *manifest differently* in application and
+replica memory, beyond the implicit diversity of interleaved intra-process
+allocation (§2.1).  Each policy here rewrites the behaviour of replica heap
+allocation/deallocation; all of them execute against the *real* simulated
+heap allocator, so layout effects (padding, shuffled placement, zeroed freed
+payloads) are genuine, and their work is charged to the same cycle budget as
+ordinary instructions.
+
+* :class:`NoDiversity` — implicit diversity only.
+* :class:`PadMalloc` — replica allocation requests are enlarged by a static
+  pad (8/32/256/1024 in the paper), so replica overflows land in padding.
+* :class:`ZeroBeforeFree` — replica payloads are zeroed before deallocation,
+  so reads-after-free differ between application and replica.
+* :class:`RearrangeHeap` — each replica allocation is preceded by 1..20
+  dummy allocations of the same size (freed immediately afterwards), placing
+  the replica at a randomized heap location; dangling-pointer reuse then
+  rarely re-pairs application/replica objects.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..machine.interpreter import Machine
+
+
+class DiversityPolicy:
+    """Base policy: replica allocation identical to application allocation."""
+
+    name = "no-diversity"
+
+    def replica_malloc(self, machine: "Machine", size: int) -> int:
+        return machine.heap_malloc(size)
+
+    def replica_free(self, machine: "Machine", address: int) -> None:
+        machine.heap_free(address)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<diversity {self.name}>"
+
+
+class NoDiversity(DiversityPolicy):
+    """Implicit diversity only (the ``no-diversity`` variant of §3.7)."""
+
+
+class PadMalloc(DiversityPolicy):
+    """``pad-malloc-y``: replica requests are enlarged by ``pad`` bytes."""
+
+    def __init__(self, pad: int):
+        if pad <= 0:
+            raise ValueError("pad must be positive")
+        self.pad = pad
+        self.name = f"pad-malloc-{pad}"
+
+    def replica_malloc(self, machine: "Machine", size: int) -> int:
+        return machine.heap_malloc(size + self.pad)
+
+
+class ZeroBeforeFree(DiversityPolicy):
+    """``zero-before-free``: zero replica payload bytes before deallocation."""
+
+    name = "zero-before-free"
+
+    def replica_free(self, machine: "Machine", address: int) -> None:
+        from ..machine.heap import HeapError
+
+        if address != 0:
+            try:
+                size = machine.heap.payload_size(address)
+            except HeapError:
+                size = 0  # invalid free: let free() itself abort
+            if size:
+                machine.memory.fill(address, 0, size)
+                machine.charge(4 + size // 8)
+        machine.heap_free(address)
+
+
+class RearrangeHeap(DiversityPolicy):
+    """``rearrange-heap``: randomize replica object placement (Table 2.8).
+
+    Allocates 1..20 dummy buffers of the requested size, then the real
+    replica buffer, then frees the dummies — the replica lands at a
+    randomized offset within the region the allocator would otherwise have
+    used deterministically.
+    """
+
+    name = "rearrange-heap"
+    MAX_DUMMIES = 20
+
+    def replica_malloc(self, machine: "Machine", size: int) -> int:
+        k = machine.rng.randint(1, self.MAX_DUMMIES)
+        dummies: List[int] = [machine.heap_malloc(size) for _ in range(k)]
+        address = machine.heap_malloc(size)
+        for d in dummies:
+            machine.heap_free(d)
+        return address
+
+
+class SegregatedReplicas(DiversityPolicy):
+    """*Ablation* of intra-process implicit diversity (not a paper policy).
+
+    §2.1 argues that interleaving application and replica allocations in one
+    address space yields *implicit* diversity: the object following ``X`` is
+    usually ``X_r``, not ``Y``, so overflows corrupt unpaired objects.  This
+    policy deliberately destroys that property, emulating a process-
+    replication-style memory organization: replicas are bump-allocated in a
+    private arena with the same chunk geometry as the main allocator, so the
+    replica heap *mirrors* the application heap layout.  Overflows then
+    corrupt application and replica memory pairwise-identically and escape
+    detection — quantifying how much of DPMR's coverage comes from implicit
+    diversity alone.
+    """
+
+    name = "ablation-segregated"
+    ARENA_SIZE = 1 << 20
+
+    def __init__(self) -> None:
+        self._arena_base = 0
+        self._arena_top = 0
+
+    def replica_malloc(self, machine: "Machine", size: int) -> int:
+        from ..machine.heap import HEADER_SIZE
+
+        if self._arena_base == 0:
+            self._arena_base = machine.heap_malloc(self.ARENA_SIZE)
+            self._arena_top = self._arena_base
+        payload = machine.heap.round_request(size)
+        # Mirror the main allocator's geometry: skip a header-sized gap so
+        # relative object offsets match the application heap exactly.
+        addr = self._arena_top + HEADER_SIZE
+        self._arena_top = addr + payload
+        if self._arena_top > self._arena_base + self.ARENA_SIZE:
+            from ..machine.interpreter import ExecutionTrap
+
+            raise ExecutionTrap("out-of-memory", "segregated replica arena")
+        machine.charge(20)
+        return addr
+
+    def replica_free(self, machine: "Machine", address: int) -> None:
+        machine.charge(4)  # arena storage is reclaimed wholesale
+
+
+def standard_diversity_suite() -> List[DiversityPolicy]:
+    """The seven diversity variants evaluated in §3.7 (sans stdapp)."""
+    return [
+        NoDiversity(),
+        ZeroBeforeFree(),
+        RearrangeHeap(),
+        PadMalloc(8),
+        PadMalloc(32),
+        PadMalloc(256),
+        PadMalloc(1024),
+    ]

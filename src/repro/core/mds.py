@@ -1,0 +1,112 @@
+"""Mirrored Data Structures: the MDS design (Chapter 4).
+
+MDS keeps no shadow memory: replica memory *mirrors* application memory, and
+replica pointer slots hold replica pointers (Fig. 2.2 / Table 4.3).
+Consequences:
+
+* stores of a pointer ``x`` mirror the ROP: ``*p_r <- x_r``;
+* loads of pointers are never compared (the two values differ by design);
+  the ROP is simply loaded from replica memory: ``x_r <- *p_r``;
+* memory overhead drops to 2x and most SDS input restrictions disappear
+  (§4.4): no shadow-type allocation constraint, no typing constraints on
+  pointer arithmetic, no pointer-to-pointer cast restrictions.
+"""
+
+from __future__ import annotations
+
+from ..ir import instructions as ins
+from ..ir.types import PointerType, StructType, Type
+from ..ir.values import ConstNull, Register, Value
+from .aug_types import ReplicationDesign
+from .transform import BaseTransform, FunctionTranslator
+
+
+class MdsTransform(BaseTransform):
+    """Whole-module MDS transformation."""
+
+    design = ReplicationDesign.MDS
+
+    def makes_pointers_comparable(self) -> bool:
+        return False
+
+    def _replica_initializer(self, init):
+        # Replica memory mirrors application memory: global pointer
+        # initializers are redirected to the replica targets.
+        return _mirror_init(self, init)
+
+    def _translator_class(self):
+        return MdsFunctionTranslator
+
+
+def _mirror_init(tx: MdsTransform, init):
+    from ..ir.values import FunctionRef, GlobalRef
+
+    if isinstance(init, GlobalRef):
+        return GlobalRef(f"{init.name}_r", init.type)
+    if isinstance(init, list):
+        return [_mirror_init(tx, item) for item in init]
+    return init
+
+
+class MdsFunctionTranslator(FunctionTranslator):
+    """MDS-specific load/store/call-return behaviour (Tables 4.3/4.4)."""
+
+    def _tx_load(self, i: ins.Load) -> None:
+        p = self.val(i.pointer)
+        x = self.new_named(i.result.name, p.type.pointee)
+        self.vmap[i.result.name] = x
+        self.emit(ins.Load(x, p), i)
+        skip_mirror = (
+            isinstance(i.pointer, Register) and i.pointer.name in self.unreplicated
+        )
+        if isinstance(x.type, PointerType):
+            # Pointer loads are never compared under MDS; the replica load
+            # yields the ROP directly.
+            if skip_mirror:
+                self.rops[i.result.name] = x
+                self.unreplicated.add(i.result.name)
+                return
+            pr = self.coerce_ptr(self.rop(i.pointer), p.type)
+            x_r = self.new_named(f"{i.result.name}_r", x.type)
+            self.rops[i.result.name] = x_r
+            self.emit(ins.Load(x_r, pr), i)
+            return
+        if self.plan.compare_load(i) and not skip_mirror:
+            self.policy.emit_load_check(self, x, self.rop(i.pointer))
+
+    def _tx_store(self, i: ins.Store) -> None:
+        p = self.val(i.pointer)
+        x = self.val(i.value)
+        self.emit(ins.Store(p, x), i)
+        if not self.plan.mirror_store(i):
+            return
+        if isinstance(i.pointer, Register) and i.pointer.name in self.unreplicated:
+            return
+        pr = self.coerce_ptr(self.rop(i.pointer), p.type)
+        if isinstance(x.type, PointerType):
+            mirrored = self._as_value_of(self.rop(i.value), x.type)
+            self.emit(ins.Store(pr, mirrored), i)
+        else:
+            self.emit(ins.Store(pr, x), i)
+
+    def _as_value_of(self, v: Value, want: Type) -> Value:
+        if isinstance(v, ConstNull):
+            return ConstNull(want)
+        if v.type == want:
+            return v
+        return self.builder.ptr_cast(v, want.pointee, hint="dpmr.cz")
+
+    # -- returned pointers (rvRopPtr protocol, Table 4.4) -------------------
+
+    def _return_slot_pointee(self, ret_at: PointerType) -> Type:
+        return ret_at
+
+    def _bind_returned_pointer(self, name: str, rv_slot: Register) -> None:
+        x_r = self.new_named(f"{name}_r", rv_slot.type.pointee)
+        self.emit(ins.Load(x_r, rv_slot))
+        self.rops[name] = x_r
+
+    def _store_returned_pointer(self, i: ins.Ret) -> None:
+        rv_slot = self.rv_param
+        mirrored = self._as_value_of(self.rop(i.value), rv_slot.type.pointee)
+        self.emit(ins.Store(rv_slot, mirrored), i)

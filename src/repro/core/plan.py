@@ -1,0 +1,54 @@
+"""Replication plans: which memory operations participate in replication.
+
+Chapter 5 refines DPMR's partial replica using Data Structure Analysis:
+objects whose behaviour cannot be reasoned about (int-to-pointer casts,
+pointers masquerading as integers, unknown/external memory) are simply *not
+replicated*.  A :class:`ReplicationPlan` carries those per-instruction
+decisions into the transformation:
+
+* an allocation that is not replicated aliases its "replica" pointer to the
+  application pointer (``p_r = p``);
+* stores into non-replicated memory are not mirrored;
+* loads from non-replicated memory are not compared (and pointer loads take
+  their ROP from the aliased replica slot, which by DSA's transitive
+  ``markX()`` marking is guaranteed to denote non-replicated memory too);
+* frees of non-replicated buffers do not free a replica.
+
+The default plan replicates everything — exactly the behaviour of Chapters
+2–4.
+"""
+
+from __future__ import annotations
+
+from ..ir import instructions as ins
+
+
+class ReplicationPlan:
+    """Full replication: the Ch. 2–4 behaviour."""
+
+    def replicate_alloc(self, inst: ins.Instruction) -> bool:
+        """Whether this Malloc/Alloca gets a real replica (and shadow)."""
+        return True
+
+    def mirror_store(self, inst: ins.Store) -> bool:
+        """Whether this store is mirrored to replica (and shadow) memory."""
+        return True
+
+    def compare_load(self, inst: ins.Load) -> bool:
+        """Whether this load is eligible for replica comparison."""
+        return True
+
+    def mirror_free(self, inst: ins.Free) -> bool:
+        """Whether this free also frees replica (and shadow) memory."""
+        return True
+
+    def allows_int_to_pointer(self) -> bool:
+        """Whether int-to-pointer casts are accepted (Ch. 5 only)."""
+        return False
+
+    def rop_for_int_to_pointer(self) -> str:
+        """ROP strategy for int-to-pointer results: ``alias`` only."""
+        return "alias"
+
+
+FULL_REPLICATION = ReplicationPlan()

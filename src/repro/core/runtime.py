@@ -1,0 +1,114 @@
+"""DPMR run-time support attached to the machine.
+
+A :class:`DpmrRuntime` bundles the pieces of DPMR that execute at run time
+rather than being emitted as IR:
+
+* the configured diversity transformation (replica heap behaviour);
+* the external function wrapper implementations (``<name>_efw``);
+* command-line argument replication for the generated ``main`` (§3.1.1,
+  Fig. 3.1).
+
+``Machine(dpmr_runtime=...)`` calls :meth:`attach` during construction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..ir.types import PointerType, VOID
+from ..machine.interpreter import Machine
+from .aug_types import ReplicationDesign
+from .diversity import DiversityPolicy, NoDiversity
+from .wrappers import WRAPPER_IMPLS
+
+_PTR = PointerType(VOID)
+
+
+class DpmrRuntime:
+    """Run-time half of a DPMR build (design + diversity)."""
+
+    def __init__(
+        self,
+        design: ReplicationDesign = ReplicationDesign.SDS,
+        diversity: Optional[DiversityPolicy] = None,
+    ):
+        self.design = design
+        self.diversity = diversity if diversity is not None else NoDiversity()
+
+    @property
+    def sds(self) -> bool:
+        return self.design is ReplicationDesign.SDS
+
+    # -- machine hookup ------------------------------------------------------
+
+    def attach(self, machine: Machine) -> None:
+        for name, impl in WRAPPER_IMPLS.items():
+            machine.register_intrinsic(
+                f"{name}_efw", _bind_wrapper(self, impl)
+            )
+        machine.register_intrinsic("dpmr_argv_replica", self._argv_replica)
+        machine.register_intrinsic("dpmr_argv_shadow", self._argv_shadow)
+
+    # -- replica heap behaviour -------------------------------------------------
+
+    def replica_malloc(self, machine: Machine, size: int) -> int:
+        return self.diversity.replica_malloc(machine, size)
+
+    def replica_free(self, machine: Machine, address: int) -> None:
+        self.diversity.replica_free(machine, address)
+
+    # -- argv replication (Fig. 3.1) ------------------------------------------------
+
+    def _argv_replica(self, machine: Machine, args: List) -> int:
+        """Build ``argv_r``: the replica of the command-line pointer array.
+
+        SDS stores pointer values identical to the application's (the replica
+        strings hang off the shadow); MDS stores pointers to replica strings.
+        """
+        argc, argv = int(args[0]), int(args[1])
+        table = machine.heap_malloc(8 * (argc + 1))
+        for i in range(argc):
+            app_ptr = machine.memory.read_scalar(argv + 8 * i, _PTR)
+            if self.sds:
+                machine.memory.write_scalar(table + 8 * i, _PTR, app_ptr)
+            else:
+                machine.memory.write_scalar(
+                    table + 8 * i, _PTR, self._clone_string(machine, app_ptr)
+                )
+        machine.memory.write_scalar(table + 8 * argc, _PTR, 0)
+        machine.charge(4 * argc + 4)
+        return table
+
+    def _argv_shadow(self, machine: Machine, args: List) -> int:
+        """Build ``argv_s``: per-argument (ROP, NSOP) pairs (SDS only).
+
+        Each pair's ROP points at a fresh replica of the argument string; the
+        NSOP is null (``st(int8[]) = ∅``).
+        """
+        argc, argv = int(args[0]), int(args[1])
+        table = machine.heap_malloc(16 * max(argc, 1))
+        for i in range(argc):
+            app_ptr = machine.memory.read_scalar(argv + 8 * i, _PTR)
+            replica = self._clone_string(machine, app_ptr)
+            machine.memory.write_scalar(table + 16 * i, _PTR, replica)
+            machine.memory.write_scalar(table + 16 * i + 8, _PTR, 0)
+        machine.charge(6 * argc + 4)
+        return table
+
+    @staticmethod
+    def _clone_string(machine: Machine, address: int) -> int:
+        data = machine.memory.read_cstring(address)
+        replica = machine.heap_malloc(len(data) + 1)
+        machine.memory.write_cstring(replica, data)
+        machine.charge(2 + len(data))
+        return replica
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<DpmrRuntime {self.design.value} {self.diversity.name}>"
+
+
+def _bind_wrapper(runtime: DpmrRuntime, impl):
+    def bound(machine: Machine, args: List):
+        return impl(runtime, machine, args)
+
+    return bound

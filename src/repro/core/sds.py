@@ -1,0 +1,166 @@
+"""Shadow Data Structures: the SDS design (Chapter 2).
+
+SDS stores *identical* pointer values in application and replica memory —
+pointer loads are comparable — and keeps, per application/replica object
+pair, a third *shadow object* holding (ROP, NSOP) pairs for every pointer
+slot (Fig. 2.4).
+
+Design-specific behaviour (Table 2.6):
+
+* store of a pointer ``x`` through ``p``: ``*p_r <- x`` (the same value!),
+  plus ``p_s->rop <- x_r`` and ``p_s->nsop <- x_s``;
+* load of a pointer: compared like any other load, then
+  ``x_r <- p_s->rop`` and ``x_s <- p_s->nsop``;
+* a function returning a pointer stores (ROP, NSOP) through its ``rvSop``
+  argument, loaded by the caller after the call.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir import instructions as ins
+from ..ir.types import PointerType, Type
+from ..ir.values import ConstNull, GlobalRef, Register, Value
+from .aug_types import ReplicationDesign
+from .shadow_types import NSOP_FIELD, ROP_FIELD
+from .transform import BaseTransform, DpmrTransformError, FunctionTranslator
+
+
+class SdsTransform(BaseTransform):
+    """Whole-module SDS transformation."""
+
+    design = ReplicationDesign.SDS
+
+    def makes_pointers_comparable(self) -> bool:
+        return True
+
+    def _replica_initializer(self, init):
+        # SDS replica memory holds pointer values identical to application
+        # memory (Fig. 2.3), so the initializer is reused verbatim.
+        return init
+
+    # FunctionTranslator subclass selection
+    def _translator_class(self):
+        return SdsFunctionTranslator
+
+
+class SdsFunctionTranslator(FunctionTranslator):
+    """SDS-specific load/store/call-return behaviour."""
+
+    def _tx_load(self, i: ins.Load) -> None:
+        p = self.val(i.pointer)
+        x = self.new_named(i.result.name, p.type.pointee)
+        self.vmap[i.result.name] = x
+        self.emit(ins.Load(x, p), i)
+        check = self.plan.compare_load(i)
+        skip_mirror = (
+            isinstance(i.pointer, Register) and i.pointer.name in self.unreplicated
+        )
+        if check and not skip_mirror:
+            self.policy.emit_load_check(self, x, self.rop(i.pointer))
+        if isinstance(x.type, PointerType):
+            self._load_shadow_pair(i, x)
+
+    def _load_shadow_pair(self, i: ins.Load, x: Register) -> None:
+        """``x_r <- p_s->rop; x_s <- p_s->nsop`` (always, policy-independent)."""
+        name = i.result.name
+        if isinstance(i.pointer, Register) and i.pointer.name in self.unreplicated:
+            self.rops[name] = x
+            self.nsops[name] = ConstNull(_VOID_PTR)
+            self.unreplicated.add(name)
+            return
+        ps = self.nsop(i.pointer)
+        sdw = self._shadow_slot_struct(ps, i)
+        b = self.builder
+        rop_addr = self.new_named(f"dpmr.ra.{name}", PointerType(sdw.fields[ROP_FIELD]))
+        self.emit(ins.FieldAddr(rop_addr, ps, ROP_FIELD), i)
+        x_r = self.new_named(f"{name}_r", sdw.fields[ROP_FIELD])
+        self.emit(ins.Load(x_r, rop_addr), i)
+        nsop_addr = self.new_named(
+            f"dpmr.na.{name}", PointerType(sdw.fields[NSOP_FIELD])
+        )
+        self.emit(ins.FieldAddr(nsop_addr, ps, NSOP_FIELD), i)
+        x_s = self.new_named(f"{name}_s", sdw.fields[NSOP_FIELD])
+        self.emit(ins.Load(x_s, nsop_addr), i)
+        self.rops[name] = self._coerce_reg(x_r, x.type)
+        self.nsops[name] = x_s
+
+    def _coerce_reg(self, v: Register, want: Type) -> Value:
+        if v.type == want:
+            return v
+        return self.builder.ptr_cast(v, want.pointee, hint="dpmr.cz")
+
+    def _shadow_slot_struct(self, ps: Value, i: ins.Instruction):
+        from ..ir.types import StructType
+
+        if isinstance(ps, ConstNull) or not isinstance(ps.type, PointerType) or not isinstance(ps.type.pointee, StructType):
+            raise DpmrTransformError(
+                f"{self.src_fn.name}: pointer memory access without a typed "
+                f"shadow slot (SDS restriction, §2.9): {i!r}"
+            )
+        return ps.type.pointee
+
+    def _tx_store(self, i: ins.Store) -> None:
+        p = self.val(i.pointer)
+        x = self.val(i.value)
+        self.emit(ins.Store(p, x), i)
+        if not self.plan.mirror_store(i):
+            return
+        if isinstance(i.pointer, Register) and i.pointer.name in self.unreplicated:
+            return
+        self.emit(ins.Store(self.coerce_ptr(self.rop(i.pointer), p.type), x), i)
+        if isinstance(x.type, PointerType):
+            self._store_shadow_pair(i, x)
+
+    def _store_shadow_pair(self, i: ins.Store, x: Value) -> None:
+        ps = self.nsop(i.pointer)
+        sdw = self._shadow_slot_struct(ps, i)
+        rop_addr = self.builder.function.new_register(
+            PointerType(sdw.fields[ROP_FIELD]), "dpmr.ra"
+        )
+        self.emit(ins.FieldAddr(rop_addr, ps, ROP_FIELD), i)
+        rop_val = self._as_slot_value(self.rop(i.value), sdw.fields[ROP_FIELD])
+        self.emit(ins.Store(rop_addr, rop_val), i)
+        nsop_addr = self.builder.function.new_register(
+            PointerType(sdw.fields[NSOP_FIELD]), "dpmr.na"
+        )
+        self.emit(ins.FieldAddr(nsop_addr, ps, NSOP_FIELD), i)
+        nsop_val = self._as_slot_value(self.nsop(i.value), sdw.fields[NSOP_FIELD])
+        self.emit(ins.Store(nsop_addr, nsop_val), i)
+
+    def _as_slot_value(self, v: Value, slot_type: Type) -> Value:
+        if isinstance(v, ConstNull):
+            return ConstNull(slot_type)
+        if v.type == slot_type:
+            return v
+        return self.builder.ptr_cast(v, slot_type.pointee, hint="dpmr.cz")
+
+    # -- returned pointers ------------------------------------------------
+
+    def _return_slot_pointee(self, ret_at: PointerType) -> Type:
+        return self.maps.shadow.pointer_shadow_struct(ret_at)
+
+    def _bind_returned_pointer(self, name: str, rv_slot: Register) -> None:
+        sdw = rv_slot.type.pointee
+        b = self.builder
+        rop_addr = b.field_addr(rv_slot, ROP_FIELD, hint="dpmr.ra")
+        x_r = self.new_named(f"{name}_r", sdw.fields[ROP_FIELD])
+        self.emit(ins.Load(x_r, rop_addr))
+        nsop_addr = b.field_addr(rv_slot, NSOP_FIELD, hint="dpmr.na")
+        x_s = self.new_named(f"{name}_s", sdw.fields[NSOP_FIELD])
+        self.emit(ins.Load(x_s, nsop_addr))
+        self.rops[name] = x_r
+        self.nsops[name] = x_s
+
+    def _store_returned_pointer(self, i: ins.Ret) -> None:
+        rv_slot = self.rv_param
+        sdw = rv_slot.type.pointee
+        b = self.builder
+        rop_addr = b.field_addr(rv_slot, ROP_FIELD, hint="dpmr.ra")
+        self.emit(ins.Store(rop_addr, self._as_slot_value(self.rop(i.value), sdw.fields[ROP_FIELD])), i)
+        nsop_addr = b.field_addr(rv_slot, NSOP_FIELD, hint="dpmr.na")
+        self.emit(ins.Store(nsop_addr, self._as_slot_value(self.nsop(i.value), sdw.fields[NSOP_FIELD])), i)
+
+
+from ..ir.types import VOID_PTR as _VOID_PTR  # noqa: E402

@@ -1,0 +1,126 @@
+"""Shadow types: the ``st()`` mapping of Table 2.1 / Figure 2.5.
+
+For every pointer slot in an application object, the shadow object holds two
+pointers: a *replica object pointer* (ROP) and a *next shadow object pointer*
+(NSOP).  ``st()`` maps a type to the type of its shadow object:
+
+* aggregates map element-wise, with null elements dropping out;
+* a pointer ``τ*`` maps to ``struct{τ*; st(τ)*}`` (NSOP degrades to ``void*``
+  when ``st(τ)`` is null);
+* primitive, function, and void types map to null (``None`` here) — there is
+  no metadata to keep for them.
+
+Recursive types are handled with the paper's placeholder technique, realized
+here as *identified* structs whose body is filled in after the recursive
+computation completes (object identity plays the role of placeholder
+resolution).  Results are memoized (the paper's dynamic-programming map
+``ST``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..ir.types import (
+    ArrayType,
+    FunctionType,
+    PointerType,
+    StructType,
+    Type,
+    UnionType,
+    VOID_PTR,
+    contains_pointer_outside_function_types,
+)
+
+#: Field indices within a pointer's shadow struct.
+ROP_FIELD = 0
+NSOP_FIELD = 1
+
+
+class ShadowTypeBuilder:
+    """Computes and caches ``st()`` (Figure 2.5)."""
+
+    def __init__(self, name_prefix: str = "sdw"):
+        self._cache: Dict[Type, Optional[Type]] = {}
+        self._in_progress: Dict[Type, StructType] = {}
+        self._prefix = name_prefix
+        self._counter = 0
+
+    def shadow_type(self, t: Type) -> Optional[Type]:
+        """``st(t)``; ``None`` represents the null shadow type."""
+        return self._impl(t)
+
+    def pointer_shadow_struct(self, t: PointerType) -> StructType:
+        """The ``struct{rop; nsop}`` shadow type of a pointer type."""
+        st = self._impl(t)
+        assert isinstance(st, StructType)
+        return st
+
+    # -- implementation ---------------------------------------------------
+
+    def _fresh_name(self, base: str) -> str:
+        self._counter += 1
+        return f"{self._prefix}.{base}.{self._counter}"
+
+    def _impl(self, t: Type) -> Optional[Type]:
+        if t in self._cache:
+            return self._cache[t]
+        if t in self._in_progress:
+            return self._in_progress[t]
+        if not contains_pointer_outside_function_types(t):
+            # Primitives, function types, void, and pointer-free aggregates
+            # all short-circuit to the null shadow type (Fig. 2.5, line 17).
+            self._cache[t] = None
+            return None
+        rv = self._build(t)
+        self._cache[t] = rv
+        self._in_progress.pop(t, None)
+        return rv
+
+    def _build(self, t: Type) -> Optional[Type]:
+        if isinstance(t, PointerType):
+            return self._build_pointer(t)
+        if isinstance(t, ArrayType):
+            elem = self._impl(t.element)
+            if elem is None:
+                return None
+            return ArrayType(elem, t.count)
+        if isinstance(t, StructType):
+            return self._build_struct(t)
+        if isinstance(t, UnionType):
+            members = [self._impl(m) for m in t.members]
+            kept = [m for m in members if m is not None]
+            if not kept:
+                return None
+            return UnionType(kept)
+        raise TypeError(f"unexpected type in shadow computation: {t}")
+
+    def _build_pointer(self, t: PointerType) -> StructType:
+        rv = StructType.opaque(self._fresh_name("ptr"))
+        self._in_progress[t] = rv
+        inner = self._impl(t.pointee)
+        nsop = VOID_PTR if inner is None else PointerType(inner)
+        rv.set_fields([t, nsop])
+        return rv
+
+    def _build_struct(self, t: StructType) -> StructType:
+        if t.name is not None:
+            rv = StructType.opaque(self._fresh_name(t.name))
+            self._in_progress[t] = rv
+            fields = [self._impl(f) for f in t.fields]
+            rv.set_fields([f for f in fields if f is not None])
+            return rv
+        fields = [self._impl(f) for f in t.fields]
+        return StructType([f for f in fields if f is not None])
+
+    # -- field index mapping ------------------------------------------------
+
+    def shadow_field_index(self, t: StructType, index: int) -> int:
+        """The paper's ``φ(t, f_i)``: shadow struct index of field ``index``.
+
+        Counts the fields before ``index`` whose shadow type is non-null
+        (null-shadow fields drop out of the shadow struct).
+        """
+        return sum(
+            1 for j in range(index) if self._impl(t.fields[j]) is not None
+        )

@@ -1,0 +1,486 @@
+"""External function wrappers (§2.8, §3.1.5).
+
+External code is not transformed by DPMR, so every external call in a
+transformed module is rerouted to an *external function wrapper*
+``<name>_efw`` that (1) performs the external behaviour and (2) performs the
+application-visible DPMR behaviour the external function would have exhibited
+had it been transformed: replica/shadow updates for stores, load checks for
+reads, replica/shadow allocation for returned memory.
+
+This module contains both halves of that machinery:
+
+* **transform-time**: :class:`WrapperSpec` describes the wrapper's augmented
+  declaration and any extra leading parameters — e.g. ``qsort``'s shadow
+  element size (Fig. 3.3) and ``memcpy``/``memmove``'s shadow-region size
+  (§3.1.5), computed by the compiler from the call site's static types;
+* **run-time**: the ``w_*`` functions implement the wrappers against raw
+  machine memory, for both SDS and MDS argument layouts.
+
+The *interesting* wrappers the paper singles out are all here: the
+``printf``-family analogs (``print_str``), ``strcmp``/``atof`` (which must
+emulate parsing to learn how much of their input they read), and
+``qsort``/``memcpy``/``memmove`` (type-generic writes needing shadow-size
+parameters).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+from ..ir import instructions as ins
+from ..ir.types import (
+    ArrayType,
+    FunctionType,
+    PointerType,
+    INT64,
+    sizeof,
+)
+from ..ir.values import ConstInt, Value
+from ..machine.interpreter import DpmrDetected, Machine
+from ..machine import intrinsics as base
+from .aug_types import ReplicationDesign
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .runtime import DpmrRuntime
+    from .transform import BaseTransform, FunctionTranslator
+
+
+# --------------------------------------------------------------------------
+# Transform-time wrapper declarations
+# --------------------------------------------------------------------------
+
+
+class WrapperSpec:
+    """Declaration shape of one external function wrapper."""
+
+    def wrapper_type(self, transform: "BaseTransform", orig_type: FunctionType) -> FunctionType:
+        aug = transform.maps.aug.aug_function_type(orig_type)
+        extras = self.extra_param_types(transform)
+        if not extras:
+            return aug
+        return FunctionType(aug.ret, list(extras) + list(aug.params))
+
+    def extra_param_types(self, transform: "BaseTransform") -> List:
+        return []
+
+    def extra_args(self, tx: "FunctionTranslator", call: ins.Call) -> List[Value]:
+        return []
+
+
+class _ShadowUnitSpec(WrapperSpec):
+    """Adds a leading ``sdwSize`` parameter under SDS (Fig. 3.3)."""
+
+    #: index of the pointer argument whose element type drives the size
+    base_arg_index = 0
+
+    def extra_param_types(self, transform):
+        if transform.design is ReplicationDesign.SDS:
+            return [INT64]
+        return []
+
+    def extra_args(self, tx, call):
+        if tx.parent.design is not ReplicationDesign.SDS:
+            return []
+        return [ConstInt(INT64, self._shadow_unit(tx, call))]
+
+    def _shadow_unit(self, tx, call) -> int:
+        arg = call.args[self.base_arg_index]
+        elem = _pointee_element(arg.type)
+        if elem is None:
+            return 0
+        sat = tx.maps.sat(elem)
+        return 0 if sat is None else sizeof(sat)
+
+
+class QsortSpec(_ShadowUnitSpec):
+    """``qsort_efw(size_t sdwSize, base, base_r, base_s, nmemb, size, cmp, ...)``."""
+
+
+class MemRegionSpec(WrapperSpec):
+    """``memcpy``/``memmove``: leading (appUnit, sdwUnit) pair under SDS."""
+
+    def extra_param_types(self, transform):
+        if transform.design is ReplicationDesign.SDS:
+            return [INT64, INT64]
+        return []
+
+    def extra_args(self, tx, call):
+        if tx.parent.design is not ReplicationDesign.SDS:
+            return []
+        elem = _pointee_element(call.args[0].type)
+        if elem is None:
+            return [ConstInt(INT64, 0), ConstInt(INT64, 0)]
+        at = tx.maps.at(elem)
+        sat = tx.maps.sat(elem)
+        return [
+            ConstInt(INT64, sizeof(at)),
+            ConstInt(INT64, 0 if sat is None else sizeof(sat)),
+        ]
+
+
+def _pointee_element(t) -> Optional[object]:
+    """Element type behind a ``τ[]*`` or ``τ*`` argument, if known."""
+    if not isinstance(t, PointerType):
+        return None
+    pointee = t.pointee
+    if isinstance(pointee, ArrayType):
+        return pointee.element
+    from ..ir.types import VoidType
+
+    if isinstance(pointee, VoidType):
+        return None
+    return pointee
+
+
+_SPECS: Dict[str, WrapperSpec] = {
+    "qsort": QsortSpec(),
+    "memcpy": MemRegionSpec(),
+    "memmove": MemRegionSpec(),
+}
+_DEFAULT_SPEC = WrapperSpec()
+
+
+def get_wrapper_spec(name: str) -> WrapperSpec:
+    return _SPECS.get(name, _DEFAULT_SPEC)
+
+
+# --------------------------------------------------------------------------
+# Run-time wrapper implementations
+# --------------------------------------------------------------------------
+
+
+class PtrArg:
+    """A γ-expanded pointer argument: (application, replica[, shadow])."""
+
+    __slots__ = ("p", "r", "s")
+
+    def __init__(self, p: int, r: int, s: int = 0):
+        self.p = p
+        self.r = r
+        self.s = s
+
+
+class ArgReader:
+    """Sequentially decodes a wrapper's γ-expanded argument list."""
+
+    def __init__(self, args: List, sds: bool):
+        self._args = args
+        self._i = 0
+        self._sds = sds
+
+    def scalar(self):
+        v = self._args[self._i]
+        self._i += 1
+        return v
+
+    def pointer(self) -> PtrArg:
+        if self._sds:
+            p, r, s = self._args[self._i : self._i + 3]
+            self._i += 3
+            return PtrArg(p, r, s)
+        p, r = self._args[self._i : self._i + 2]
+        self._i += 2
+        return PtrArg(p, r)
+
+    def rv_slot(self) -> int:
+        return self.scalar()
+
+
+def _check_bytes(m: Machine, app_addr: int, replica_addr: int, data: bytes) -> None:
+    """Compare ``data`` (read from the application) with replica memory."""
+    if replica_addr == 0 or app_addr == replica_addr:
+        return  # unreplicated memory (Ch. 5 plans) — nothing to compare
+    m.charge(2 + len(data) // 4)
+    replica = m.memory.read_bytes(replica_addr, len(data))
+    if replica != data:
+        raise DpmrDetected(2, "external wrapper load check")
+
+
+def _set_rv_pair(rt: "DpmrRuntime", m: Machine, slot: int, rop: int, nsop: int) -> None:
+    """Store a returned pointer's ROP (and NSOP under SDS) via the rv slot."""
+    m.memory.write_scalar(slot, _PTR, rop)
+    if rt.sds:
+        m.memory.write_scalar(slot + 8, _PTR, nsop)
+    m.charge(4)
+
+
+# -- individual wrappers -------------------------------------------------------
+
+
+def w_print_i64(rt, m, args):
+    return base._print_i64(m, args)
+
+
+def w_print_f64(rt, m, args):
+    return base._print_f64(m, args)
+
+
+def w_putchar(rt, m, args):
+    return base._putchar(m, args)
+
+
+def w_exit(rt, m, args):
+    return base._exit(m, args)
+
+
+def w_abort(rt, m, args):
+    return base._abort(m, args)
+
+
+def w_app_error(rt, m, args):
+    return base._app_error(m, args)
+
+
+def w_print_str(rt, m, args):
+    rd = ArgReader(args, rt.sds)
+    s = rd.pointer()
+    data = m.memory.read_cstring(s.p)
+    _check_bytes(m, s.p, s.r, data + b"\x00")
+    m.charge(5 + len(data))
+    m.output.append(data.decode("latin-1"))
+    return None
+
+
+def w_strlen(rt, m, args):
+    rd = ArgReader(args, rt.sds)
+    s = rd.pointer()
+    data = m.memory.read_cstring(s.p)
+    _check_bytes(m, s.p, s.r, data + b"\x00")
+    m.charge(2 + len(data))
+    return len(data)
+
+
+def w_strcpy(rt, m, args):
+    """Fig. 2.11: check src, copy, mirror into dest_r, return dest (+ROP)."""
+    rd = ArgReader(args, rt.sds)
+    slot = rd.rv_slot()
+    dest = rd.pointer()
+    src = rd.pointer()
+    data = m.memory.read_cstring(src.p)
+    _check_bytes(m, src.p, src.r, data + b"\x00")
+    m.charge(3 + 2 * len(data))
+    m.memory.write_cstring(dest.p, data)
+    if dest.r and dest.r != dest.p:
+        m.memory.write_cstring(dest.r, data)
+        m.charge(2 + len(data))
+    _set_rv_pair(rt, m, slot, dest.r, dest.s)
+    return dest.p
+
+
+def w_strcmp(rt, m, args):
+    """§3.1.5: emulates strcmp to learn exactly how many bytes were read.
+
+    There is no guarantee input strings are NUL-terminated before a
+    difference, so the wrapper compares byte-by-byte and only checks the
+    consumed prefixes against the replicas.
+    """
+    rd = ArgReader(args, rt.sds)
+    a = rd.pointer()
+    b = rd.pointer()
+    consumed_a = bytearray()
+    consumed_b = bytearray()
+    result = 0
+    offset = 0
+    while True:
+        ca = m.memory.read_bytes(a.p + offset, 1)[0]
+        cb = m.memory.read_bytes(b.p + offset, 1)[0]
+        consumed_a.append(ca)
+        consumed_b.append(cb)
+        if ca != cb:
+            result = -1 if ca < cb else 1
+            break
+        if ca == 0:
+            result = 0
+            break
+        offset += 1
+    m.charge(2 + offset)
+    _check_bytes(m, a.p, a.r, bytes(consumed_a))
+    _check_bytes(m, b.p, b.r, bytes(consumed_b))
+    return result
+
+
+def w_atoi(rt, m, args):
+    rd = ArgReader(args, rt.sds)
+    s = rd.pointer()
+    consumed = bytearray()
+    offset = 0
+    while True:
+        c = m.memory.read_bytes(s.p + offset, 1)[0]
+        ch = chr(c)
+        if (offset == 0 and ch in "+-") or ch.isdigit():
+            consumed.append(c)
+            offset += 1
+            continue
+        break
+    m.charge(5 + offset)
+    _check_bytes(m, s.p, s.r, bytes(consumed))
+    text = consumed.decode("latin-1")
+    try:
+        return int(text)
+    except ValueError:
+        return 0
+
+
+def w_atof(rt, m, args):
+    """§3.1.5: emulates atof's parse to know how much of the string was read."""
+    rd = ArgReader(args, rt.sds)
+    s = rd.pointer()
+    consumed = bytearray()
+    offset = 0
+    while offset < 64:
+        c = m.memory.read_bytes(s.p + offset, 1)[0]
+        ch = chr(c)
+        if ch in "+-.0123456789eE":
+            candidate = consumed + bytes([c])
+            if _is_float_prefix(candidate.decode("latin-1")):
+                consumed.append(c)
+                offset += 1
+                continue
+        break
+    m.charge(8 + offset)
+    _check_bytes(m, s.p, s.r, bytes(consumed))
+    prefix = base._float_prefix(consumed.decode("latin-1"))
+    try:
+        return float(prefix) if prefix else 0.0
+    except ValueError:
+        return 0.0
+
+
+_is_float_prefix = base._could_extend_to_float
+
+
+def w_memset(rt, m, args):
+    rd = ArgReader(args, rt.sds)
+    dest = rd.pointer()
+    c = rd.scalar()
+    n = max(0, rd.scalar())
+    m.charge(4 + n // 8)
+    m.memory.fill(dest.p, c, n)
+    if dest.r and dest.r != dest.p:
+        m.memory.fill(dest.r, c, n)
+        m.charge(n // 8)
+    return None
+
+
+def w_memcpy(rt, m, args):
+    """Copies app→app and replica→replica; mirrors shadow regions under SDS.
+
+    Under SDS the source bytes are compared against the replica (pointers are
+    comparable).  Under MDS the wrapper cannot know whether the region holds
+    pointers (whose replica bytes legitimately differ), so it skips the check
+    — missed load checks affect coverage, not correctness (§2.8).
+    """
+    sds = rt.sds
+    idx = 0
+    if sds:
+        app_unit, sdw_unit = args[0], args[1]
+        idx = 2
+    else:
+        app_unit, sdw_unit = 0, 0
+    rd = ArgReader(args[idx:], sds)
+    dest = rd.pointer()
+    src = rd.pointer()
+    n = max(0, rd.scalar())
+    data = m.memory.read_bytes(src.p, n)
+    m.charge(4 + n // 4)
+    if sds:
+        _check_bytes(m, src.p, src.r, data)
+    m.memory.write_bytes(dest.p, data)
+    if src.r and dest.r and dest.r != dest.p:
+        replica = m.memory.read_bytes(src.r, n)
+        m.memory.write_bytes(dest.r, replica)
+        m.charge(n // 4)
+    if sds and sdw_unit and app_unit and src.s and dest.s:
+        sdw_n = (n // app_unit) * sdw_unit
+        block = m.memory.read_bytes(src.s, sdw_n)
+        m.memory.write_bytes(dest.s, block)
+        m.charge(sdw_n // 4)
+    return None
+
+
+def w_memmove(rt, m, args):
+    return w_memcpy(rt, m, args)  # snapshot copy is move-safe
+
+
+def w_qsort(rt, m, args):
+    """Sorts the application array, moving replica/shadow elements in step.
+
+    The comparison callback is an *augmented* function: it receives γ-expanded
+    element pointers, so replica (and shadow) element addresses are computed
+    from the base pointers and the shadow element size (Fig. 3.3).
+    """
+    sds = rt.sds
+    idx = 0
+    sdw_unit = 0
+    if sds:
+        sdw_unit = args[0]
+        idx = 1
+    rd = ArgReader(args[idx:], sds)
+    bp = rd.pointer()
+    nmemb = rd.scalar()
+    size = rd.scalar()
+    cmp = rd.pointer()
+
+    def compare(i: int, j: int) -> int:
+        a, b_ = bp.p + i * size, bp.p + j * size
+        ar, br = bp.r + i * size, bp.r + j * size
+        if sds:
+            as_ = bp.s + i * sdw_unit if bp.s else 0
+            bs = bp.s + j * sdw_unit if bp.s else 0
+            return m.call_by_address(cmp.p, [a, ar, as_, b_, br, bs])
+        return m.call_by_address(cmp.p, [a, ar, b_, br])
+
+    mem = m.memory
+    mirror = bp.r and bp.r != bp.p
+    for i in range(1, nmemb):
+        j = i - 1
+        while j >= 0:
+            m.charge(8 + size // 4)
+            if compare(j, i) <= 0:
+                break
+            j -= 1
+        if j + 1 == i:
+            continue
+        _rotate(mem, bp.p, size, j + 1, i)
+        if mirror:
+            _rotate(mem, bp.r, size, j + 1, i)
+        if sds and sdw_unit and bp.s:
+            _rotate(mem, bp.s, sdw_unit, j + 1, i)
+        m.charge((i - j) * (2 + size // 8))
+    return None
+
+
+def _rotate(mem, array_base: int, size: int, insert_at: int, from_idx: int) -> None:
+    """Move element ``from_idx`` to ``insert_at``, shifting the rest right."""
+    key = mem.read_bytes(array_base + from_idx * size, size)
+    block = mem.read_bytes(
+        array_base + insert_at * size, (from_idx - insert_at) * size
+    )
+    mem.write_bytes(array_base + (insert_at + 1) * size, block)
+    mem.write_bytes(array_base + insert_at * size, key)
+
+
+#: name → runtime implementation (registered as ``<name>_efw``)
+WRAPPER_IMPLS: Dict[str, Callable] = {
+    "print_i64": w_print_i64,
+    "print_f64": w_print_f64,
+    "print_str": w_print_str,
+    "putchar": w_putchar,
+    "exit": w_exit,
+    "abort": w_abort,
+    "app_error": w_app_error,
+    "strlen": w_strlen,
+    "strcpy": w_strcpy,
+    "strcmp": w_strcmp,
+    "atoi": w_atoi,
+    "atof": w_atof,
+    "memcpy": w_memcpy,
+    "memmove": w_memmove,
+    "memset": w_memset,
+    "qsort": w_qsort,
+}
+
+
+from ..ir.types import VOID as _VOID  # noqa: E402
+
+_PTR = PointerType(_VOID)

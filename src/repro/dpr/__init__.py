@@ -1,0 +1,21 @@
+"""Diverse Partial Replication beyond memory errors (§1.2)."""
+
+from .banking import Bank, DprOutcome, OVERDRAFT_PENALTY, paper_scenario, run_with_dpr
+from .scheduler import (
+    DiverseSchedulePolicy,
+    Request,
+    SchedulePolicy,
+    WorkerPool,
+)
+
+__all__ = [
+    "Bank",
+    "DiverseSchedulePolicy",
+    "DprOutcome",
+    "OVERDRAFT_PENALTY",
+    "Request",
+    "SchedulePolicy",
+    "WorkerPool",
+    "paper_scenario",
+    "run_with_dpr",
+]

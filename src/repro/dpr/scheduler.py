@@ -1,0 +1,144 @@
+"""Deterministic multi-worker scheduler substrate for the DPR race demo.
+
+§1.2 argues Diverse Partial Replication generalizes beyond memory errors:
+replicate the component relevant to the fault model and diversify it.  For
+race conditions the relevant component is the *schedule*; the diversity
+transformation is a perturbed (but legal) interleaving.
+
+This simulator dispatches queued requests to ``n_workers`` workers.  Each
+worker takes a request, works on it for a deterministic number of ticks, and
+commits its effect at completion time.  A :class:`SchedulePolicy` controls
+dispatch order and per-request service times — the knobs a diverse replica
+execution turns.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Request:
+    """One queued operation."""
+
+    seq: int
+    kind: str  # "deposit" | "withdraw" | "balance"
+    account: str
+    amount: int = 0
+
+
+class SchedulePolicy:
+    """Decides dispatch order and service time; identity by default."""
+
+    name = "fifo"
+
+    def dispatch_key(self, request: Request) -> Tuple:
+        """Priority key for pulling requests from the queue (lower first)."""
+        return (request.seq,)
+
+    def service_time(self, request: Request) -> int:
+        """Ticks between dispatch and commit.
+
+        Deposits are slow (check clearing), withdrawals fast — the asymmetry
+        that lets the §1.2 race commit a later withdrawal before an earlier
+        deposit when per-account ordering is not enforced.
+        """
+        return {"deposit": 5, "withdraw": 2}.get(request.kind, 1)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<schedule {self.name}>"
+
+
+class DiverseSchedulePolicy(SchedulePolicy):
+    """A legal but perturbed schedule: deterministic jittered service times.
+
+    Under a correct (per-account ordered) system the commit *effects* are
+    schedule-independent; under a racy system, different service times make
+    same-account requests complete in a different order, so the race
+    manifests differently in the replica execution — exactly Fig. 1.2(b).
+    """
+
+    name = "diverse"
+
+    def __init__(self, salt: int = 7):
+        self.salt = salt
+
+    def service_time(self, request: Request) -> int:
+        return 1 + (request.seq * self.salt + len(request.account)) % 5
+
+
+@dataclass
+class _Running:
+    finish_tick: int
+    dispatch_order: int
+    request: Request
+
+
+class WorkerPool:
+    """Simulates ``n_workers`` workers draining a request queue.
+
+    ``per_account_ordering=True`` models the *specified* behaviour (requests
+    to the same account are processed in arrival order: a worker will not
+    dispatch a request for an account that has an earlier request still in
+    flight).  ``False`` models the race-condition bug of §1.2.
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        policy: Optional[SchedulePolicy] = None,
+        per_account_ordering: bool = True,
+    ):
+        self.n_workers = n_workers
+        self.policy = policy if policy is not None else SchedulePolicy()
+        self.per_account_ordering = per_account_ordering
+
+    def run(
+        self,
+        requests: Sequence[Request],
+        commit: Callable[[Request], None],
+    ) -> List[int]:
+        """Execute all requests; calls ``commit`` at each completion.
+
+        Returns the sequence of request ``seq`` numbers in commit order.
+        """
+        pending: List[Tuple[Tuple, int, Request]] = []
+        for i, r in enumerate(requests):
+            heapq.heappush(pending, (self.policy.dispatch_key(r), i, r))
+        running: List[Tuple[int, int, Request]] = []  # (finish, order, req)
+        in_flight_accounts: Dict[str, int] = {}
+        commit_order: List[int] = []
+        tick = 0
+        dispatch_counter = 0
+        deferred: List[Tuple[Tuple, int, Request]] = []
+        while pending or running:
+            # Fill idle workers.
+            while pending and len(running) < self.n_workers:
+                key, i, req = heapq.heappop(pending)
+                if (
+                    self.per_account_ordering
+                    and in_flight_accounts.get(req.account, 0) > 0
+                ):
+                    deferred.append((key, i, req))
+                    continue
+                in_flight_accounts[req.account] = (
+                    in_flight_accounts.get(req.account, 0) + 1
+                )
+                finish = tick + self.policy.service_time(req)
+                heapq.heappush(running, (finish, dispatch_counter, req))
+                dispatch_counter += 1
+            for item in deferred:
+                heapq.heappush(pending, item)
+            deferred = []
+            if not running:
+                tick += 1
+                continue
+            # Advance to the next completion.
+            finish, _, req = heapq.heappop(running)
+            tick = max(tick, finish)
+            commit(req)
+            commit_order.append(req.seq)
+            in_flight_accounts[req.account] -= 1
+        return commit_order

@@ -1,0 +1,47 @@
+"""Data Structure Analysis and replication-scope expansion (Chapter 5)."""
+
+from .analysis import DataStructureAnalysis
+from .graph import (
+    Cell,
+    DSGraph,
+    DSNode,
+    FLAG_ARRAY,
+    FLAG_COLLAPSED,
+    FLAG_COMPLETE,
+    FLAG_GLOBAL,
+    FLAG_HEAP,
+    FLAG_INCOMPLETE,
+    FLAG_INT_TO_PTR,
+    FLAG_PTR_TO_INT,
+    FLAG_STACK,
+    FLAG_UNKNOWN,
+)
+from .local import EXTERNAL_SUMMARIES, LocalResult, local_phase
+from .bottom_up import bottom_up_phase
+from .top_down import completeness_pass, top_down_phase
+from .scope import DsaReplicationPlan, mark_unknown_closure
+
+__all__ = [
+    "Cell",
+    "DSGraph",
+    "DSNode",
+    "DataStructureAnalysis",
+    "DsaReplicationPlan",
+    "EXTERNAL_SUMMARIES",
+    "FLAG_ARRAY",
+    "FLAG_COLLAPSED",
+    "FLAG_COMPLETE",
+    "FLAG_GLOBAL",
+    "FLAG_HEAP",
+    "FLAG_INCOMPLETE",
+    "FLAG_INT_TO_PTR",
+    "FLAG_PTR_TO_INT",
+    "FLAG_STACK",
+    "FLAG_UNKNOWN",
+    "LocalResult",
+    "bottom_up_phase",
+    "completeness_pass",
+    "local_phase",
+    "mark_unknown_closure",
+    "top_down_phase",
+]

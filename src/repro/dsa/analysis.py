@@ -1,0 +1,51 @@
+"""Data Structure Analysis driver: local → bottom-up → top-down (§5.1).
+
+``DataStructureAnalysis(module).run()`` produces per-function DS graphs
+(with shared global nodes) whose flags reflect heap/stack/global residence,
+array-ness, collapsing, pointer-to-int / int-to-pointer behaviour, and
+completeness.  :mod:`repro.dsa.scope` consumes these to build Ch. 5
+replication plans.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..ir.module import Module
+from .bottom_up import bottom_up_phase
+from .graph import Cell, DSGraph
+from .local import LocalResult, local_phase
+from .top_down import completeness_pass, top_down_phase
+
+
+class DataStructureAnalysis:
+    """Three-phase DSA over a module."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        self.results: Optional[Dict[str, LocalResult]] = None
+
+    def run(self) -> "DataStructureAnalysis":
+        results = local_phase(self.module)
+        bottom_up_phase(self.module, results)
+        top_down_phase(self.module, results)
+        completeness_pass(results)
+        self.results = results
+        return self
+
+    # -- queries -------------------------------------------------------------
+
+    def graph(self, function_name: str) -> DSGraph:
+        self._require_run()
+        return self.results[function_name].graph
+
+    def cell_for_register(self, function_name: str, reg_name: str) -> Optional[Cell]:
+        self._require_run()
+        result = self.results.get(function_name)
+        if result is None:
+            return None
+        return result.graph.cell_for(reg_name)
+
+    def _require_run(self) -> None:
+        if self.results is None:
+            raise RuntimeError("call run() first")

@@ -1,0 +1,134 @@
+"""DSA bottom-up phase: propagate callee information to callers (§5.1).
+
+Callee graphs are *cloned* into callers at each direct call site and the
+cloned formal-parameter/return cells are unified with the actual-argument/
+result cells, giving callers a context-sensitive summary of callee effects.
+Global-flagged nodes are shared rather than cloned (the globals-graph role).
+
+Recursion (a call to a function whose graph is still being processed along
+the current DFS path, i.e. an SCC) degrades to direct unification of formals
+with actuals — contexts within an SCC merge, as in DSA's SCC handling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..ir.module import Module
+from .graph import Cell, DSGraph, DSNode, FLAG_GLOBAL
+from .local import RET_KEY, CallSiteInfo, LocalResult
+
+
+def bottom_up_phase(module: Module, locals_: Dict[str, LocalResult]) -> None:
+    """Runs bottom-up propagation in place over the local results."""
+    order = _postorder(module, locals_)
+    in_progress: Set[str] = set()
+    done: Set[str] = set()
+    for name in order:
+        _process(name, locals_, in_progress, done)
+
+
+def _postorder(module: Module, locals_: Dict[str, LocalResult]) -> List[str]:
+    visited: Set[str] = set()
+    order: List[str] = []
+
+    def dfs(name: str) -> None:
+        if name in visited or name not in locals_:
+            return
+        visited.add(name)
+        for cs in locals_[name].call_sites:
+            if cs.callee is not None:
+                dfs(cs.callee)
+        order.append(name)
+
+    for name in locals_:
+        dfs(name)
+    return order
+
+
+def _process(
+    name: str,
+    locals_: Dict[str, LocalResult],
+    in_progress: Set[str],
+    done: Set[str],
+) -> None:
+    if name in done:
+        return
+    in_progress.add(name)
+    result = locals_[name]
+    for cs in result.call_sites:
+        if cs.callee is None or cs.callee not in locals_:
+            continue
+        callee = locals_[cs.callee]
+        if cs.callee == name or cs.callee in in_progress and cs.callee not in done:
+            _unify_call(result, callee, cs)
+        else:
+            _clone_call(result, callee, cs)
+    in_progress.discard(name)
+    done.add(name)
+
+
+def _unify_call(caller: LocalResult, callee: LocalResult, cs: CallSiteInfo) -> None:
+    """Recursive/SCC case: merge formals with actuals directly."""
+    graph = caller.graph
+    for actual, formal_key in zip(cs.arg_cells, callee.param_keys):
+        if actual is None:
+            continue
+        formal = callee.graph.values.get(formal_key)
+        if formal is None:
+            callee.graph.values[formal_key] = actual
+        else:
+            graph.unify_cells(actual, formal)
+    if cs.result_key is not None:
+        ret = callee.graph.values.get(RET_KEY)
+        if ret is not None:
+            graph.set_cell(cs.result_key, ret)
+
+
+def _clone_call(caller: LocalResult, callee: LocalResult, cs: CallSiteInfo) -> None:
+    """Standard case: clone the callee's reachable subgraph into the caller."""
+    graph = caller.graph
+    mapping: Dict[int, DSNode] = {}
+    roots: List[Cell] = []
+    for key in list(callee.param_keys) + [RET_KEY]:
+        cell = callee.graph.values.get(key)
+        if cell is not None:
+            roots.append(cell)
+    for node in callee.graph.reachable_from(roots):
+        _clone_node(graph, node, mapping)
+    for actual, formal_key in zip(cs.arg_cells, callee.param_keys):
+        if actual is None:
+            continue
+        formal = callee.graph.values.get(formal_key)
+        if formal is None:
+            continue
+        graph.unify_cells(actual, _mapped_cell(formal, mapping))
+    if cs.result_key is not None:
+        ret = callee.graph.values.get(RET_KEY)
+        if ret is not None:
+            graph.set_cell(cs.result_key, _mapped_cell(ret, mapping))
+
+
+def _clone_node(graph: DSGraph, node: DSNode, mapping: Dict[int, DSNode]) -> DSNode:
+    node = node.find()
+    if node.id in mapping:
+        return mapping[node.id]
+    if FLAG_GLOBAL in node.flags:
+        # Globals are shared, not cloned (the globals-graph role).
+        mapping[node.id] = node
+        return node
+    clone = graph.make_node()
+    mapping[node.id] = clone
+    clone.flags |= node.flags
+    clone.types |= node.types
+    clone.globals |= node.globals
+    for off, cell in list(node.fields.items()):
+        target = _clone_node(graph, cell.resolved().node, mapping)
+        clone.fields[off] = Cell(target, 0)
+    return clone
+
+
+def _mapped_cell(cell: Cell, mapping: Dict[int, DSNode]) -> Cell:
+    cell = cell.resolved()
+    node = mapping.get(cell.node.id, cell.node)
+    return Cell(node, cell.offset)

@@ -1,0 +1,230 @@
+"""DS graphs: nodes, cells, flags, unification (§5.1).
+
+A DS graph is a points-to graph whose nodes each represent a set of memory
+objects.  Nodes carry the flag set of §5.1:
+
+=====  =============================================================
+flag   meaning
+=====  =============================================================
+``H``  may reside on the heap
+``S``  may reside on the stack
+``G``  may reside in global memory
+``A``  represents one or more array objects
+``O``  collapsed (used non-type-homogeneously; fields folded)
+``P``  pointer-to-int behaviour observed (address escapes to integers)
+``2``  int-to-pointer behaviour observed (addresses conjured from ints)
+``U``  unknown: allocation source unrecognized / int-to-pointer
+``I``  incomplete: not all information processed (may alias anything)
+``C``  complete
+=====  =============================================================
+
+Field sensitivity is maintained per byte offset while memory is used
+type-homogeneously; offset conflicts during unification *collapse* the node
+(flag ``O``), folding all fields into offset 0 — exactly the degradation DSA
+performs.
+
+Unification uses union-find: :meth:`DSGraph.merge` forwards one node into
+another, merging flags, types, globals, and out-edges (recursively unifying
+field targets).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+FLAG_HEAP = "H"
+FLAG_STACK = "S"
+FLAG_GLOBAL = "G"
+FLAG_ARRAY = "A"
+FLAG_COLLAPSED = "O"
+FLAG_PTR_TO_INT = "P"
+FLAG_INT_TO_PTR = "2"
+FLAG_UNKNOWN = "U"
+FLAG_INCOMPLETE = "I"
+FLAG_COMPLETE = "C"
+
+_ids = itertools.count()
+
+
+class DSNode:
+    """One node of a DS graph (union-find element)."""
+
+    __slots__ = ("id", "flags", "types", "globals", "fields", "forward")
+
+    def __init__(self) -> None:
+        self.id = next(_ids)
+        self.flags: Set[str] = set()
+        self.types: Set[object] = set()
+        self.globals: Set[str] = set()
+        #: byte offset → target Cell
+        self.fields: Dict[int, "Cell"] = {}
+        self.forward: Optional["DSNode"] = None
+
+    def find(self) -> "DSNode":
+        node = self
+        while node.forward is not None:
+            node = node.forward
+        # path compression
+        cur = self
+        while cur.forward is not None:
+            nxt = cur.forward
+            cur.forward = node
+            cur = nxt
+        return node
+
+    @property
+    def is_collapsed(self) -> bool:
+        return FLAG_COLLAPSED in self.find().flags
+
+    def has(self, flag: str) -> bool:
+        return flag in self.find().flags
+
+    def __repr__(self) -> str:  # pragma: no cover
+        n = self.find()
+        return f"<DSNode {n.id} {''.join(sorted(n.flags))} fields={sorted(n.fields)}>"
+
+
+class Cell:
+    """A (node, offset) pair: where a pointer may point."""
+
+    __slots__ = ("node", "offset")
+
+    def __init__(self, node: DSNode, offset: int = 0):
+        self.node = node
+        self.offset = offset
+
+    def resolved(self) -> "Cell":
+        node = self.node.find()
+        offset = 0 if FLAG_COLLAPSED in node.flags else self.offset
+        return Cell(node, offset)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        c = self.resolved()
+        return f"<Cell {c.node.id}+{c.offset}>"
+
+
+class DSGraph:
+    """A DS graph plus the value map for one function (or the module)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._nodes: List[DSNode] = []
+        #: register name / "@global" / "ret" → Cell
+        self.values: Dict[str, Cell] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def make_node(self, *flags: str) -> DSNode:
+        node = DSNode()
+        node.flags.update(flags)
+        self._nodes.append(node)
+        return node
+
+    def nodes(self) -> List[DSNode]:
+        """Current representative nodes."""
+        seen: Dict[int, DSNode] = {}
+        for n in self._nodes:
+            rep = n.find()
+            seen[rep.id] = rep
+        return list(seen.values())
+
+    def cell_for(self, key: str) -> Optional[Cell]:
+        c = self.values.get(key)
+        return c.resolved() if c is not None else None
+
+    def set_cell(self, key: str, cell: Cell) -> None:
+        existing = self.values.get(key)
+        if existing is None:
+            self.values[key] = cell
+        else:
+            self.unify_cells(existing, cell)
+
+    # -- unification ----------------------------------------------------------
+
+    def unify_cells(self, a: Cell, b: Cell) -> Cell:
+        a = a.resolved()
+        b = b.resolved()
+        if a.node is b.node:
+            if a.offset != b.offset:
+                self.collapse(a.node)
+            return a.resolved()
+        if a.offset != b.offset:
+            self.collapse(a.node)
+            self.collapse(b.node)
+            a = a.resolved()
+            b = b.resolved()
+        self.merge(a.node, b.node)
+        return a.resolved()
+
+    def merge(self, a: DSNode, b: DSNode) -> DSNode:
+        a = a.find()
+        b = b.find()
+        if a is b:
+            return a
+        # merge b into a
+        b.forward = a
+        a.flags |= b.flags
+        a.types |= b.types
+        a.globals |= b.globals
+        b_fields = b.fields
+        b.fields = {}
+        if FLAG_COLLAPSED in a.flags:
+            for cell in b_fields.values():
+                self._fold_into(a, cell)
+        else:
+            for off, cell in b_fields.items():
+                self._set_field(a, off, cell)
+        return a.find()
+
+    def _set_field(self, node: DSNode, offset: int, cell: Cell) -> None:
+        node = node.find()
+        if FLAG_COLLAPSED in node.flags:
+            offset = 0
+        existing = node.fields.get(offset)
+        if existing is None:
+            node.fields[offset] = cell
+        else:
+            self.unify_cells(existing, cell)
+
+    def _fold_into(self, node: DSNode, cell: Cell) -> None:
+        self._set_field(node, 0, cell)
+
+    def collapse(self, node: DSNode) -> None:
+        """Fold all fields into offset 0 and mark the node collapsed."""
+        node = node.find()
+        if FLAG_COLLAPSED in node.flags:
+            return
+        node.flags.add(FLAG_COLLAPSED)
+        node.flags.add(FLAG_ARRAY)
+        fields = node.fields
+        node.fields = {}
+        for cell in fields.values():
+            self._set_field(node, 0, cell)
+
+    # -- field access ------------------------------------------------------------
+
+    def field_target(self, cell: Cell) -> Cell:
+        """The cell a pointer stored at ``cell`` points to (creating it)."""
+        cell = cell.resolved()
+        node = cell.node
+        offset = 0 if FLAG_COLLAPSED in node.flags else cell.offset
+        target = node.fields.get(offset)
+        if target is None:
+            target = Cell(self.make_node(), 0)
+            node.fields[offset] = target
+        return target.resolved()
+
+    # -- queries -----------------------------------------------------------------
+
+    def reachable_from(self, cells: Iterable[Cell]) -> List[DSNode]:
+        out: Dict[int, DSNode] = {}
+        stack = [c.resolved().node for c in cells]
+        while stack:
+            node = stack.pop().find()
+            if node.id in out:
+                continue
+            out[node.id] = node
+            for cell in node.fields.values():
+                stack.append(cell.resolved().node)
+        return list(out.values())

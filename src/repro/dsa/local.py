@@ -1,0 +1,312 @@
+"""DSA local phase: per-function DS graph construction (§5.1).
+
+Considers only the function's own instructions.  Nodes created here start
+*incomplete* where information may still arrive (formal parameters, external
+interactions); the bottom-up/top-down phases refine them.
+
+Int-to-pointer behaviour is captured both directly (``IntToPtr``/``PtrToInt``
+instructions, Fig. 5.1a) and in layered form (pointers masquerading as
+integers flowing through integer registers into memory, Fig. 5.1b): integer
+registers derived from ``PtrToInt`` are *tainted*; storing a tainted integer
+marks the target node ``P`` and the masqueraded pointee ``U``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..ir import instructions as ins
+from ..ir.module import Function, Module
+from ..ir.types import PointerType, StructType, field_offset
+from ..ir.values import ConstNull, FunctionRef, GlobalRef, Register, Value
+from .graph import (
+    Cell,
+    DSGraph,
+    FLAG_ARRAY,
+    FLAG_GLOBAL,
+    FLAG_HEAP,
+    FLAG_INCOMPLETE,
+    FLAG_INT_TO_PTR,
+    FLAG_PTR_TO_INT,
+    FLAG_STACK,
+    FLAG_UNKNOWN,
+)
+
+RET_KEY = "ret"
+
+
+@dataclass
+class CallSiteInfo:
+    """A recorded call, resolved during the bottom-up/top-down phases."""
+
+    callee: Optional[str]  # None for indirect calls
+    arg_cells: List[Optional[Cell]]  # per original argument (None = scalar)
+    result_key: Optional[str]  # register holding a returned pointer
+    external: bool = False
+
+
+@dataclass
+class LocalResult:
+    graph: DSGraph
+    call_sites: List[CallSiteInfo] = field(default_factory=list)
+    #: ordered register names of the function's formal parameters
+    param_keys: List[str] = field(default_factory=list)
+
+
+#: External DSA summaries (§5.4): how known external functions treat their
+#: pointer arguments.  ``ret_aliases`` names the argument index the returned
+#: pointer aliases; ``opaque`` args get only the I flag (the external reads/
+#: writes them but keeps no hidden handles).
+EXTERNAL_SUMMARIES: Dict[str, Dict] = {
+    "print_i64": {},
+    "print_f64": {},
+    "print_str": {},
+    "putchar": {},
+    "exit": {},
+    "abort": {},
+    "app_error": {},
+    "strlen": {},
+    "strcpy": {"ret_aliases": 0},
+    "strcmp": {},
+    "atoi": {},
+    "atof": {},
+    "memcpy": {"unify_args": (0, 1)},
+    "memmove": {"unify_args": (0, 1)},
+    "memset": {},
+    "qsort": {},
+}
+
+
+class LocalBuilder:
+    """Builds the local DS graph for one function."""
+
+    def __init__(self, fn: Function, module: Module, global_cells: Dict[str, Cell]):
+        self.fn = fn
+        self.module = module
+        self.global_cells = global_cells
+        self.graph = DSGraph(fn.name)
+        self.call_sites: List[CallSiteInfo] = []
+        #: integer registers carrying masqueraded pointers → pointee cell
+        self.tainted: Dict[str, Cell] = {}
+
+    def run(self) -> LocalResult:
+        for p in self.fn.params:
+            if isinstance(p.type, PointerType):
+                node = self.graph.make_node(FLAG_INCOMPLETE)
+                self.graph.values[p.name] = Cell(node, 0)
+        for block in self.fn.blocks:
+            for inst in block.instructions:
+                self._visit(inst)
+        param_keys = [p.name for p in self.fn.params]
+        return LocalResult(self.graph, self.call_sites, param_keys)
+
+    # -- operand cells ---------------------------------------------------------
+
+    def cell_of(self, v: Value) -> Optional[Cell]:
+        if isinstance(v, ConstNull):
+            return None
+        if isinstance(v, Register):
+            if not isinstance(v.type, PointerType):
+                return None
+            cell = self.graph.values.get(v.name)
+            if cell is None:
+                cell = Cell(self.graph.make_node(FLAG_INCOMPLETE), 0)
+                self.graph.values[v.name] = cell
+            return cell.resolved()
+        if isinstance(v, GlobalRef):
+            cell = self.global_cells.get(v.name)
+            if cell is None:
+                node = self.graph.make_node(FLAG_GLOBAL)
+                node.globals.add(v.name)
+                cell = Cell(node, 0)
+                self.global_cells[v.name] = cell
+            return cell.resolved()
+        if isinstance(v, FunctionRef):
+            return self._function_cell(v.name)
+        return None
+
+    def _function_cell(self, name: str) -> Cell:
+        key = f"@fn.{name}"
+        cell = self.global_cells.get(key)
+        if cell is None:
+            node = self.graph.make_node(FLAG_GLOBAL)
+            node.globals.add(name)
+            cell = Cell(node, 0)
+            self.global_cells[key] = cell
+        return cell.resolved()
+
+    # -- instruction visitors ----------------------------------------------------
+
+    def _visit(self, inst: ins.Instruction) -> None:
+        if isinstance(inst, (ins.Alloca, ins.Malloc)):
+            flag = FLAG_STACK if isinstance(inst, ins.Alloca) else FLAG_HEAP
+            node = self.graph.make_node(flag)
+            node.types.add(inst.allocated_type)
+            if inst.count is not None:
+                node.flags.add(FLAG_ARRAY)
+            self.graph.values[inst.result.name] = Cell(node, 0)
+        elif isinstance(inst, ins.FieldAddr):
+            base = self.cell_of(inst.pointer)
+            struct = inst.pointer.type.pointee
+            off = field_offset(struct, inst.index) if isinstance(struct, StructType) else 0
+            target = Cell(base.node, base.offset + off) if not base.node.is_collapsed else Cell(base.node, 0)
+            self.graph.set_cell(inst.result.name, target)
+        elif isinstance(inst, ins.ElemAddr):
+            base = self.cell_of(inst.pointer)
+            base.node.find().flags.add(FLAG_ARRAY)
+            self.graph.set_cell(inst.result.name, base)
+        elif isinstance(inst, ins.PtrCast):
+            base = self.cell_of(inst.pointer)
+            if base is not None:
+                self.graph.set_cell(inst.result.name, base)
+        elif isinstance(inst, ins.PtrToInt):
+            base = self.cell_of(inst.pointer)
+            if base is not None:
+                base.node.find().flags.add(FLAG_PTR_TO_INT)
+                self.tainted[inst.result.name] = base
+        elif isinstance(inst, ins.IntToPtr):
+            src = inst.value
+            if isinstance(src, Register) and src.name in self.tainted:
+                # Round trip within the function: we still cannot prove the
+                # integer arithmetic preserved the address, so the target is
+                # unknown — but it aliases the original pointee.
+                cell = self.tainted[src.name]
+            else:
+                cell = Cell(self.graph.make_node(), 0)
+            node = cell.node.find()
+            node.flags.update((FLAG_INT_TO_PTR, FLAG_UNKNOWN))
+            self.graph.set_cell(inst.result.name, cell)
+        elif isinstance(inst, ins.BinOp):
+            self._propagate_taint(inst)
+        elif isinstance(inst, ins.NumCast):
+            if isinstance(inst.value, Register) and inst.value.name in self.tainted:
+                self.tainted[inst.result.name] = self.tainted[inst.value.name]
+        elif isinstance(inst, ins.Load):
+            base = self.cell_of(inst.pointer)
+            if isinstance(inst.result.type, PointerType):
+                target = self.graph.field_target(base)
+                self.graph.set_cell(inst.result.name, target)
+            elif base.node.has(FLAG_PTR_TO_INT):
+                # Loading an integer from memory that held masqueraded
+                # pointers: the loaded value may be an address (§5.5).
+                self.tainted[inst.result.name] = self.graph.field_target(base)
+        elif isinstance(inst, ins.Store):
+            base = self.cell_of(inst.pointer)
+            if isinstance(inst.value.type, PointerType):
+                vcell = self.cell_of(inst.value)
+                if vcell is not None:
+                    target = self.graph.field_target(base)
+                    self.graph.unify_cells(target, vcell)
+            elif isinstance(inst.value, Register) and inst.value.name in self.tainted:
+                # Storing a pointer masquerading as an integer (Fig. 5.3).
+                base.node.find().flags.add(FLAG_PTR_TO_INT)
+                pointee = self.tainted[inst.value.name]
+                pointee.node.find().flags.add(FLAG_UNKNOWN)
+                target = self.graph.field_target(base)
+                self.graph.unify_cells(target, pointee)
+        elif isinstance(inst, ins.Call):
+            self._visit_call(inst)
+        elif isinstance(inst, ins.FuncAddr):
+            self.graph.set_cell(inst.result.name, self._function_cell(inst.function_name))
+        elif isinstance(inst, ins.Ret):
+            if inst.value is not None and isinstance(inst.value.type, PointerType):
+                cell = self.cell_of(inst.value)
+                if cell is not None:
+                    self.graph.set_cell(RET_KEY, cell)
+
+    def _propagate_taint(self, inst: ins.BinOp) -> None:
+        for op in (inst.lhs, inst.rhs):
+            if isinstance(op, Register) and op.name in self.tainted:
+                self.tainted[inst.result.name] = self.tainted[op.name]
+                return
+
+    def _visit_call(self, inst: ins.Call) -> None:
+        arg_cells: List[Optional[Cell]] = [self.cell_of(a) for a in inst.args]
+        result_key = None
+        if inst.result is not None and isinstance(inst.result.type, PointerType):
+            result_key = inst.result.name
+        if inst.is_direct:
+            callee = self.module.functions.get(inst.callee)
+            if callee is not None and not callee.is_external:
+                self.call_sites.append(
+                    CallSiteInfo(inst.callee, arg_cells, result_key)
+                )
+                # Ensure the result has a cell for BU to unify with.
+                if result_key is not None and result_key not in self.graph.values:
+                    self.graph.values[result_key] = Cell(self.graph.make_node(), 0)
+                return
+            self._apply_external_summary(inst, arg_cells, result_key)
+            return
+        # Indirect call: without resolving targets, every pointer argument
+        # escapes to unknown code.
+        for cell in arg_cells:
+            if cell is not None:
+                node = cell.node.find()
+                node.flags.update((FLAG_INCOMPLETE, FLAG_UNKNOWN))
+        if result_key is not None:
+            node = self.graph.make_node(FLAG_INCOMPLETE, FLAG_UNKNOWN)
+            self.graph.set_cell(result_key, Cell(node, 0))
+
+    def _apply_external_summary(self, inst, arg_cells, result_key) -> None:
+        summary = EXTERNAL_SUMMARIES.get(inst.callee)
+        if summary is None:
+            # Unsummarized external: pointer args escape and become unknown.
+            for cell in arg_cells:
+                if cell is not None:
+                    cell.node.find().flags.update((FLAG_INCOMPLETE, FLAG_UNKNOWN))
+            if result_key is not None:
+                node = self.graph.make_node(FLAG_INCOMPLETE, FLAG_UNKNOWN)
+                self.graph.set_cell(result_key, Cell(node, 0))
+            return
+        for cell in arg_cells:
+            if cell is not None:
+                cell.node.find().flags.add(FLAG_INCOMPLETE)
+        unify = summary.get("unify_args")
+        if unify is not None:
+            a, b = unify
+            if arg_cells[a] is not None and arg_cells[b] is not None:
+                ta = self.graph.field_target(arg_cells[a])
+                tb = self.graph.field_target(arg_cells[b])
+                self.graph.unify_cells(ta, tb)
+        if result_key is not None:
+            alias = summary.get("ret_aliases")
+            if alias is not None and arg_cells[alias] is not None:
+                self.graph.set_cell(result_key, arg_cells[alias])
+            else:
+                node = self.graph.make_node(FLAG_INCOMPLETE, FLAG_UNKNOWN)
+                self.graph.set_cell(result_key, Cell(node, 0))
+
+
+def local_phase(module: Module) -> Dict[str, LocalResult]:
+    """Run the local phase over every defined function.
+
+    Global variables share node objects across function graphs (merging in
+    one graph is visible in all — union-find is object-global), which plays
+    the role of DSA's globals graph.
+    """
+    global_cells: Dict[str, Cell] = {}
+    results: Dict[str, LocalResult] = {}
+    for fn in module.defined_functions():
+        results[fn.name] = LocalBuilder(fn, module, global_cells).run()
+    _seed_global_initializers(module, results, global_cells)
+    return results
+
+
+def _seed_global_initializers(module, results, global_cells) -> None:
+    """Record points-to edges induced by global pointer initializers."""
+    if not results:
+        return
+    graph = next(iter(results.values())).graph
+    for g in module.globals.values():
+        init = g.initializer
+        if isinstance(init, GlobalRef) and g.name in global_cells:
+            src = global_cells[g.name]
+            dst = global_cells.get(init.name)
+            if dst is None:
+                node = graph.make_node(FLAG_GLOBAL)
+                node.globals.add(init.name)
+                dst = Cell(node, 0)
+                global_cells[init.name] = dst
+            target = graph.field_target(src)
+            graph.unify_cells(target, dst)

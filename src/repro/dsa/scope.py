@@ -1,0 +1,122 @@
+"""Scope expansion: DSA-driven replication plans (§5.2–5.5).
+
+Mirrored Data Structures forbids int-to-pointer casts and storing pointers
+that masquerade as integers because DPMR would have no way to maintain ROPs
+for them (§5.2).  Chapter 5 eliminates those restrictions by *refining the
+partial replica*: objects whose nodes DSA flags unknown (``U``) — including
+everything reachable from them, via the ``markX()`` closure of Fig. 5.7 —
+are simply not replicated.  Pointers into such memory alias their own ROPs,
+stores there are not mirrored, loads from there are not compared, and frees
+of such buffers do not free replicas.
+
+:class:`DsaReplicationPlan` implements :class:`repro.core.plan.ReplicationPlan`
+over a completed :class:`~repro.dsa.analysis.DataStructureAnalysis`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from ..core.plan import ReplicationPlan
+from ..ir import instructions as ins
+from ..ir.module import Module
+from ..ir.values import ConstNull, GlobalRef, Register
+from .analysis import DataStructureAnalysis
+from .graph import Cell, DSNode, FLAG_UNKNOWN
+
+
+def mark_unknown_closure(analysis: DataStructureAnalysis) -> None:
+    """Fig. 5.7's ``markX()``: spread ``U`` to everything reachable from an
+    unknown node (a masqueraded pointer may denote any reachable object)."""
+    for result in analysis.results.values():
+        worklist = [n for n in result.graph.nodes() if n.has(FLAG_UNKNOWN)]
+        seen: Set[int] = set()
+        while worklist:
+            node = worklist.pop().find()
+            if node.id in seen:
+                continue
+            seen.add(node.id)
+            node.flags.add(FLAG_UNKNOWN)
+            for cell in node.fields.values():
+                worklist.append(cell.resolved().node)
+
+
+class DsaReplicationPlan(ReplicationPlan):
+    """Per-instruction replication decisions derived from DS graphs."""
+
+    def __init__(self, module: Module, analysis: Optional[DataStructureAnalysis] = None):
+        self.module = module
+        self.analysis = analysis if analysis is not None else DataStructureAnalysis(module).run()
+        mark_unknown_closure(self.analysis)
+        self._owner: Dict[int, str] = self._index_instructions()
+
+    def _index_instructions(self) -> Dict[int, str]:
+        owner: Dict[int, str] = {}
+        for fn in self.module.defined_functions():
+            for inst in fn.instructions():
+                owner[id(inst)] = fn.name
+        return owner
+
+    # -- node lookup --------------------------------------------------------
+
+    def _node_for_pointer(self, inst: ins.Instruction, pointer) -> Optional[DSNode]:
+        fn_name = self._owner.get(id(inst))
+        if fn_name is None:
+            return None
+        if isinstance(pointer, Register):
+            cell = self.analysis.cell_for_register(fn_name, pointer.name)
+        elif isinstance(pointer, GlobalRef):
+            cell = None  # globals always replicate (never unknown sources here)
+        else:
+            cell = None
+        if cell is None:
+            return None
+        return cell.node.find()
+
+    def _is_unknown(self, inst: ins.Instruction, pointer) -> bool:
+        node = self._node_for_pointer(inst, pointer)
+        return node is not None and node.has(FLAG_UNKNOWN)
+
+    # -- ReplicationPlan interface ----------------------------------------------
+
+    def replicate_alloc(self, inst) -> bool:
+        if not isinstance(inst, (ins.Malloc, ins.Alloca)):
+            return True
+        return not self._is_unknown(inst, inst.result)
+
+    def mirror_store(self, inst: ins.Store) -> bool:
+        return not self._is_unknown(inst, inst.pointer)
+
+    def compare_load(self, inst: ins.Load) -> bool:
+        return not self._is_unknown(inst, inst.pointer)
+
+    def mirror_free(self, inst: ins.Free) -> bool:
+        return not self._is_unknown(inst, inst.pointer)
+
+    def allows_int_to_pointer(self) -> bool:
+        return True
+
+    # -- reporting ----------------------------------------------------------------
+
+    def summary(self) -> Dict[str, int]:
+        """Counts of replicated vs excluded operations (for reports/tests)."""
+        counts = {
+            "allocs_replicated": 0,
+            "allocs_excluded": 0,
+            "loads_compared": 0,
+            "loads_excluded": 0,
+            "stores_mirrored": 0,
+            "stores_excluded": 0,
+        }
+        for fn in self.module.defined_functions():
+            for inst in fn.instructions():
+                if isinstance(inst, (ins.Malloc, ins.Alloca)):
+                    key = "allocs_replicated" if self.replicate_alloc(inst) else "allocs_excluded"
+                    counts[key] += 1
+                elif isinstance(inst, ins.Load):
+                    key = "loads_compared" if self.compare_load(inst) else "loads_excluded"
+                    counts[key] += 1
+                elif isinstance(inst, ins.Store):
+                    key = "stores_mirrored" if self.mirror_store(inst) else "stores_excluded"
+                    counts[key] += 1
+        return counts

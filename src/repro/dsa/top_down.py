@@ -1,0 +1,98 @@
+"""DSA top-down phase: propagate caller information to callees (§5.1).
+
+For every direct call site, the caller's actual-argument cells are walked in
+parallel with the callee's formal-parameter cells and their *flags* are
+pushed downward (``U``/``2``/``P``/``I`` and friends), recursing through
+matching field edges.  Unlike the bottom-up phase this does not merge graph
+structure — the callee keeps its own graph — it only ensures that unknown /
+int-to-pointer behaviour observed in callers reaches the callee's view of
+the same objects, which is what the replication plan needs for soundness.
+
+Afterwards the completeness pass marks every node not flagged incomplete or
+unknown as *complete* (``C``): all information about it has been processed
+and it cannot alias other complete nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+from ..ir.module import Module
+from .graph import (
+    Cell,
+    DSNode,
+    FLAG_COMPLETE,
+    FLAG_INCOMPLETE,
+    FLAG_UNKNOWN,
+)
+from .local import RET_KEY, LocalResult
+
+#: flags pushed along matched structure in the top-down walk
+_PROPAGATED = frozenset({"U", "2", "P", "I", "O", "A"})
+
+
+def top_down_phase(module: Module, locals_: Dict[str, LocalResult]) -> None:
+    changed = True
+    passes = 0
+    while changed and passes < 8:
+        changed = False
+        passes += 1
+        for name, result in locals_.items():
+            for cs in result.call_sites:
+                if cs.callee is None or cs.callee not in locals_:
+                    continue
+                callee = locals_[cs.callee]
+                for actual, formal_key in zip(cs.arg_cells, callee.param_keys):
+                    if actual is None:
+                        continue
+                    formal = callee.graph.values.get(formal_key)
+                    if formal is None:
+                        continue
+                    if _push_flags(actual, formal):
+                        changed = True
+                # Also pull callee return-node flags back up (keeps the
+                # BU summaries fresh across repeated TD passes).
+                if cs.result_key is not None:
+                    ret = callee.graph.values.get(RET_KEY)
+                    res = result.graph.values.get(cs.result_key)
+                    if ret is not None and res is not None:
+                        if _push_flags(ret, res):
+                            changed = True
+
+
+def _push_flags(src: Cell, dst: Cell) -> bool:
+    """Parallel walk OR-ing propagated flags from ``src`` onto ``dst``."""
+    changed = False
+    seen: Set[Tuple[int, int]] = set()
+    stack = [(src.resolved().node, dst.resolved().node)]
+    while stack:
+        a, b = stack.pop()
+        a = a.find()
+        b = b.find()
+        key = (a.id, b.id)
+        if key in seen:
+            continue
+        seen.add(key)
+        add = (a.flags & _PROPAGATED) - b.flags
+        back = (b.flags & _PROPAGATED) - a.flags
+        if add:
+            b.flags |= add
+            changed = True
+        if back:
+            a.flags |= back
+            changed = True
+        for off, cell_a in list(a.fields.items()):
+            cell_b = b.fields.get(0 if b.is_collapsed else off)
+            if cell_b is not None:
+                stack.append((cell_a.resolved().node, cell_b.resolved().node))
+    return changed
+
+
+def completeness_pass(locals_: Dict[str, LocalResult]) -> None:
+    """Mark nodes complete unless flagged incomplete or unknown."""
+    for result in locals_.values():
+        for node in result.graph.nodes():
+            if FLAG_INCOMPLETE in node.flags or FLAG_UNKNOWN in node.flags:
+                node.flags.discard(FLAG_COMPLETE)
+            else:
+                node.flags.add(FLAG_COMPLETE)

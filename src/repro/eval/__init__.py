@@ -1,0 +1,51 @@
+"""Experimental framework: variants, experiments, metrics, reports (§3.3–3.6)."""
+
+from .experiment import ExperimentRecord, TIMEOUT_FACTOR, WorkloadHarness
+from .metrics import (
+    CoverageComponents,
+    by_variant,
+    by_workload,
+    conditional_coverage_components,
+    coverage,
+    coverage_components,
+    mean_time_to_detection,
+    std_not_all_det_sites,
+    successful,
+)
+from .report import (
+    conditional_coverage_table,
+    coverage_table,
+    latency_table,
+    overhead_table,
+)
+from .variants import (
+    CompiledVariant,
+    Variant,
+    diversity_variants,
+    policy_variants,
+    stdapp_variant,
+)
+
+__all__ = [
+    "CompiledVariant",
+    "CoverageComponents",
+    "ExperimentRecord",
+    "TIMEOUT_FACTOR",
+    "Variant",
+    "WorkloadHarness",
+    "by_variant",
+    "by_workload",
+    "conditional_coverage_components",
+    "conditional_coverage_table",
+    "coverage",
+    "coverage_components",
+    "coverage_table",
+    "diversity_variants",
+    "latency_table",
+    "mean_time_to_detection",
+    "overhead_table",
+    "policy_variants",
+    "std_not_all_det_sites",
+    "stdapp_variant",
+    "successful",
+]

@@ -1,0 +1,166 @@
+"""Experiment execution and per-run classification (§3.6, Table 3.2).
+
+An experiment is one run of an application variant, identified by the tuple
+``(W, C, D, I, RN)`` — workload, comparison policy, diversity
+transformation, injected fault, run number.  :class:`ExperimentRecord`
+captures the measured random variables: running time ``T``, successful
+fault injection ``SF``, correct output ``CO``, natural detection ``Ndet``,
+DPMR detection ``Ddet``, and time-to-detection ``T2D``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..faultinject.campaign import Campaign, ProgramFactory
+from ..machine.process import ExitStatus, ProcessResult, run_process
+from .variants import CompiledVariant, Variant
+
+#: timeout multiplier over golden running time (the paper uses ~20x).
+TIMEOUT_FACTOR = 20
+
+
+@dataclass
+class ExperimentRecord:
+    """One experiment's measurements and derived classifications."""
+
+    workload: str
+    variant: str
+    site: Optional[str]  # fault-site id, None for non-FI experiments
+    run: int
+    result: ProcessResult
+    golden_output: str
+
+    @property
+    def sf(self) -> bool:
+        """Successful fault injection: the injected code executed (§3.6)."""
+        if self.site is None:
+            return False
+        return self.site in self.result.fault_activations
+
+    @property
+    def co(self) -> bool:
+        """Correct output — the literal interpretation: the run produced
+        exactly what the golden run would have (a detected error is *not*
+        correct output)."""
+        return (
+            self.result.status is ExitStatus.NORMAL
+            and self.result.exit_code == 0
+            and self.result.output_text == self.golden_output
+        )
+
+    @property
+    def ddet(self) -> bool:
+        """Error detected by DPMR."""
+        return self.result.status is ExitStatus.DPMR_DETECTED
+
+    @property
+    def ndet(self) -> bool:
+        """Natural detection: crash, application-detected error, or an
+        error-identifying exit code."""
+        s = self.result.status
+        if s in (ExitStatus.CRASH, ExitStatus.APP_ERROR):
+            return True
+        return s is ExitStatus.NORMAL and self.result.exit_code != 0
+
+    @property
+    def covered(self) -> bool:
+        """Coverage per Eq. 3.2: correct output or some detection."""
+        return self.co or self.ndet or self.ddet
+
+    @property
+    def detection_time(self) -> Optional[int]:
+        if self.ddet or self.ndet:
+            return self.result.cycles
+        return None
+
+    @property
+    def t2d(self) -> Optional[int]:
+        """Time to fault detection (Eq. 3.4): detection minus activation."""
+        if self.co or not self.sf:
+            return None
+        d = self.detection_time
+        a = self.result.fault_activations.get(self.site)
+        if d is None or a is None:
+            return None
+        return max(d - a, 0)
+
+
+@dataclass
+class WorkloadHarness:
+    """Runs variants of one workload, non-FI and under fault campaigns."""
+
+    name: str
+    factory: ProgramFactory
+    argv: Sequence[str] = ()
+    seeds: Sequence[int] = (0,)
+
+    def __post_init__(self) -> None:
+        golden = run_process(self.factory(), argv=self.argv)
+        if golden.status is not ExitStatus.NORMAL or golden.exit_code != 0:
+            raise RuntimeError(
+                f"golden run of {self.name} failed: {golden.status} "
+                f"{golden.detail} exit={golden.exit_code}"
+            )
+        self.golden = golden
+        self.timeout = max(golden.cycles * TIMEOUT_FACTOR, 100_000)
+
+    # -- non-fault-injection runs (overhead) ------------------------------
+
+    def run_clean(self, variant: Variant, seed: int = 0) -> ExperimentRecord:
+        compiled = variant.compile(self.factory())
+        result = compiled.run(argv=self.argv, max_cycles=self.timeout * 3, seed=seed)
+        return ExperimentRecord(
+            workload=self.name,
+            variant=variant.name,
+            site=None,
+            run=seed,
+            result=result,
+            golden_output=self.golden.output_text,
+        )
+
+    def overhead(self, variant: Variant, seed: int = 0) -> float:
+        """Eq. 3.1: variant running time over golden running time."""
+        rec = self.run_clean(variant, seed)
+        if rec.result.status is not ExitStatus.NORMAL:
+            raise RuntimeError(
+                f"clean run of {self.name}/{variant.name} failed: "
+                f"{rec.result.status} {rec.result.detail}"
+            )
+        return rec.result.cycles / self.golden.cycles
+
+    # -- fault-injection runs -----------------------------------------------
+
+    def run_campaign(
+        self,
+        variants: Iterable[Variant],
+        kind: str,
+        percent: int = 50,
+        max_sites: Optional[int] = None,
+    ) -> List[ExperimentRecord]:
+        """Run every (site, variant, seed) experiment for one fault kind."""
+        campaign = Campaign(self.factory, kind, percent=percent)
+        sites = campaign.sites
+        if max_sites is not None:
+            sites = sites[:max_sites]
+        records: List[ExperimentRecord] = []
+        variants = list(variants)
+        for site in sites:
+            for variant in variants:
+                compiled = variant.compile(campaign.faulty_module(site))
+                for run_no, seed in enumerate(self.seeds):
+                    result = compiled.run(
+                        argv=self.argv, max_cycles=self.timeout, seed=seed
+                    )
+                    records.append(
+                        ExperimentRecord(
+                            workload=self.name,
+                            variant=variant.name,
+                            site=site.site_id,
+                            run=run_no,
+                            result=result,
+                            golden_output=self.golden.output_text,
+                        )
+                    )
+        return records

@@ -1,0 +1,106 @@
+"""Evaluation metrics (§3.6): coverage, conditional coverage, latency.
+
+All metrics condition on *successful* fault injections (``SF``), exactly as
+Eqs. 3.2–3.4 do.  Coverage decomposes into the three mutually exclusive
+components plotted in the figures: correct output (``CO``), natural
+detection and incorrect output (``Ndet ∧ ¬CO``), and DPMR detection and
+incorrect output (``Ddet ∧ ¬CO``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from .experiment import ExperimentRecord
+
+
+@dataclass
+class CoverageComponents:
+    """Per-figure coverage breakdown (fractions of SF experiments)."""
+
+    co: float
+    ndet: float
+    ddet: float
+    total_runs: int
+
+    @property
+    def coverage(self) -> float:
+        return self.co + self.ndet + self.ddet
+
+    def __str__(self) -> str:  # pragma: no cover
+        return (
+            f"CO={self.co:.2f} NatDet={self.ndet:.2f} "
+            f"DpmrDet={self.ddet:.2f} (coverage={self.coverage:.2f}, "
+            f"n={self.total_runs})"
+        )
+
+
+def successful(records: Iterable[ExperimentRecord]) -> List[ExperimentRecord]:
+    """Only records whose fault injection was successful."""
+    return [r for r in records if r.sf]
+
+
+def coverage_components(records: Iterable[ExperimentRecord]) -> CoverageComponents:
+    recs = successful(records)
+    n = len(recs)
+    if n == 0:
+        return CoverageComponents(0.0, 0.0, 0.0, 0)
+    co = sum(1 for r in recs if r.co)
+    ndet = sum(1 for r in recs if r.ndet and not r.co)
+    ddet = sum(1 for r in recs if r.ddet and not r.co and not r.ndet)
+    return CoverageComponents(co / n, ndet / n, ddet / n, n)
+
+
+def coverage(records: Iterable[ExperimentRecord]) -> float:
+    """Eq. 3.2: fraction of SF experiments with correct output or detection."""
+    return coverage_components(records).coverage
+
+
+def std_not_all_det_sites(stdapp_records: Iterable[ExperimentRecord]) -> Set[str]:
+    """Sites where ``StdNotAllDet`` holds (Table 3.2).
+
+    A site qualifies when at least one fi-stdapp run with a successful
+    injection produced incorrect output *without* natural detection — i.e.
+    the standard application would sometimes silently corrupt.
+    """
+    out: Set[str] = set()
+    for r in successful(stdapp_records):
+        if not r.co and not r.ndet and not r.ddet:
+            out.add(r.site)
+    return out
+
+
+def conditional_coverage_components(
+    records: Iterable[ExperimentRecord],
+    qualifying_sites: Set[str],
+) -> CoverageComponents:
+    """Eq. 3.3: coverage restricted to StdNotAllDet sites."""
+    filtered = [r for r in records if r.site in qualifying_sites]
+    return coverage_components(filtered)
+
+
+def mean_time_to_detection(records: Iterable[ExperimentRecord]) -> Optional[float]:
+    """Eq. 3.4: mean T2D over covered, detected, SF experiments."""
+    values = [r.t2d for r in successful(records) if r.t2d is not None]
+    if not values:
+        return None
+    return sum(values) / len(values)
+
+
+def by_variant(
+    records: Iterable[ExperimentRecord],
+) -> Dict[str, List[ExperimentRecord]]:
+    out: Dict[str, List[ExperimentRecord]] = {}
+    for r in records:
+        out.setdefault(r.variant, []).append(r)
+    return out
+
+
+def by_workload(
+    records: Iterable[ExperimentRecord],
+) -> Dict[str, List[ExperimentRecord]]:
+    out: Dict[str, List[ExperimentRecord]] = {}
+    for r in records:
+        out.setdefault(r.workload, []).append(r)
+    return out

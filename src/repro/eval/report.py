@@ -1,0 +1,96 @@
+"""ASCII rendering of the paper's tables and figures.
+
+The benchmark harness prints the same rows/series the paper reports; these
+helpers keep the formatting consistent across all figure/table benches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .metrics import CoverageComponents
+
+
+def coverage_table(
+    title: str,
+    rows: Mapping[Tuple[str, str], CoverageComponents],
+    variant_order: Sequence[str],
+    workload_order: Sequence[str],
+) -> str:
+    """Render a coverage figure: one row per (variant, workload)."""
+    lines = [title, "=" * len(title)]
+    header = f"{'variant':<18} {'app':<8} {'CO':>6} {'NatDet':>7} {'DpmrDet':>8} {'coverage':>9} {'n':>4}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for variant in variant_order:
+        for workload in workload_order:
+            c = rows.get((variant, workload))
+            if c is None:
+                continue
+            lines.append(
+                f"{variant:<18} {workload:<8} {c.co:>6.2f} {c.ndet:>7.2f} "
+                f"{c.ddet:>8.2f} {c.coverage:>9.2f} {c.total_runs:>4}"
+            )
+    return "\n".join(lines)
+
+
+def conditional_coverage_table(
+    title: str,
+    rows: Mapping[str, CoverageComponents],
+    variant_order: Sequence[str],
+) -> str:
+    """Render a conditional-coverage figure: one row per variant (all apps)."""
+    lines = [title, "=" * len(title)]
+    header = f"{'variant':<18} {'CO':>6} {'NatDet':>7} {'DpmrDet':>8} {'coverage':>9} {'n':>4}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for variant in variant_order:
+        c = rows.get(variant)
+        if c is None:
+            continue
+        lines.append(
+            f"{variant:<18} {c.co:>6.2f} {c.ndet:>7.2f} {c.ddet:>8.2f} "
+            f"{c.coverage:>9.2f} {c.total_runs:>4}"
+        )
+    return "\n".join(lines)
+
+
+def overhead_table(
+    title: str,
+    rows: Mapping[Tuple[str, str], float],
+    variant_order: Sequence[str],
+    workload_order: Sequence[str],
+) -> str:
+    """Render an overhead figure: variants × workloads, golden = 1.0x."""
+    lines = [title, "=" * len(title)]
+    header = f"{'variant':<18} " + " ".join(f"{w:>9}" for w in workload_order)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for variant in variant_order:
+        cells = []
+        for workload in workload_order:
+            v = rows.get((variant, workload))
+            cells.append(f"{v:>8.2f}x" if v is not None else f"{'--':>9}")
+        lines.append(f"{variant:<18} " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def latency_table(
+    title: str,
+    rows: Mapping[Tuple[str, str], Optional[float]],
+    variant_order: Sequence[str],
+    workload_order: Sequence[str],
+    unit: str = "kcycles",
+) -> str:
+    """Render a mean time-to-detection table (Tables 3.3/3.4/4.5/4.6)."""
+    lines = [f"{title} ({unit})", "=" * len(title)]
+    header = f"{'variant':<18} " + " ".join(f"{w:>10}" for w in workload_order)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for variant in variant_order:
+        cells = []
+        for workload in workload_order:
+            v = rows.get((variant, workload))
+            cells.append(f"{v / 1000.0:>10.2f}" if v is not None else f"{'--':>10}")
+        lines.append(f"{variant:<18} " + " ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,125 @@
+"""Variant builds (§3.5, Fig. 3.5).
+
+The paper compiles each application into four classes of variants:
+
+* **golden** — the unmodified application;
+* **fi-stdapp** — fault-injection-instrumented, no DPMR;
+* **nofi-dpmr** — DPMR-transformed, no fault injection (overhead runs);
+* **fi-dpmr** — fault-injected then DPMR-transformed (coverage runs).
+
+Here a :class:`Variant` captures the *configuration* (DPMR or not; design,
+diversity transformation, state comparison policy) and compiles any module
+into a runnable build; the fi/nofi axis is determined by whether the module
+handed to :meth:`Variant.compile` was fault-injected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+from ..core.aug_types import ReplicationDesign
+from ..core.diversity import (
+    DiversityPolicy,
+    NoDiversity,
+    PadMalloc,
+    RearrangeHeap,
+    ZeroBeforeFree,
+)
+from ..core.pipeline import DpmrBuild, DpmrCompiler
+from ..core.policies import (
+    AllLoadsPolicy,
+    ComparisonPolicy,
+    static_10,
+    static_50,
+    static_90,
+    temporal_1_2,
+    temporal_1_8,
+    temporal_7_8,
+)
+from ..ir.module import Module
+from ..machine.interpreter import DEFAULT_MAX_CYCLES
+from ..machine.process import ProcessResult, run_process
+
+
+class CompiledVariant:
+    """A runnable build of one (module, variant) pair."""
+
+    def __init__(self, name: str, module: Module, build: Optional[DpmrBuild]):
+        self.name = name
+        self.module = module
+        self._build = build
+
+    def run(
+        self,
+        argv: Sequence[str] = (),
+        max_cycles: int = DEFAULT_MAX_CYCLES,
+        seed: int = 0,
+    ) -> ProcessResult:
+        if self._build is not None:
+            return self._build.run(argv=argv, max_cycles=max_cycles, seed=seed)
+        return run_process(self.module, argv=argv, max_cycles=max_cycles, seed=seed)
+
+
+@dataclass
+class Variant:
+    """One point in the evaluation's configuration space."""
+
+    name: str
+    dpmr: bool = True
+    design: Union[str, ReplicationDesign] = ReplicationDesign.SDS
+    diversity: Optional[DiversityPolicy] = None
+    policy: Optional[ComparisonPolicy] = None
+
+    def compile(self, module: Module) -> CompiledVariant:
+        if not self.dpmr:
+            return CompiledVariant(self.name, module, None)
+        compiler = DpmrCompiler(
+            design=self.design,
+            policy=self.policy if self.policy is not None else AllLoadsPolicy(),
+            diversity=self.diversity if self.diversity is not None else NoDiversity(),
+        )
+        return CompiledVariant(self.name, module, compiler.compile(module))
+
+
+def stdapp_variant() -> Variant:
+    """The standard application without DPMR."""
+    return Variant(name="stdapp", dpmr=False)
+
+
+def diversity_variants(design: Union[str, ReplicationDesign] = "sds") -> List[Variant]:
+    """The seven DPMR diversity variants of §3.7, all under all-loads."""
+    suite = [
+        NoDiversity(),
+        ZeroBeforeFree(),
+        RearrangeHeap(),
+        PadMalloc(8),
+        PadMalloc(32),
+        PadMalloc(256),
+        PadMalloc(1024),
+    ]
+    return [
+        Variant(name=d.name, design=design, diversity=d, policy=AllLoadsPolicy())
+        for d in suite
+    ]
+
+
+def policy_variants(design: Union[str, ReplicationDesign] = "sds") -> List[Variant]:
+    """The seven comparison-policy variants of §3.8 (rearrange-heap diversity).
+
+    The paper evaluates policies under rearrange-heap because it was the
+    best-performing diversity transformation.
+    """
+    policies = [
+        AllLoadsPolicy(),
+        temporal_1_8(),
+        temporal_1_2(),
+        temporal_7_8(),
+        static_10(),
+        static_50(),
+        static_90(),
+    ]
+    return [
+        Variant(name=p.name, design=design, diversity=RearrangeHeap(), policy=p)
+        for p in policies
+    ]

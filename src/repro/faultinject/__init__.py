@@ -1,0 +1,26 @@
+"""Compiler-based software fault injection (§3.4)."""
+
+from .injector import (
+    FAULT_KINDS,
+    HEAP_ARRAY_RESIZE,
+    IMMEDIATE_FREE,
+    FaultSite,
+    InjectionError,
+    enumerate_sites,
+    inject,
+    would_definitely_not_manifest,
+)
+from .campaign import Campaign, ProgramFactory
+
+__all__ = [
+    "Campaign",
+    "FAULT_KINDS",
+    "FaultSite",
+    "HEAP_ARRAY_RESIZE",
+    "IMMEDIATE_FREE",
+    "InjectionError",
+    "ProgramFactory",
+    "enumerate_sites",
+    "inject",
+    "would_definitely_not_manifest",
+]

@@ -1,0 +1,66 @@
+"""Fault-injection campaigns: enumerate sites, build faulty program variants.
+
+A campaign pairs a deterministic *program factory* (a callable building a
+fresh IR module — our analog of recompiling the benchmark) with a fault kind,
+and yields, per site, a freshly built module with that one fault injected.
+Building fresh modules per experiment mirrors the paper's per-injection
+variant builds (§3.5) while keeping modules immutable from the caller's
+perspective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from ..ir.module import Module
+from .injector import (
+    FAULT_KINDS,
+    FaultSite,
+    enumerate_sites,
+    inject,
+    would_definitely_not_manifest,
+)
+
+ProgramFactory = Callable[[], Module]
+
+
+@dataclass
+class Campaign:
+    """All injectable sites of one fault kind for one program."""
+
+    factory: ProgramFactory
+    kind: str
+    percent: int = 50
+    apply_static_filter: bool = True
+    _sites: Optional[List[FaultSite]] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+
+    @property
+    def sites(self) -> List[FaultSite]:
+        if self._sites is None:
+            module = self.factory()
+            sites = enumerate_sites(module, self.kind)
+            if self.apply_static_filter:
+                sites = [
+                    s
+                    for s in sites
+                    if not would_definitely_not_manifest(module, s, self.percent)
+                ]
+            self._sites = sites
+        return self._sites
+
+    def pristine_module(self) -> Module:
+        """A fresh, un-injected build of the program."""
+        return self.factory()
+
+    def faulty_module(self, site: FaultSite) -> Module:
+        """A fresh build with ``site``'s fault injected."""
+        return inject(self.factory(), site, self.percent)
+
+    def faulty_modules(self) -> Iterator[Tuple[FaultSite, Module]]:
+        for site in self.sites:
+            yield site, self.faulty_module(site)

@@ -1,0 +1,156 @@
+"""Compiler-based software fault injection (§3.4).
+
+Faults are injected into the IR *before* the DPMR transformation runs, just
+as real software bugs would be present before compilation.  Injected code
+executes every time the injected location executes (unlike one-shot runtime
+injectors, which the paper argues cannot model software memory faults).
+
+Two fault types drive the dissertation's evaluation:
+
+* **heap array resize** — reduces the element count requested at a heap
+  array allocation site (by 50% in the experiments), producing out-of-bounds
+  accesses;
+* **immediate free** — deallocates a heap buffer immediately after its
+  allocation, producing reads/writes/frees after free.
+
+A *successful* injection is one whose injected code executed at least once
+(§3.6); the machine records the cycle stamp of the first execution of any
+instruction whose ``fault_site`` is set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..ir import instructions as ins
+from ..ir.module import Module
+from ..ir.types import INT64, IntType, sizeof
+from ..ir.values import ConstInt, Register
+
+HEAP_ARRAY_RESIZE = "heap-array-resize"
+IMMEDIATE_FREE = "immediate-free"
+
+FAULT_KINDS = (HEAP_ARRAY_RESIZE, IMMEDIATE_FREE)
+
+
+@dataclass(frozen=True)
+class FaultSite:
+    """One potential injection location."""
+
+    kind: str
+    function: str
+    block: str
+    index: int  # instruction index within the block
+
+    @property
+    def site_id(self) -> str:
+        return f"{self.kind}@{self.function}/{self.block}/{self.index}"
+
+    def __str__(self) -> str:  # pragma: no cover
+        return self.site_id
+
+
+class InjectionError(Exception):
+    """The requested site does not exist in the module."""
+
+
+def enumerate_sites(module: Module, kind: str) -> List[FaultSite]:
+    """All injectable sites of ``kind`` in ``module``.
+
+    Heap array resizes target heap *array* allocation sites (``malloc`` with
+    a count); immediate frees target all heap allocation sites.
+    """
+    if kind not in FAULT_KINDS:
+        raise ValueError(f"unknown fault kind {kind!r}")
+    sites: List[FaultSite] = []
+    for fn in module.defined_functions():
+        for block in fn.blocks:
+            for idx, inst in enumerate(block.instructions):
+                if not isinstance(inst, ins.Malloc):
+                    continue
+                if kind == HEAP_ARRAY_RESIZE and inst.count is None:
+                    continue
+                sites.append(FaultSite(kind, fn.name, block.label, idx))
+    return sites
+
+
+def would_definitely_not_manifest(
+    module: Module, site: FaultSite, percent: int = 50
+) -> bool:
+    """Static filter (§3.4): constant-size requests that still round up to
+    the original chunk size cannot manifest and are filtered out."""
+    if site.kind != HEAP_ARRAY_RESIZE:
+        return False
+    inst = _find_site_instruction(module, site)
+    if not isinstance(inst.count, ConstInt):
+        return False
+    from ..machine.heap import HeapAllocator, MIN_PAYLOAD, ALIGN
+
+    unit = sizeof(inst.allocated_type)
+    orig = inst.count.value * unit
+    reduced = (inst.count.value * (100 - percent) // 100) * unit
+    round_up = lambda n: max(n, MIN_PAYLOAD) + (-max(n, MIN_PAYLOAD)) % ALIGN
+    return round_up(orig) == round_up(reduced)
+
+
+def inject(module: Module, site: FaultSite, percent: int = 50) -> Module:
+    """Inject ``site``'s fault into ``module`` (mutating it in place).
+
+    Returns the module for chaining.  The injected/marked instructions carry
+    ``fault_site = site.site_id`` so the machine can record activation.
+    """
+    inst = _find_site_instruction(module, site)
+    fn = module.functions[site.function]
+    block = fn.block(site.block)
+    if site.kind == HEAP_ARRAY_RESIZE:
+        _inject_resize(block, site, inst, percent)
+    elif site.kind == IMMEDIATE_FREE:
+        _inject_immediate_free(block, site, inst)
+    else:  # pragma: no cover - guarded by enumerate
+        raise InjectionError(f"unknown kind {site.kind}")
+    return module
+
+
+def _find_site_instruction(module: Module, site: FaultSite) -> ins.Malloc:
+    try:
+        fn = module.functions[site.function]
+        block = fn.block(site.block)
+        inst = block.instructions[site.index]
+    except (KeyError, IndexError) as exc:
+        raise InjectionError(f"no such site {site.site_id}") from exc
+    if not isinstance(inst, ins.Malloc):
+        raise InjectionError(f"site {site.site_id} is not a malloc")
+    return inst
+
+
+def _inject_resize(block, site: FaultSite, inst: ins.Malloc, percent: int) -> None:
+    """Shrink the allocation request by ``percent``%."""
+    count = inst.count
+    if count is None:
+        raise InjectionError("heap array resize requires an array allocation")
+    if isinstance(count, ConstInt):
+        reduced_val = count.value * (100 - percent) // 100
+        inst.count = ConstInt(count.type, reduced_val)
+    else:
+        ity = count.type if isinstance(count.type, IntType) else INT64
+        scaled = Register(f"fi.scale.{site.index}", ity)
+        reduced = Register(f"fi.count.{site.index}", ity)
+        pos = block.instructions.index(inst)
+        mul = ins.BinOp(scaled, "mul", count, ConstInt(ity, 100 - percent))
+        div = ins.BinOp(reduced, "sdiv", scaled, ConstInt(ity, 100))
+        mul.fault_site = site.site_id
+        div.fault_site = site.site_id
+        block.instructions[pos:pos] = [mul, div]
+        inst.count = reduced
+    inst.fault_site = site.site_id
+    inst.origin = f"injected {site.kind}"
+
+
+def _inject_immediate_free(block, site: FaultSite, inst: ins.Malloc) -> None:
+    """Insert ``free(p)`` immediately after the allocation."""
+    free = ins.Free(inst.result)
+    free.fault_site = site.site_id
+    free.origin = f"injected {site.kind}"
+    pos = block.instructions.index(inst)
+    block.instructions.insert(pos + 1, free)

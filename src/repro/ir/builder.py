@@ -1,0 +1,431 @@
+"""IRBuilder: ergonomic construction of IR functions.
+
+The builder keeps an insertion point (a basic block) and offers typed helper
+methods for every instruction, plus structured-control-flow sugar
+(:meth:`IRBuilder.if_then`, :meth:`IRBuilder.if_else`,
+:meth:`IRBuilder.while_loop`, :meth:`IRBuilder.for_range`).
+
+Loop-carried and otherwise mutable values live in ``alloca`` slots, matching
+the paper's model in which programs interact with memory only through loads
+and stores (and making that state subject to DPMR stack replication).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterator, Optional, Sequence, Union
+
+from . import instructions as inst
+from .instructions import (
+    BINARY_OPS,
+    CMP_OPS,
+    FLOAT_OPS,
+)
+from .module import BasicBlock, Function, Module
+from .types import (
+    ArrayType,
+    FloatType,
+    FunctionType,
+    IntType,
+    PointerType,
+    Type,
+    VoidType,
+    INT8,
+    INT32,
+    INT64,
+    FLOAT64,
+)
+from .values import (
+    ConstFloat,
+    ConstInt,
+    ConstNull,
+    Register,
+    Value,
+)
+
+
+class IRBuilder:
+    """Builds instructions into a function at a movable insertion point."""
+
+    def __init__(self, function: Function, block: Optional[BasicBlock] = None):
+        self.function = function
+        if block is None:
+            block = function.blocks[0] if function.blocks else function.add_block("entry")
+        self.block = block
+
+    # -- positioning -----------------------------------------------------
+
+    def position_at_end(self, block: BasicBlock) -> None:
+        self.block = block
+
+    def new_block(self, label: Optional[str] = None) -> BasicBlock:
+        return self.function.add_block(label)
+
+    def emit(self, instruction: inst.Instruction) -> inst.Instruction:
+        self.block.append(instruction)
+        return instruction
+
+    # -- constants -------------------------------------------------------
+
+    def i8(self, v: int) -> ConstInt:
+        return ConstInt(INT8, v)
+
+    def i32(self, v: int) -> ConstInt:
+        return ConstInt(INT32, v)
+
+    def i64(self, v: int) -> ConstInt:
+        return ConstInt(INT64, v)
+
+    def f64(self, v: float) -> ConstFloat:
+        return ConstFloat(FLOAT64, v)
+
+    def null(self, pointee: Type) -> ConstNull:
+        return ConstNull(PointerType(pointee))
+
+    # -- memory ----------------------------------------------------------
+
+    def alloca(self, ty: Type, count: Optional[Value] = None, hint: str = "sl") -> Register:
+        r = self.function.new_register(self._alloc_result_type(ty, count), hint)
+        self.emit(inst.Alloca(r, ty, count))
+        return r
+
+    def malloc(self, ty: Type, count: Optional[Value] = None, hint: str = "hp") -> Register:
+        r = self.function.new_register(self._alloc_result_type(ty, count), hint)
+        self.emit(inst.Malloc(r, ty, count))
+        return r
+
+    @staticmethod
+    def _alloc_result_type(ty: Type, count: Optional[Value]) -> PointerType:
+        if count is not None:
+            return PointerType(ArrayType(ty, None))
+        return PointerType(ty)
+
+    def free(self, pointer: Value) -> None:
+        self.emit(inst.Free(pointer))
+
+    def load(self, pointer: Value, hint: str = "v") -> Register:
+        pt = pointer.type
+        if not isinstance(pt, PointerType):
+            raise TypeError(f"load requires a pointer operand, got {pt}")
+        if not pt.pointee.is_scalar():
+            raise TypeError(f"loads move one scalar; pointee is {pt.pointee}")
+        r = self.function.new_register(pt.pointee, hint)
+        self.emit(inst.Load(r, pointer))
+        return r
+
+    def store(self, pointer: Value, value: Value) -> None:
+        self.emit(inst.Store(pointer, value))
+
+    def field_addr(self, pointer: Value, index: int, hint: str = "fp") -> Register:
+        rt = inst.result_type_of_field_addr(pointer.type, index)
+        r = self.function.new_register(rt, hint)
+        self.emit(inst.FieldAddr(r, pointer, index))
+        return r
+
+    def elem_addr(self, pointer: Value, index: Value, hint: str = "ep") -> Register:
+        rt = inst.result_type_of_elem_addr(pointer.type)
+        r = self.function.new_register(rt, hint)
+        self.emit(inst.ElemAddr(r, pointer, index))
+        return r
+
+    def ptr_cast(self, pointer: Value, to_pointee: Type, hint: str = "pc") -> Register:
+        r = self.function.new_register(PointerType(to_pointee), hint)
+        self.emit(inst.PtrCast(r, pointer))
+        return r
+
+    def ptr_to_int(self, pointer: Value, hint: str = "pi") -> Register:
+        r = self.function.new_register(INT64, hint)
+        self.emit(inst.PtrToInt(r, pointer))
+        return r
+
+    def int_to_ptr(self, value: Value, to_pointee: Type, hint: str = "ip") -> Register:
+        r = self.function.new_register(PointerType(to_pointee), hint)
+        self.emit(inst.IntToPtr(r, value))
+        return r
+
+    # -- arithmetic ------------------------------------------------------
+
+    def binop(self, op: str, lhs: Value, rhs: Value, hint: str = "t") -> Register:
+        if op in FLOAT_OPS:
+            rt = lhs.type
+        elif op in BINARY_OPS:
+            rt = lhs.type
+        else:
+            raise ValueError(f"unknown op {op!r}")
+        r = self.function.new_register(rt, hint)
+        self.emit(inst.BinOp(r, op, lhs, rhs))
+        return r
+
+    def add(self, a: Value, b: Value) -> Register:
+        return self.binop("add", a, b)
+
+    def sub(self, a: Value, b: Value) -> Register:
+        return self.binop("sub", a, b)
+
+    def mul(self, a: Value, b: Value) -> Register:
+        return self.binop("mul", a, b)
+
+    def sdiv(self, a: Value, b: Value) -> Register:
+        return self.binop("sdiv", a, b)
+
+    def srem(self, a: Value, b: Value) -> Register:
+        return self.binop("srem", a, b)
+
+    def fadd(self, a: Value, b: Value) -> Register:
+        return self.binop("fadd", a, b)
+
+    def fsub(self, a: Value, b: Value) -> Register:
+        return self.binop("fsub", a, b)
+
+    def fmul(self, a: Value, b: Value) -> Register:
+        return self.binop("fmul", a, b)
+
+    def fdiv(self, a: Value, b: Value) -> Register:
+        return self.binop("fdiv", a, b)
+
+    def cmp(self, op: str, lhs: Value, rhs: Value, hint: str = "c") -> Register:
+        if op not in CMP_OPS:
+            raise ValueError(f"unknown comparison {op!r}")
+        r = self.function.new_register(INT8, hint)
+        self.emit(inst.Cmp(r, op, lhs, rhs))
+        return r
+
+    def eq(self, a: Value, b: Value) -> Register:
+        return self.cmp("eq", a, b)
+
+    def ne(self, a: Value, b: Value) -> Register:
+        return self.cmp("ne", a, b)
+
+    def slt(self, a: Value, b: Value) -> Register:
+        return self.cmp("slt", a, b)
+
+    def sle(self, a: Value, b: Value) -> Register:
+        return self.cmp("sle", a, b)
+
+    def sgt(self, a: Value, b: Value) -> Register:
+        return self.cmp("sgt", a, b)
+
+    def sge(self, a: Value, b: Value) -> Register:
+        return self.cmp("sge", a, b)
+
+    def num_cast(self, value: Value, to_type: Type, hint: str = "nc") -> Register:
+        if not to_type.is_scalar() or isinstance(to_type, PointerType):
+            raise TypeError(f"numeric cast target must be int/float, got {to_type}")
+        r = self.function.new_register(to_type, hint)
+        self.emit(inst.NumCast(r, value))
+        return r
+
+    # -- calls -----------------------------------------------------------
+
+    def call(
+        self,
+        callee: Union[str, Function, Value],
+        args: Sequence[Value] = (),
+        hint: str = "cr",
+    ) -> Optional[Register]:
+        if isinstance(callee, Function):
+            fn_type = callee.type
+            target: Union[str, Value] = callee.name
+        elif isinstance(callee, str):
+            fn = self._lookup_function_type(callee)
+            fn_type = fn
+            target = callee
+        else:
+            fn_type = inst.callee_function_type(callee.type)
+            target = callee
+        result: Optional[Register] = None
+        if not isinstance(fn_type.ret, VoidType):
+            result = self.function.new_register(fn_type.ret, hint)
+        self.emit(inst.Call(result, target, args))
+        return result
+
+    def _lookup_function_type(self, name: str) -> FunctionType:
+        # Builders constructed via ModuleBuilder can resolve names.
+        module = getattr(self, "_module", None)
+        if module is None or name not in module.functions:
+            raise ValueError(
+                f"cannot resolve callee {name!r}; pass a Function object instead"
+            )
+        return module.functions[name].type
+
+    def func_addr(self, fn: Function, hint: str = "fa") -> Register:
+        r = self.function.new_register(PointerType(fn.type), hint)
+        self.emit(inst.FuncAddr(r, fn.name))
+        return r
+
+    # -- terminators -----------------------------------------------------
+
+    def jump(self, target: BasicBlock) -> None:
+        self.emit(inst.Jump(target.label))
+
+    def branch(self, cond: Value, then_block: BasicBlock, else_block: BasicBlock) -> None:
+        self.emit(inst.Branch(cond, then_block.label, else_block.label))
+
+    def ret(self, value: Optional[Value] = None) -> None:
+        self.emit(inst.Ret(value))
+
+    def unreachable(self) -> None:
+        self.emit(inst.Unreachable())
+
+    # -- structured control flow -----------------------------------------
+
+    @contextmanager
+    def if_then(self, cond: Value) -> Iterator[None]:
+        """``if (cond) { body }`` — body is built inside the ``with``."""
+        then_block = self.new_block()
+        end_block = self.new_block()
+        self.branch(cond, then_block, end_block)
+        self.position_at_end(then_block)
+        yield
+        if not self.block.is_terminated:
+            self.jump(end_block)
+        self.position_at_end(end_block)
+
+    @contextmanager
+    def if_else(self, cond: Value) -> Iterator["_IfArms"]:
+        """``if/else``; use ``arms.then()`` and ``arms.otherwise()``."""
+        then_block = self.new_block()
+        else_block = self.new_block()
+        end_block = self.new_block()
+        self.branch(cond, then_block, else_block)
+        arms = _IfArms(self, then_block, else_block, end_block)
+        yield arms
+        self.position_at_end(end_block)
+
+    @contextmanager
+    def while_loop(self, cond_fn: Callable[["IRBuilder"], Value]) -> Iterator["LoopHandle"]:
+        """``while (cond_fn(builder)) { body }``.
+
+        Yields a :class:`LoopHandle`; call ``handle.break_()`` /
+        ``handle.continue_()`` inside the body (typically under
+        :meth:`if_then`) for early exits.
+        """
+        cond_block = self.new_block()
+        body_block = self.new_block()
+        end_block = self.new_block()
+        self.jump(cond_block)
+        self.position_at_end(cond_block)
+        cond = cond_fn(self)
+        self.branch(cond, body_block, end_block)
+        self.position_at_end(body_block)
+        yield LoopHandle(self, cond_block, end_block)
+        if not self.block.is_terminated:
+            self.jump(cond_block)
+        self.position_at_end(end_block)
+
+    @contextmanager
+    def for_range(
+        self,
+        stop: Value,
+        start: Optional[Value] = None,
+        step: Optional[Value] = None,
+        ty: IntType = INT64,
+    ) -> Iterator[Register]:
+        """Counted loop; yields the loaded counter value for the body.
+
+        The counter lives in an ``alloca`` slot (loop-carried state must be in
+        memory in this IR), so it participates in DPMR stack replication.
+        """
+        start = start if start is not None else ConstInt(ty, 0)
+        step = step if step is not None else ConstInt(ty, 1)
+        slot = self.alloca(ty, hint="i")
+        self.store(slot, start)
+        cond_block = self.new_block()
+        body_block = self.new_block()
+        end_block = self.new_block()
+        self.jump(cond_block)
+        self.position_at_end(cond_block)
+        i = self.load(slot, hint="i")
+        cond = self.slt(i, stop)
+        self.branch(cond, body_block, end_block)
+        self.position_at_end(body_block)
+        i_body = self.load(slot, hint="i")
+        yield i_body
+        if not self.block.is_terminated:
+            nxt = self.add(self.load(slot, hint="i"), step)
+            self.store(slot, nxt)
+            self.jump(cond_block)
+        self.position_at_end(end_block)
+
+
+class LoopHandle:
+    """Early-exit handle for :meth:`IRBuilder.while_loop`."""
+
+    def __init__(self, builder: IRBuilder, cond_block: "BasicBlock", end_block: "BasicBlock"):
+        self._builder = builder
+        self._cond = cond_block
+        self._end = end_block
+
+    def break_(self) -> None:
+        """Jump out of the loop (terminates the current block)."""
+        self._builder.jump(self._end)
+
+    def continue_(self) -> None:
+        """Jump back to the loop condition (terminates the current block)."""
+        self._builder.jump(self._cond)
+
+
+class _IfArms:
+    """Handle object yielded by :meth:`IRBuilder.if_else`."""
+
+    def __init__(
+        self,
+        builder: IRBuilder,
+        then_block: BasicBlock,
+        else_block: BasicBlock,
+        end_block: BasicBlock,
+    ):
+        self._builder = builder
+        self._then = then_block
+        self._else = else_block
+        self._end = end_block
+
+    @contextmanager
+    def then(self) -> Iterator[None]:
+        self._builder.position_at_end(self._then)
+        yield
+        if not self._builder.block.is_terminated:
+            self._builder.jump(self._end)
+
+    @contextmanager
+    def otherwise(self) -> Iterator[None]:
+        self._builder.position_at_end(self._else)
+        yield
+        if not self._builder.block.is_terminated:
+            self._builder.jump(self._end)
+
+
+class ModuleBuilder:
+    """Convenience wrapper that tracks a module and resolves direct callees."""
+
+    def __init__(self, name: str = "module"):
+        self.module = Module(name)
+
+    def declare_external(
+        self, name: str, ret: Type, params: Sequence[Type]
+    ) -> Function:
+        fn = Function(name, FunctionType(ret, params), is_external=True)
+        return self.module.add_function(fn)
+
+    def define(
+        self,
+        name: str,
+        ret: Type,
+        params: Sequence[Type] = (),
+        param_names: Optional[Sequence[str]] = None,
+    ) -> "tuple[Function, IRBuilder]":
+        fn = Function(name, FunctionType(ret, params), param_names)
+        self.module.add_function(fn)
+        builder = IRBuilder(fn)
+        builder._module = self.module
+        return fn, builder
+
+    def builder_for(self, fn: Function, block: Optional[BasicBlock] = None) -> IRBuilder:
+        builder = IRBuilder(fn, block)
+        builder._module = self.module
+        return builder
+
+    def add_global(self, name: str, value_type: Type, initializer=None):
+        from .module import GlobalVariable
+
+        return self.module.add_global(GlobalVariable(name, value_type, initializer))

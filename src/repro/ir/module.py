@@ -1,0 +1,176 @@
+"""Module-level IR containers: basic blocks, functions, globals, modules."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Union
+
+from .instructions import Instruction, Terminator
+from .types import FunctionType, PointerType, Type
+from .values import FunctionRef, GlobalRef, Register
+
+
+class BasicBlock:
+    """A labeled straight-line instruction sequence ending in a terminator."""
+
+    def __init__(self, label: str):
+        self.label = label
+        self.instructions: List[Instruction] = []
+
+    @property
+    def terminator(self) -> Optional[Terminator]:
+        if self.instructions and isinstance(self.instructions[-1], Terminator):
+            return self.instructions[-1]
+        return None
+
+    @property
+    def is_terminated(self) -> bool:
+        return self.terminator is not None
+
+    def append(self, inst: Instruction) -> Instruction:
+        if self.is_terminated:
+            raise ValueError(f"block {self.label} is already terminated")
+        self.instructions.append(inst)
+        return inst
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"BasicBlock({self.label}, {len(self.instructions)} insts)"
+
+
+class Function:
+    """A function definition or external declaration.
+
+    External functions (``is_external=True``) have no blocks; they are
+    resolved at run time against the machine's intrinsic registry
+    (the paper's *external code*, §2.8).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        type: FunctionType,
+        param_names: Optional[Sequence[str]] = None,
+        is_external: bool = False,
+    ):
+        self.name = name
+        self.type = type
+        self.is_external = is_external
+        self.blocks: List[BasicBlock] = []
+        self._block_index: Dict[str, BasicBlock] = {}
+        names = list(param_names) if param_names is not None else [
+            f"arg{i}" for i in range(len(type.params))
+        ]
+        if len(names) != len(type.params):
+            raise ValueError("parameter name count does not match type")
+        self.params: List[Register] = [
+            Register(n, t) for n, t in zip(names, type.params)
+        ]
+        self._next_reg = 0
+        self._next_label = 0
+
+    # -- construction helpers -------------------------------------------
+
+    def new_register(self, type: Type, hint: str = "r") -> Register:
+        name = f"{hint}{self._next_reg}"
+        self._next_reg += 1
+        return Register(name, type)
+
+    def add_block(self, label: Optional[str] = None) -> BasicBlock:
+        if label is None:
+            label = f"bb{self._next_label}"
+            self._next_label += 1
+        if label in self._block_index:
+            raise ValueError(f"duplicate block label {label!r} in {self.name}")
+        block = BasicBlock(label)
+        self.blocks.append(block)
+        self._block_index[label] = block
+        return block
+
+    def block(self, label: str) -> BasicBlock:
+        return self._block_index[label]
+
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise ValueError(f"function {self.name} has no blocks")
+        return self.blocks[0]
+
+    def ref(self) -> FunctionRef:
+        """A function-pointer value referring to this function."""
+        return FunctionRef(self.name, PointerType(self.type))
+
+    def instructions(self) -> Iterator[Instruction]:
+        for block in self.blocks:
+            yield from block.instructions
+
+    def __repr__(self) -> str:  # pragma: no cover
+        kind = "external " if self.is_external else ""
+        return f"<{kind}Function {self.name}: {self.type}>"
+
+
+#: Global initializers are nested Python data:
+#: ints/floats for scalars, ``None`` for null pointers, ``bytes`` for byte
+#: arrays, lists for arrays/structs, and GlobalRef/FunctionRef for pointers.
+Initializer = Union[int, float, None, bytes, list, GlobalRef, FunctionRef]
+
+
+class GlobalVariable:
+    """A module global.
+
+    Per the paper's assumptions, a global named ``g`` of declared value type
+    ``T`` is a *pointer to memory*: references to ``g`` in code have type
+    ``T*`` and the memory is allocated (and initialized) at program start.
+    """
+
+    def __init__(self, name: str, value_type: Type, initializer: Initializer = None):
+        self.name = name
+        self.value_type = value_type
+        self.initializer = initializer
+
+    def ref(self) -> GlobalRef:
+        return GlobalRef(self.name, PointerType(self.value_type))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<GlobalVariable {self.name}: {self.value_type}>"
+
+
+class Module:
+    """A whole program: functions plus global variables."""
+
+    def __init__(self, name: str = "module"):
+        self.name = name
+        self.functions: Dict[str, Function] = {}
+        self.globals: Dict[str, GlobalVariable] = {}
+
+    def add_function(self, fn: Function) -> Function:
+        if fn.name in self.functions:
+            raise ValueError(f"duplicate function {fn.name!r}")
+        self.functions[fn.name] = fn
+        return fn
+
+    def add_global(self, g: GlobalVariable) -> GlobalVariable:
+        if g.name in self.globals:
+            raise ValueError(f"duplicate global {g.name!r}")
+        self.globals[g.name] = g
+        return g
+
+    def function(self, name: str) -> Function:
+        return self.functions[name]
+
+    def defined_functions(self) -> Iterator[Function]:
+        for fn in self.functions.values():
+            if not fn.is_external:
+                yield fn
+
+    def external_functions(self) -> Iterator[Function]:
+        for fn in self.functions.values():
+            if fn.is_external:
+                yield fn
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Module {self.name}: {len(self.functions)} functions, "
+            f"{len(self.globals)} globals>"
+        )

@@ -1,0 +1,242 @@
+"""Post-transformation IR optimizations (the *optimize* stages of Fig. 3.5).
+
+The paper's tool chain runs LLVM's optimizer over the DPMR-transformed
+bitcode before code generation (Fig. 3.4).  This module provides the
+equivalent cleanup passes for our IR:
+
+* :func:`fold_constants` — evaluates integer arithmetic/comparisons with
+  constant operands and forward-substitutes the results;
+* :func:`eliminate_dead_code` — removes side-effect-free instructions whose
+  results are never used (dead address arithmetic and casts are common
+  after DPMR's mirroring when shadow pointers degrade to null);
+* :func:`simplify_branches` — rewrites conditional branches on constant
+  conditions into jumps and drops unreachable blocks.
+
+All passes are semantics-preserving on verified modules (property-tested in
+``tests/test_optimizer.py``) and DPMR-transparent: they never remove loads,
+stores, calls, allocations, or frees, so detection behaviour is unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from . import instructions as ins
+from .module import Function, Module
+from .types import IntType
+from .values import ConstInt, Register, Value, wrap_int
+
+#: instruction kinds that must never be removed (side effects / memory)
+_EFFECTFUL = (
+    ins.Load,  # loads participate in DPMR comparison semantics
+    ins.Store,
+    ins.Call,
+    ins.Malloc,
+    ins.Alloca,
+    ins.Free,
+    ins.Terminator,
+)
+
+
+def optimize_module(module: Module, max_iterations: int = 4) -> Dict[str, int]:
+    """Run all passes to a (bounded) fixpoint; returns removal statistics."""
+    stats = {"folded": 0, "dead_removed": 0, "branches_simplified": 0,
+             "blocks_removed": 0}
+    for fn in module.defined_functions():
+        for _ in range(max_iterations):
+            changed = 0
+            changed += _fold_function(fn, stats)
+            changed += _dce_function(fn, stats)
+            changed += _simplify_branches_function(fn, stats)
+            if not changed:
+                break
+    return stats
+
+
+def fold_constants(module: Module) -> int:
+    """Constant-fold every defined function; returns fold count."""
+    stats = {"folded": 0, "dead_removed": 0, "branches_simplified": 0,
+             "blocks_removed": 0}
+    for fn in module.defined_functions():
+        _fold_function(fn, stats)
+    return stats["folded"]
+
+
+def eliminate_dead_code(module: Module) -> int:
+    stats = {"folded": 0, "dead_removed": 0, "branches_simplified": 0,
+             "blocks_removed": 0}
+    for fn in module.defined_functions():
+        _dce_function(fn, stats)
+    return stats["dead_removed"]
+
+
+def simplify_branches(module: Module) -> int:
+    stats = {"folded": 0, "dead_removed": 0, "branches_simplified": 0,
+             "blocks_removed": 0}
+    for fn in module.defined_functions():
+        _simplify_branches_function(fn, stats)
+    return stats["branches_simplified"] + stats["blocks_removed"]
+
+
+# -- constant folding -----------------------------------------------------------
+
+
+def _fold_function(fn: Function, stats: Dict[str, int]) -> int:
+    constants: Dict[str, ConstInt] = {}
+    folded = 0
+    for block in fn.blocks:
+        for inst in block.instructions:
+            _substitute_operands(inst, constants)
+            result = _try_fold(inst)
+            if result is not None and inst.result is not None:
+                constants[inst.result.name] = result
+                folded += 1
+    if folded:
+        # Replace folded instructions' uses; the defining instructions
+        # themselves become dead and are cleaned up by DCE.
+        for block in fn.blocks:
+            for inst in block.instructions:
+                _substitute_operands(inst, constants)
+    stats["folded"] += folded
+    return folded
+
+
+def _substitute_operands(inst: ins.Instruction, constants: Dict[str, ConstInt]) -> None:
+    for attr in ("lhs", "rhs", "value", "cond", "index", "count"):
+        v = getattr(inst, attr, None)
+        if isinstance(v, Register) and v.name in constants:
+            setattr(inst, attr, constants[v.name])
+    if isinstance(inst, ins.Call):
+        inst.args = [
+            constants[a.name] if isinstance(a, Register) and a.name in constants else a
+            for a in inst.args
+        ]
+    if isinstance(inst, ins.Ret) and isinstance(inst.value, Register):
+        if inst.value.name in constants:
+            inst.value = constants[inst.value.name]
+
+
+def _try_fold(inst: ins.Instruction) -> Optional[ConstInt]:
+    if isinstance(inst, ins.BinOp):
+        if not (isinstance(inst.lhs, ConstInt) and isinstance(inst.rhs, ConstInt)):
+            return None
+        if not isinstance(inst.result.type, IntType):
+            return None
+        a, c = inst.lhs.value, inst.rhs.value
+        op = inst.op
+        if op == "add":
+            r = a + c
+        elif op == "sub":
+            r = a - c
+        elif op == "mul":
+            r = a * c
+        elif op == "and":
+            r = a & c
+        elif op == "or":
+            r = a | c
+        elif op == "xor":
+            r = a ^ c
+        elif op == "shl":
+            r = a << (c & 63)
+        elif op == "shr":
+            r = a >> (c & 63)
+        elif op == "sdiv" and c != 0:
+            r = abs(a) // abs(c)
+            if (a < 0) != (c < 0):
+                r = -r
+        elif op == "srem" and c != 0:
+            q = abs(a) // abs(c)
+            if (a < 0) != (c < 0):
+                q = -q
+            r = a - q * c
+        else:
+            return None
+        return ConstInt(inst.result.type, wrap_int(r, max(inst.result.type.bits, 8)))
+    if isinstance(inst, ins.Cmp):
+        if not (isinstance(inst.lhs, ConstInt) and isinstance(inst.rhs, ConstInt)):
+            return None
+        a, c = inst.lhs.value, inst.rhs.value
+        table = {
+            "eq": a == c,
+            "ne": a != c,
+            "slt": a < c,
+            "sle": a <= c,
+            "sgt": a > c,
+            "sge": a >= c,
+        }
+        return ConstInt(inst.result.type, int(table[inst.op]))
+    if isinstance(inst, ins.NumCast):
+        if isinstance(inst.value, ConstInt) and isinstance(inst.result.type, IntType):
+            return ConstInt(
+                inst.result.type,
+                wrap_int(inst.value.value, max(inst.result.type.bits, 8)),
+            )
+    return None
+
+
+# -- dead code elimination ------------------------------------------------------------
+
+
+def _dce_function(fn: Function, stats: Dict[str, int]) -> int:
+    used: Set[str] = set()
+    for block in fn.blocks:
+        for inst in block.instructions:
+            for op in inst.operands():
+                if isinstance(op, Register):
+                    used.add(op.name)
+            if isinstance(inst, ins.Call) and isinstance(inst.callee, Register):
+                used.add(inst.callee.name)
+    removed = 0
+    for block in fn.blocks:
+        kept: List[ins.Instruction] = []
+        for inst in block.instructions:
+            if (
+                not isinstance(inst, _EFFECTFUL)
+                and inst.result is not None
+                and inst.result.name not in used
+            ):
+                removed += 1
+                continue
+            kept.append(inst)
+        block.instructions = kept
+    stats["dead_removed"] += removed
+    return removed
+
+
+# -- branch simplification --------------------------------------------------------------
+
+
+def _simplify_branches_function(fn: Function, stats: Dict[str, int]) -> int:
+    changed = 0
+    for block in fn.blocks:
+        term = block.terminator
+        if isinstance(term, ins.Branch) and isinstance(term.cond, ConstInt):
+            target = term.then_target if term.cond.value else term.else_target
+            block.instructions[-1] = ins.Jump(target)
+            changed += 1
+    stats["branches_simplified"] += changed
+    changed += _remove_unreachable_blocks(fn, stats)
+    return changed
+
+
+def _remove_unreachable_blocks(fn: Function, stats: Dict[str, int]) -> int:
+    if not fn.blocks:
+        return 0
+    reachable: Set[str] = set()
+    stack = [fn.blocks[0].label]
+    while stack:
+        label = stack.pop()
+        if label in reachable:
+            continue
+        reachable.add(label)
+        term = fn.block(label).terminator
+        if term is not None:
+            stack.extend(term.successors())
+    removed = [b for b in fn.blocks if b.label not in reachable]
+    if not removed:
+        return 0
+    fn.blocks = [b for b in fn.blocks if b.label in reachable]
+    for b in removed:
+        fn._block_index.pop(b.label, None)
+    stats["blocks_removed"] += len(removed)
+    return len(removed)

@@ -1,0 +1,93 @@
+"""Textual rendering of IR modules (for examples, tests, and debugging)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import instructions as inst
+from .module import Function, Module
+from .values import Value
+
+
+def format_value(v: Value) -> str:
+    return str(v)
+
+
+def format_instruction(i: inst.Instruction) -> str:
+    text = _format_body(i)
+    if i.fault_site is not None:
+        text += f"  ; fault-site={i.fault_site}"
+    if i.origin is not None:
+        text += f"  ; {i.origin}"
+    return text
+
+
+def _format_body(i: inst.Instruction) -> str:
+    if isinstance(i, inst.Alloca):
+        count = f", {i.count}" if i.count is not None else ""
+        return f"{i.result} = alloca {i.allocated_type}{count}"
+    if isinstance(i, inst.Malloc):
+        count = f", {i.count}" if i.count is not None else ""
+        return f"{i.result} = malloc {i.allocated_type}{count}"
+    if isinstance(i, inst.Free):
+        return f"free {i.pointer}"
+    if isinstance(i, inst.Load):
+        return f"{i.result} = load {i.result.type}, {i.pointer}"
+    if isinstance(i, inst.Store):
+        return f"store {i.value} -> {i.pointer}"
+    if isinstance(i, inst.FieldAddr):
+        return f"{i.result} = fieldaddr {i.pointer}, {i.index}"
+    if isinstance(i, inst.ElemAddr):
+        return f"{i.result} = elemaddr {i.pointer}, [{i.index}]"
+    if isinstance(i, inst.PtrCast):
+        return f"{i.result} = ptrcast {i.pointer} to {i.result.type}"
+    if isinstance(i, inst.PtrToInt):
+        return f"{i.result} = ptrtoint {i.pointer}"
+    if isinstance(i, inst.IntToPtr):
+        return f"{i.result} = inttoptr {i.value} to {i.result.type}"
+    if isinstance(i, inst.BinOp):
+        return f"{i.result} = {i.op} {i.lhs}, {i.rhs}"
+    if isinstance(i, inst.Cmp):
+        return f"{i.result} = cmp {i.op} {i.lhs}, {i.rhs}"
+    if isinstance(i, inst.NumCast):
+        return f"{i.result} = numcast {i.value} to {i.result.type}"
+    if isinstance(i, inst.Call):
+        target = f"@{i.callee}" if i.is_direct else str(i.callee)
+        args = ", ".join(str(a) for a in i.args)
+        if i.result is not None:
+            return f"{i.result} = call {target}({args})"
+        return f"call {target}({args})"
+    if isinstance(i, inst.FuncAddr):
+        return f"{i.result} = funcaddr @{i.function_name}"
+    if isinstance(i, inst.Jump):
+        return f"jump {i.target}"
+    if isinstance(i, inst.Branch):
+        return f"branch {i.cond}, {i.then_target}, {i.else_target}"
+    if isinstance(i, inst.Ret):
+        return f"ret {i.value}" if i.value is not None else "ret"
+    if isinstance(i, inst.Unreachable):
+        return "unreachable"
+    return f"<unknown {type(i).__name__}>"
+
+
+def format_function(fn: Function) -> str:
+    params = ", ".join(f"{p} : {p.type}" for p in fn.params)
+    header = f"func @{fn.name}({params}) -> {fn.type.ret}"
+    if fn.is_external:
+        return f"extern {header}"
+    lines: List[str] = [header + " {"]
+    for block in fn.blocks:
+        lines.append(f"  {block.label}:")
+        for i in block.instructions:
+            lines.append(f"    {format_instruction(i)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_module(module: Module) -> str:
+    parts: List[str] = [f"; module {module.name}"]
+    for g in module.globals.values():
+        parts.append(f"global @{g.name} : {g.value_type} = {g.initializer!r}")
+    for fn in module.functions.values():
+        parts.append(format_function(fn))
+    return "\n\n".join(parts)

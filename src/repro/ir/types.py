@@ -1,0 +1,455 @@
+"""Type system for the DPMR intermediate representation.
+
+This implements the type system assumed at the start of Chapter 2 of the
+paper: primitive integer and floating point types of predefined sizes, a
+``void`` type, and five derived types (pointers, structures, unions, arrays,
+and functions).  All pointers have the same predefined size.  Array types do
+*not* decay to pointers; ``struct{int32; int32; int32;}`` is layout-equivalent
+to ``int32[3]``.
+
+Structs come in two flavours, mirroring LLVM:
+
+* *literal* structs, identified structurally (``StructType((INT32, INT8))``),
+* *identified* structs, created by name with :func:`StructType.opaque` and
+  later given a body via :meth:`StructType.set_fields`.  Identified structs
+  compare by identity, which is what makes recursive types (e.g. linked
+  lists) representable and hashable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Tuple
+
+#: Size in bytes of every pointer type (the paper assumes one predefined size).
+POINTER_SIZE = 8
+
+#: Maximum alignment used for memory layout.
+MAX_ALIGN = 8
+
+
+class Type:
+    """Base class for all IR types."""
+
+    def is_scalar(self) -> bool:
+        """Whether values of this type fit in a virtual register.
+
+        Per the paper's assumptions, registers hold only integers, floating
+        point values, and pointers.
+        """
+        return False
+
+    def is_aggregate(self) -> bool:
+        return isinstance(self, (StructType, UnionType, ArrayType))
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience only
+        return str(self)
+
+
+class VoidType(Type):
+    """The ``void`` type."""
+
+    _instance: Optional["VoidType"] = None
+
+    def __new__(cls) -> "VoidType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __str__(self) -> str:
+        return "void"
+
+
+class IntType(Type):
+    """A primitive integer type of a predefined bit width."""
+
+    _cache: dict = {}
+
+    def __new__(cls, bits: int) -> "IntType":
+        if bits not in (1, 8, 16, 32, 64):
+            raise ValueError(f"unsupported integer width: {bits}")
+        if bits not in cls._cache:
+            obj = super().__new__(cls)
+            obj.bits = bits
+            cls._cache[bits] = obj
+        return cls._cache[bits]
+
+    bits: int
+
+    def is_scalar(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"int{self.bits}"
+
+
+class FloatType(Type):
+    """A primitive floating point type of a predefined bit width."""
+
+    _cache: dict = {}
+
+    def __new__(cls, bits: int) -> "FloatType":
+        if bits not in (32, 64):
+            raise ValueError(f"unsupported float width: {bits}")
+        if bits not in cls._cache:
+            obj = super().__new__(cls)
+            obj.bits = bits
+            cls._cache[bits] = obj
+        return cls._cache[bits]
+
+    bits: int
+
+    def is_scalar(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"float{self.bits}"
+
+
+class PointerType(Type):
+    """A pointer to a pointee type."""
+
+    def __init__(self, pointee: Type):
+        if not isinstance(pointee, Type):
+            raise TypeError(f"pointee must be a Type, got {pointee!r}")
+        self.pointee = pointee
+
+    def is_scalar(self) -> bool:
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PointerType) and self.pointee == other.pointee
+
+    def __hash__(self) -> int:
+        return hash(("ptr", self.pointee))
+
+    def __str__(self) -> str:
+        return f"{self.pointee}*"
+
+
+class ArrayType(Type):
+    """An array of a fixed (or unspecified) number of elements.
+
+    ``count=None`` denotes an unsized array (``int8[]`` in the paper's
+    notation), usable behind pointers but not directly allocatable.
+    """
+
+    def __init__(self, element: Type, count: Optional[int] = None):
+        if isinstance(element, VoidType):
+            raise TypeError("arrays of void are not allowed")
+        if count is not None and count < 0:
+            raise ValueError("array count must be non-negative")
+        self.element = element
+        self.count = count
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ArrayType)
+            and self.element == other.element
+            and self.count == other.count
+        )
+
+    def __hash__(self) -> int:
+        return hash(("array", self.element, self.count))
+
+    def __str__(self) -> str:
+        n = "" if self.count is None else str(self.count)
+        return f"{self.element}[{n}]"
+
+
+class StructType(Type):
+    """A structure type.
+
+    Literal structs are structural: two literal structs with the same field
+    list are equal.  Identified structs (created via :func:`StructType.opaque`
+    or by passing ``name=``) compare by identity and may be recursive.
+    """
+
+    def __init__(
+        self,
+        fields: Optional[Sequence[Type]] = None,
+        name: Optional[str] = None,
+    ):
+        self.name = name
+        self._fields: Optional[Tuple[Type, ...]] = (
+            None if fields is None else tuple(fields)
+        )
+        if self._fields is None and name is None:
+            raise ValueError("literal structs require a field list")
+
+    @classmethod
+    def opaque(cls, name: str) -> "StructType":
+        """Create a named struct with no body yet (for recursive types)."""
+        return cls(fields=None, name=name)
+
+    def set_fields(self, fields: Sequence[Type]) -> None:
+        if self._fields is not None:
+            raise ValueError(f"struct {self.name} already has a body")
+        self._fields = tuple(fields)
+
+    @property
+    def fields(self) -> Tuple[Type, ...]:
+        if self._fields is None:
+            raise ValueError(f"struct {self.name} is opaque (no body set)")
+        return self._fields
+
+    @property
+    def is_opaque(self) -> bool:
+        return self._fields is None
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if self.name is not None or not isinstance(other, StructType):
+            return False
+        if other.name is not None:
+            return False
+        return self._fields == other._fields
+
+    def __hash__(self) -> int:
+        if self.name is not None:
+            return hash(("named-struct", id(self)))
+        return hash(("struct", self._fields))
+
+    def __str__(self) -> str:
+        if self.name is not None:
+            return f"%{self.name}"
+        inner = " ".join(f"{f};" for f in self.fields)
+        return "struct{" + inner + "}"
+
+
+class UnionType(Type):
+    """A union of member types (size of the largest member)."""
+
+    def __init__(self, members: Sequence[Type], name: Optional[str] = None):
+        if not members:
+            raise ValueError("unions require at least one member")
+        self.name = name
+        self.members: Tuple[Type, ...] = tuple(members)
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if self.name is not None or not isinstance(other, UnionType):
+            return False
+        if other.name is not None:
+            return False
+        return self.members == other.members
+
+    def __hash__(self) -> int:
+        if self.name is not None:
+            return hash(("named-union", id(self)))
+        return hash(("union", self.members))
+
+    def __str__(self) -> str:
+        if self.name is not None:
+            return f"%{self.name}"
+        inner = " ".join(f"{m};" for m in self.members)
+        return "union{" + inner + "}"
+
+
+class FunctionType(Type):
+    """A function type ``ret(param0, ..., paramN)``.
+
+    Per the paper's assumptions, functions return at most one scalar value and
+    parameters are scalars (or void return).
+    """
+
+    def __init__(self, ret: Type, params: Sequence[Type]):
+        self.ret = ret
+        self.params: Tuple[Type, ...] = tuple(params)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, FunctionType)
+            and self.ret == other.ret
+            and self.params == other.params
+        )
+
+    def __hash__(self) -> int:
+        return hash(("fn", self.ret, self.params))
+
+    def __str__(self) -> str:
+        ps = ", ".join(str(p) for p in self.params)
+        return f"{self.ret}({ps})"
+
+
+# Singleton instances of the primitive types.
+VOID = VoidType()
+INT1 = IntType(1)
+INT8 = IntType(8)
+INT16 = IntType(16)
+INT32 = IntType(32)
+INT64 = IntType(64)
+FLOAT32 = FloatType(32)
+FLOAT64 = FloatType(64)
+
+#: Generic byte pointer (``void*``).
+VOID_PTR = PointerType(VOID)
+
+
+def ptr(t: Type) -> PointerType:
+    """Shorthand constructor for pointer types."""
+    return PointerType(t)
+
+
+def array(t: Type, n: Optional[int] = None) -> ArrayType:
+    """Shorthand constructor for array types."""
+    return ArrayType(t, n)
+
+
+def alignof(t: Type) -> int:
+    """Natural alignment of ``t`` in bytes, capped at :data:`MAX_ALIGN`."""
+    if isinstance(t, IntType):
+        return max(1, min(t.bits // 8, MAX_ALIGN))
+    if isinstance(t, FloatType):
+        return min(t.bits // 8, MAX_ALIGN)
+    if isinstance(t, PointerType):
+        return POINTER_SIZE
+    if isinstance(t, ArrayType):
+        return alignof(t.element)
+    if isinstance(t, StructType):
+        if not t.fields:
+            return 1
+        return max(alignof(f) for f in t.fields)
+    if isinstance(t, UnionType):
+        return max(alignof(m) for m in t.members)
+    if isinstance(t, VoidType):
+        return 1
+    raise TypeError(f"no alignment for {t}")
+
+
+def sizeof(t: Type) -> int:
+    """Number of bytes reserved when ``t`` is allocated (with padding).
+
+    Matches the paper's ``sizeof()`` symbol: the reserved byte count includes
+    any alignment padding.
+    """
+    if isinstance(t, IntType):
+        return max(1, t.bits // 8)
+    if isinstance(t, FloatType):
+        return t.bits // 8
+    if isinstance(t, PointerType):
+        return POINTER_SIZE
+    if isinstance(t, ArrayType):
+        if t.count is None:
+            raise TypeError(f"cannot take sizeof unsized array {t}")
+        return sizeof(t.element) * t.count
+    if isinstance(t, StructType):
+        size = 0
+        for f in t.fields:
+            a = alignof(f)
+            size = _align_up(size, a)
+            size += sizeof(f)
+        size = _align_up(size, alignof(t)) if t.fields else 0
+        return size
+    if isinstance(t, UnionType):
+        size = max(sizeof(m) for m in t.members)
+        return _align_up(size, alignof(t))
+    if isinstance(t, VoidType):
+        raise TypeError("cannot take sizeof void")
+    if isinstance(t, FunctionType):
+        raise TypeError("cannot take sizeof a function type")
+    raise TypeError(f"no size for {t}")
+
+
+def _align_up(n: int, a: int) -> int:
+    return (n + a - 1) // a * a
+
+
+def field_offset(t: StructType, index: int) -> int:
+    """Byte offset of field ``index`` within struct ``t``."""
+    if index < 0 or index >= len(t.fields):
+        raise IndexError(f"field index {index} out of range for {t}")
+    off = 0
+    for i, f in enumerate(t.fields):
+        off = _align_up(off, alignof(f))
+        if i == index:
+            return off
+        off += sizeof(f)
+    raise AssertionError("unreachable")
+
+
+def contains_pointer_outside_function_types(t: Type) -> bool:
+    """Whether ``t`` transitively contains a pointer, ignoring function types.
+
+    Function types never contribute (the paper's
+    ``containsPointerOutsideFunType``): a function pointer field *is* a
+    pointer and counts, but pointer *parameters* of a function type do not.
+    """
+    return _contains_ptr(t, set())
+
+
+def _contains_ptr(t: Type, seen: set) -> bool:
+    if isinstance(t, PointerType):
+        return True
+    if isinstance(t, ArrayType):
+        return _contains_ptr(t.element, seen)
+    if isinstance(t, StructType):
+        key = id(t)
+        if key in seen:
+            return False
+        seen.add(key)
+        return any(_contains_ptr(f, seen) for f in t.fields)
+    if isinstance(t, UnionType):
+        key = id(t)
+        if key in seen:
+            return False
+        seen.add(key)
+        return any(_contains_ptr(m, seen) for m in t.members)
+    return False
+
+
+def scalarize(t: Type) -> Tuple[Type, ...]:
+    """The paper's ``σ()``: flatten ``t`` into its sequence of scalar leaves.
+
+    The result is a structure composed only of scalar types, structurally
+    equivalent to ``t`` (pointers and non-pointers are *not* equivalent in
+    this context).  Unions scalarize through their largest member.
+    """
+    out: list = []
+    _scalarize_into(t, out)
+    return tuple(out)
+
+
+def _scalarize_into(t: Type, out: list) -> None:
+    if t.is_scalar():
+        out.append(t)
+    elif isinstance(t, ArrayType):
+        count = t.count if t.count is not None else 0
+        for _ in range(count):
+            _scalarize_into(t.element, out)
+    elif isinstance(t, StructType):
+        for f in t.fields:
+            _scalarize_into(f, out)
+    elif isinstance(t, UnionType):
+        largest = max(t.members, key=sizeof)
+        _scalarize_into(largest, out)
+    elif isinstance(t, VoidType):
+        pass
+    else:
+        raise TypeError(f"cannot scalarize {t}")
+
+
+def walk(t: Type) -> Iterator[Type]:
+    """Iterate over ``t`` and all component types (cycle-safe, preorder)."""
+    seen: set = set()
+    stack = [t]
+    while stack:
+        cur = stack.pop()
+        if isinstance(cur, (StructType, UnionType)):
+            if id(cur) in seen:
+                continue
+            seen.add(id(cur))
+        yield cur
+        if isinstance(cur, PointerType):
+            stack.append(cur.pointee)
+        elif isinstance(cur, ArrayType):
+            stack.append(cur.element)
+        elif isinstance(cur, StructType):
+            if not cur.is_opaque:
+                stack.extend(cur.fields)
+        elif isinstance(cur, UnionType):
+            stack.extend(cur.members)
+        elif isinstance(cur, FunctionType):
+            stack.append(cur.ret)
+            stack.extend(cur.params)

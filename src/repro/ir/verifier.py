@@ -1,0 +1,148 @@
+"""IR well-formedness verification.
+
+The verifier enforces the structural assumptions the DPMR transformation
+relies on (Ch. 2): blocks terminate, loads/stores move scalars, branch
+targets exist, call signatures match, and registers are defined before use
+along every path (checked conservatively: defined somewhere in the
+function).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import instructions as inst
+from .module import Function, Module
+from .types import FunctionType, PointerType, VoidType
+from .values import ConstFloat, ConstInt, ConstNull, FunctionRef, GlobalRef, Register
+
+
+class VerificationError(Exception):
+    """Raised when a module violates IR invariants."""
+
+
+def verify_module(module: Module) -> None:
+    """Verify every defined function in ``module``; raise on first error."""
+    for fn in module.defined_functions():
+        verify_function(fn, module)
+    for g in module.globals.values():
+        if isinstance(g.value_type, VoidType):
+            raise VerificationError(f"global {g.name} has void value type")
+
+
+def verify_function(fn: Function, module: Module) -> None:
+    if not fn.blocks:
+        raise VerificationError(f"{fn.name}: no blocks")
+    labels = {b.label for b in fn.blocks}
+    defined = {p.name for p in fn.params}
+    for block in fn.blocks:
+        for i in block.instructions:
+            if i.result is not None:
+                defined.add(i.result.name)
+    for block in fn.blocks:
+        term = block.terminator
+        if term is None:
+            raise VerificationError(f"{fn.name}/{block.label}: not terminated")
+        for idx, i in enumerate(block.instructions):
+            if isinstance(i, inst.Terminator) and idx != len(block.instructions) - 1:
+                raise VerificationError(
+                    f"{fn.name}/{block.label}: terminator not last"
+                )
+            _verify_instruction(fn, module, block.label, i, defined)
+        for succ in term.successors():
+            if succ not in labels:
+                raise VerificationError(
+                    f"{fn.name}/{block.label}: unknown successor {succ!r}"
+                )
+
+
+def _verify_instruction(fn, module, label, i, defined) -> None:
+    where = f"{fn.name}/{label}"
+    for op in i.operands():
+        if op is None:
+            raise VerificationError(f"{where}: null operand in {i!r}")
+        if isinstance(op, Register) and op.name not in defined:
+            raise VerificationError(f"{where}: use of undefined register {op}")
+        if isinstance(op, GlobalRef) and op.name not in module.globals:
+            raise VerificationError(f"{where}: unknown global {op}")
+        if isinstance(op, FunctionRef) and op.name not in module.functions:
+            raise VerificationError(f"{where}: unknown function ref {op}")
+    if isinstance(i, inst.Load):
+        pt = i.pointer.type
+        if not isinstance(pt, PointerType) or not pt.pointee.is_scalar():
+            raise VerificationError(f"{where}: bad load pointer type {pt}")
+        if i.result.type != pt.pointee:
+            raise VerificationError(
+                f"{where}: load result {i.result.type} != pointee {pt.pointee}"
+            )
+    elif isinstance(i, inst.Store):
+        pt = i.pointer.type
+        if not isinstance(pt, PointerType):
+            raise VerificationError(f"{where}: store through non-pointer {pt}")
+        if not i.value.type.is_scalar():
+            raise VerificationError(f"{where}: store of non-scalar {i.value.type}")
+        if pt.pointee != i.value.type and not isinstance(pt.pointee, VoidType):
+            raise VerificationError(
+                f"{where}: store type mismatch {i.value.type} -> {pt}"
+            )
+    elif isinstance(i, inst.FieldAddr):
+        expected = inst.result_type_of_field_addr(i.pointer.type, i.index)
+        if i.result.type != expected:
+            raise VerificationError(
+                f"{where}: fieldaddr result {i.result.type} != {expected}"
+            )
+    elif isinstance(i, inst.ElemAddr):
+        expected = inst.result_type_of_elem_addr(i.pointer.type)
+        if i.result.type != expected:
+            raise VerificationError(
+                f"{where}: elemaddr result {i.result.type} != {expected}"
+            )
+    elif isinstance(i, inst.Call):
+        if i.is_direct:
+            if i.callee not in module.functions:
+                raise VerificationError(f"{where}: call to unknown @{i.callee}")
+            fn_type = module.functions[i.callee].type
+        else:
+            fn_type = inst.callee_function_type(i.callee.type)
+        _verify_call_signature(where, i, fn_type)
+    elif isinstance(i, inst.Ret):
+        want = fn.type.ret
+        if isinstance(want, VoidType):
+            if i.value is not None:
+                raise VerificationError(f"{where}: ret value in void function")
+        else:
+            if i.value is None:
+                raise VerificationError(f"{where}: missing return value")
+            if i.value.type != want:
+                raise VerificationError(
+                    f"{where}: ret type {i.value.type} != {want}"
+                )
+    elif isinstance(i, inst.FuncAddr):
+        if i.function_name not in module.functions:
+            raise VerificationError(f"{where}: funcaddr of unknown @{i.function_name}")
+
+
+def _verify_call_signature(where: str, call: inst.Call, fn_type: FunctionType) -> None:
+    if len(call.args) != len(fn_type.params):
+        raise VerificationError(
+            f"{where}: call arg count {len(call.args)} != {len(fn_type.params)}"
+        )
+    for idx, (arg, want) in enumerate(zip(call.args, fn_type.params)):
+        have = arg.type
+        if have == want:
+            continue
+        # void* is compatible with any pointer argument (external wrappers).
+        if isinstance(have, PointerType) and isinstance(want, PointerType):
+            if isinstance(want.pointee, VoidType) or isinstance(have.pointee, VoidType):
+                continue
+        raise VerificationError(
+            f"{where}: call arg {idx} type {have} != {want}"
+        )
+    if call.result is not None and call.result.type != fn_type.ret:
+        if not (
+            isinstance(call.result.type, PointerType)
+            and isinstance(fn_type.ret, PointerType)
+        ):
+            raise VerificationError(
+                f"{where}: call result {call.result.type} != {fn_type.ret}"
+            )

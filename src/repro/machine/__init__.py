@@ -1,0 +1,34 @@
+"""Simulated machine: memory, heap allocator, interpreter, process runner."""
+
+from .memory import Memory, MemoryTrap, Segment
+from .heap import HeapAllocator, HeapError, OutOfMemory, MIN_PAYLOAD
+from .interpreter import (
+    AppError,
+    DpmrDetected,
+    ExecutionTrap,
+    Machine,
+    ProgramExit,
+    Timeout,
+    DEFAULT_MAX_CYCLES,
+)
+from .process import ExitStatus, ProcessResult, run_process
+
+__all__ = [
+    "AppError",
+    "DEFAULT_MAX_CYCLES",
+    "DpmrDetected",
+    "ExecutionTrap",
+    "ExitStatus",
+    "HeapAllocator",
+    "HeapError",
+    "MIN_PAYLOAD",
+    "Machine",
+    "Memory",
+    "MemoryTrap",
+    "OutOfMemory",
+    "ProcessResult",
+    "ProgramExit",
+    "Segment",
+    "Timeout",
+    "run_process",
+]

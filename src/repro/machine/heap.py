@@ -1,0 +1,193 @@
+"""Heap allocator over the simulated heap segment.
+
+Deliberately models the glibc-style behaviours the paper's results depend on
+(§2.5.3, §3.4, §3.7):
+
+* request sizes are rounded up to a multiple of 8 with a minimum payload of
+  24 bytes — so a "heap array resize" injection that shrinks a request may
+  still receive enough memory and produce *correct output*;
+* free-list metadata is written **into the freed payload**, so dangling reads
+  observe allocator junk (detectable by replica comparison);
+* a 16-byte chunk header holds size and a state magic, so frees of pointers
+  that do not point at the start of a live chunk usually abort (a crash —
+  *natural detection*), while a chunk reallocated in between frees is freed
+  "successfully", prematurely deallocating someone else's buffer;
+* the free list is LIFO first-fit, so recently freed chunks are reused first,
+  making dangling-pointer reuse likely (as in real allocators).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .memory import Memory, MemoryTrap
+
+HEADER_SIZE = 16
+MIN_PAYLOAD = 24
+ALIGN = 8
+
+MAGIC_ALLOCATED = 0xA110CA7ED0000000
+MAGIC_FREED = 0xF2EEF2EEF2EE0000
+
+#: Cost-model parameters (simulated cycles).
+MALLOC_BASE_COST = 30
+MALLOC_BYTE_COST_SHIFT = 5  # + size >> 5 models page/cache-crossing work
+FREE_COST = 20
+
+
+class HeapError(Exception):
+    """Allocator-detected invalid operation: aborts the program (a crash)."""
+
+
+class OutOfMemory(HeapError):
+    """Heap exhaustion."""
+
+
+class HeapAllocator:
+    """First-fit free-list allocator with bump-pointer fallback."""
+
+    def __init__(self, memory: Memory):
+        self.memory = memory
+        self.base = memory.heap.base
+        self.limit = memory.heap.end
+        self.top = self.base
+        self.free_head = 0  # address of first free chunk header, 0 = empty
+        self.live_chunks = 0
+        self.bytes_in_use = 0
+        #: cycles charged by the most recent operation (read by the machine)
+        self.last_cost = 0
+
+    # -- chunk header helpers ---------------------------------------------
+
+    def _read_header(self, header_addr: int) -> tuple:
+        size = self.memory.read_scalar(header_addr, _U64)
+        magic = self.memory.read_scalar(header_addr + 8, _U64)
+        return size, magic
+
+    def _write_header(self, header_addr: int, size: int, magic: int) -> None:
+        self.memory.write_scalar(header_addr, _U64, size)
+        self.memory.write_scalar(header_addr + 8, _U64, magic)
+
+    # -- allocation ---------------------------------------------------------
+
+    def round_request(self, size: int) -> int:
+        """The size actually reserved for a request of ``size`` bytes."""
+        size = max(size, MIN_PAYLOAD)
+        return (size + ALIGN - 1) // ALIGN * ALIGN
+
+    def malloc(self, size: int) -> int:
+        """Allocate ``size`` payload bytes; returns the payload address."""
+        if size < 0:
+            raise HeapError(f"negative allocation size {size}")
+        payload = self.round_request(size)
+        self.last_cost = MALLOC_BASE_COST + (payload >> MALLOC_BYTE_COST_SHIFT)
+        addr = self._take_from_free_list(payload)
+        if addr == 0:
+            addr = self._bump(payload)
+        self.live_chunks += 1
+        self.bytes_in_use += payload
+        return addr
+
+    def _take_from_free_list(self, payload: int) -> int:
+        prev = 0
+        cur = self.free_head
+        steps = 0
+        while cur != 0:
+            steps += 1
+            size, magic = self._read_header(cur)
+            nxt = self.memory.read_scalar(cur + HEADER_SIZE, _U64)
+            if magic == MAGIC_FREED and size >= payload:
+                if prev == 0:
+                    self.free_head = nxt
+                else:
+                    self.memory.write_scalar(prev + HEADER_SIZE, _U64, nxt)
+                self._write_header(cur, size, MAGIC_ALLOCATED)
+                self.last_cost += steps
+                return cur + HEADER_SIZE
+            prev = cur
+            cur = nxt
+            if steps > 1 << 20:
+                raise HeapError("free list cycle (heap metadata corrupted)")
+        self.last_cost += steps
+        return 0
+
+    def _bump(self, payload: int) -> int:
+        header = self.top
+        if header + HEADER_SIZE + payload > self.limit:
+            raise OutOfMemory(
+                f"heap exhausted ({self.top - self.base} bytes used)"
+            )
+        self._write_header(header, payload, MAGIC_ALLOCATED)
+        self.top = header + HEADER_SIZE + payload
+        return header + HEADER_SIZE
+
+    # -- deallocation ---------------------------------------------------------
+
+    def free(self, address: int) -> None:
+        """Free the chunk whose payload starts at ``address``.
+
+        Raises :class:`HeapError` (program abort) for frees the allocator can
+        detect as invalid: null-adjacent/unaligned pointers, pointers whose
+        header is not a live chunk header, and double frees.
+        """
+        self.last_cost = FREE_COST
+        if address == 0:
+            return  # free(NULL) is a no-op, as in C
+        if address % ALIGN != 0:
+            raise HeapError(f"invalid free of misaligned pointer {address:#x}")
+        header = address - HEADER_SIZE
+        if not (self.base <= header and address <= self.limit):
+            raise HeapError(f"invalid free of non-heap pointer {address:#x}")
+        try:
+            size, magic = self._read_header(header)
+        except MemoryTrap as exc:
+            raise HeapError(f"invalid free: {exc}") from exc
+        if magic == MAGIC_FREED:
+            raise HeapError(f"double free of {address:#x}")
+        if magic != MAGIC_ALLOCATED or size <= 0 or header + HEADER_SIZE + size > self.top:
+            raise HeapError(f"invalid free of {address:#x} (corrupt header)")
+        self._write_header(header, size, MAGIC_FREED)
+        # Free-list link written into the payload: dangling readers will see
+        # this metadata instead of their data.
+        self.memory.write_scalar(address, _U64, self.free_head)
+        if size >= 16:
+            self.memory.write_scalar(address + 8, _U64, 0xDEADBEEFDEADBEEF)
+        self.free_head = header
+        self.live_chunks -= 1
+        self.bytes_in_use -= size
+
+    # -- queries ----------------------------------------------------------------
+
+    def payload_size(self, address: int) -> int:
+        """Allocated payload size of a live chunk (``heapBufSize`` in 2.8)."""
+        header = address - HEADER_SIZE
+        if not (self.base <= header and header + HEADER_SIZE <= self.limit):
+            raise HeapError(f"payload_size of non-heap pointer {address:#x}")
+        try:
+            size, magic = self._read_header(header)
+        except MemoryTrap as exc:
+            raise HeapError(f"payload_size: {exc}") from exc
+        if magic != MAGIC_ALLOCATED:
+            raise HeapError(f"payload_size of non-live chunk {address:#x}")
+        if size <= 0 or header + HEADER_SIZE + size > self.top:
+            raise HeapError(
+                f"payload_size of {address:#x}: corrupt size {size}"
+            )
+        return size
+
+    def is_live_chunk(self, address: int) -> bool:
+        header = address - HEADER_SIZE
+        if not (self.base <= header and header + HEADER_SIZE <= self.limit):
+            return False
+        try:
+            size, magic = self._read_header(header)
+        except MemoryTrap:
+            return False
+        return magic == MAGIC_ALLOCATED and 0 < size <= self.top - header
+
+
+# Raw 64-bit unsigned header words are accessed through the pointer-width
+# path of Memory (PointerType is stored as little-endian u64).
+from ..ir.types import PointerType, VOID  # noqa: E402
+
+_U64 = PointerType(VOID)

@@ -1,0 +1,480 @@
+"""IR interpreter with a deterministic cycle cost model.
+
+The interpreter executes one :class:`~repro.ir.module.Module` against the
+simulated memory/heap.  Everything the paper measures maps onto machine
+state:
+
+* *overhead* — the ``cycles`` counter (every instruction and allocator
+  operation charges simulated cycles);
+* *natural detection by crash* — :class:`ExecutionTrap` (memory faults,
+  allocator aborts, wild function pointers, division by zero);
+* *DPMR detection* — the ``dpmr_detect`` intrinsic raising
+  :class:`DpmrDetected`;
+* *successful fault injection* (§3.6) — first execution of an instruction
+  whose ``fault_site`` is set is recorded with its cycle stamp.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..ir import instructions as ins
+from ..ir.module import Function, GlobalVariable, Module
+from ..ir.types import (
+    ArrayType,
+    FloatType,
+    IntType,
+    PointerType,
+    StructType,
+    Type,
+    UnionType,
+    VoidType,
+    alignof,
+    field_offset,
+    sizeof,
+)
+from ..ir.values import (
+    ConstFloat,
+    ConstInt,
+    ConstNull,
+    FunctionRef,
+    GlobalRef,
+    Register,
+    wrap_int,
+)
+from .heap import HeapAllocator, HeapError, OutOfMemory
+from .memory import Memory, MemoryTrap
+
+FUNC_ADDR_BASE = 0xF000_0000_0000
+FUNC_ADDR_STRIDE = 16
+
+DEFAULT_MAX_CYCLES = 200_000_000
+
+
+class ExecutionTrap(Exception):
+    """Abnormal termination equivalent to a signal exit (a crash)."""
+
+    def __init__(self, kind: str, message: str = ""):
+        self.kind = kind
+        super().__init__(f"{kind}: {message}" if message else kind)
+
+
+class Timeout(Exception):
+    """Cycle budget exhausted (the paper's ~20x-normal-runtime timeout)."""
+
+
+class DpmrDetected(Exception):
+    """A DPMR state comparison failed: a memory error was detected."""
+
+    def __init__(self, code: int = 0, where: str = ""):
+        self.code = code
+        self.where = where
+        super().__init__(f"DPMR detection (code={code}) {where}".rstrip())
+
+
+class AppError(Exception):
+    """Application-level error detection (error output / error exit)."""
+
+    def __init__(self, code: int):
+        self.code = code
+        super().__init__(f"application detected error (code={code})")
+
+
+class ProgramExit(Exception):
+    """Explicit ``exit(code)``."""
+
+    def __init__(self, code: int):
+        self.code = code
+        super().__init__(f"exit({code})")
+
+
+#: Per-instruction cycle costs.
+COSTS = {
+    ins.Alloca: 2,
+    ins.Load: 2,
+    ins.Store: 2,
+    ins.FieldAddr: 1,
+    ins.ElemAddr: 1,
+    ins.PtrCast: 1,
+    ins.PtrToInt: 1,
+    ins.IntToPtr: 1,
+    ins.BinOp: 1,
+    ins.Cmp: 1,
+    ins.NumCast: 1,
+    ins.Call: 4,
+    ins.FuncAddr: 1,
+    ins.Jump: 1,
+    ins.Branch: 1,
+    ins.Ret: 2,
+    ins.Unreachable: 0,
+    ins.Malloc: 0,  # charged by the allocator
+    ins.Free: 0,  # charged by the allocator
+}
+
+_EXPENSIVE_BINOPS = {"mul": 3, "sdiv": 12, "srem": 12, "fmul": 4, "fdiv": 12}
+
+IntrinsicFn = Callable[["Machine", List], object]
+
+
+class Machine:
+    """Executes a module; one Machine per process run."""
+
+    def __init__(
+        self,
+        module: Module,
+        memory: Optional[Memory] = None,
+        max_cycles: int = DEFAULT_MAX_CYCLES,
+        seed: int = 0,
+        dpmr_runtime=None,
+    ):
+        self.module = module
+        self.memory = memory if memory is not None else Memory()
+        self.heap = HeapAllocator(self.memory)
+        self.max_cycles = max_cycles
+        self.cycles = 0
+        self.instructions_executed = 0
+        self.rng = random.Random(seed)
+        self.output: List[str] = []
+        self.fault_activations: Dict[str, int] = {}
+        self.dpmr_runtime = dpmr_runtime
+        self.intrinsics: Dict[str, IntrinsicFn] = {}
+        self.stack_top = self.memory.stack.base
+        self._globals: Dict[str, int] = {}
+        self._func_addrs: Dict[str, int] = {}
+        self._addr_funcs: Dict[int, str] = {}
+        self._assign_function_addresses()
+        self._layout_globals()
+        from .intrinsics import register_default_intrinsics
+
+        register_default_intrinsics(self)
+        if dpmr_runtime is not None:
+            dpmr_runtime.attach(self)
+
+    # -- setup -------------------------------------------------------------
+
+    def _assign_function_addresses(self) -> None:
+        for i, name in enumerate(self.module.functions):
+            addr = FUNC_ADDR_BASE + i * FUNC_ADDR_STRIDE
+            self._func_addrs[name] = addr
+            self._addr_funcs[addr] = name
+
+    def _layout_globals(self) -> None:
+        cursor = self.memory.globals.base
+        for g in self.module.globals.values():
+            a = max(alignof(g.value_type), 8)
+            cursor = (cursor + a - 1) // a * a
+            size = sizeof(g.value_type)
+            if cursor + size > self.memory.globals.end:
+                raise ExecutionTrap("globals-overflow", g.name)
+            self._globals[g.name] = cursor
+            cursor += size
+        for g in self.module.globals.values():
+            self._init_global(g)
+
+    def _init_global(self, g: GlobalVariable) -> None:
+        self._write_initializer(self._globals[g.name], g.value_type, g.initializer)
+
+    def _write_initializer(self, addr: int, ty: Type, init) -> None:
+        if init is None:
+            return  # memory is zero-initialized in the globals segment
+        if isinstance(ty, (IntType, FloatType)):
+            self.memory.write_scalar(addr, ty, init)
+        elif isinstance(ty, PointerType):
+            self.memory.write_scalar(addr, ty, self._resolve_pointer_init(init))
+        elif isinstance(ty, ArrayType):
+            if isinstance(init, (bytes, bytearray)):
+                self.memory.write_bytes(addr, bytes(init))
+            else:
+                esz = sizeof(ty.element)
+                for i, item in enumerate(init):
+                    self._write_initializer(addr + i * esz, ty.element, item)
+        elif isinstance(ty, StructType):
+            for i, item in enumerate(init):
+                off = field_offset(ty, i)
+                self._write_initializer(addr + off, ty.fields[i], item)
+        elif isinstance(ty, UnionType):
+            self._write_initializer(addr, ty.members[0], init)
+        else:
+            raise TypeError(f"cannot initialize global of type {ty}")
+
+    def _resolve_pointer_init(self, init) -> int:
+        if init == 0 or init is None:
+            return 0
+        if isinstance(init, GlobalRef):
+            return self._globals[init.name]
+        if isinstance(init, FunctionRef):
+            return self._func_addrs[init.name]
+        if isinstance(init, int):
+            return init
+        raise TypeError(f"bad pointer initializer {init!r}")
+
+    # -- public helpers -----------------------------------------------------
+
+    def global_address(self, name: str) -> int:
+        return self._globals[name]
+
+    def function_address(self, name: str) -> int:
+        return self._func_addrs[name]
+
+    def register_intrinsic(self, name: str, fn: IntrinsicFn) -> None:
+        self.intrinsics[name] = fn
+
+    def charge(self, cycles: int) -> None:
+        self.cycles += cycles
+        if self.cycles > self.max_cycles:
+            raise Timeout(f"exceeded {self.max_cycles} cycles")
+
+    def heap_malloc(self, size: int) -> int:
+        try:
+            addr = self.heap.malloc(size)
+        except OutOfMemory as exc:
+            raise ExecutionTrap("out-of-memory", str(exc)) from exc
+        except HeapError as exc:
+            raise ExecutionTrap("heap-abort", str(exc)) from exc
+        self.charge(self.heap.last_cost)
+        return addr
+
+    def heap_free(self, addr: int) -> None:
+        try:
+            self.heap.free(addr)
+        except HeapError as exc:
+            raise ExecutionTrap("heap-abort", str(exc)) from exc
+        self.charge(self.heap.last_cost)
+
+    def stack_alloc(self, size: int) -> int:
+        a = (self.stack_top + 7) // 8 * 8
+        if a + size > self.memory.stack.end:
+            raise ExecutionTrap("stack-overflow", f"{size} bytes")
+        self.stack_top = a + size
+        return a
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self, entry: str = "main", args: Sequence = ()):
+        """Run ``entry``; returns its return value (exceptions propagate)."""
+        fn = self.module.functions.get(entry)
+        if fn is None:
+            raise ExecutionTrap("no-entry", entry)
+        return self.call(fn, list(args))
+
+    def call(self, fn: Function, args: List):
+        if fn.is_external:
+            return self.call_intrinsic(fn.name, args)
+        if len(args) != len(fn.params):
+            raise ExecutionTrap(
+                "bad-call", f"{fn.name} expects {len(fn.params)} args, got {len(args)}"
+            )
+        saved_stack = self.stack_top
+        regs: Dict[str, object] = {
+            p.name: a for p, a in zip(fn.params, args)
+        }
+        try:
+            return self._exec_function(fn, regs)
+        finally:
+            self.stack_top = saved_stack
+
+    def call_intrinsic(self, name: str, args: List):
+        fn = self.intrinsics.get(name)
+        if fn is None:
+            raise ExecutionTrap("unresolved-external", name)
+        return fn(self, args)
+
+    def call_by_address(self, addr: int, args: List):
+        name = self._addr_funcs.get(addr)
+        if name is None:
+            raise ExecutionTrap("wild-function-pointer", f"{addr:#x}")
+        return self.call(self.module.functions[name], args)
+
+    def _exec_function(self, fn: Function, regs: Dict[str, object]):
+        block = fn.entry
+        memory = self.memory
+        while True:
+            jumped = False
+            for i in block.instructions:
+                self.instructions_executed += 1
+                cost = COSTS.get(type(i), 1)
+                if isinstance(i, ins.BinOp):
+                    cost = _EXPENSIVE_BINOPS.get(i.op, 1)
+                self.charge(cost)
+                if i.fault_site is not None and i.fault_site not in self.fault_activations:
+                    self.fault_activations[i.fault_site] = self.cycles
+
+                kind = type(i)
+                if kind is ins.Load:
+                    addr = self._value(i.pointer, regs)
+                    regs[i.result.name] = memory.read_scalar(addr, i.result.type)
+                elif kind is ins.Store:
+                    addr = self._value(i.pointer, regs)
+                    memory.write_scalar(addr, i.value.type, self._value(i.value, regs))
+                elif kind is ins.BinOp:
+                    regs[i.result.name] = self._binop(i, regs)
+                elif kind is ins.Cmp:
+                    regs[i.result.name] = self._cmp(i, regs)
+                elif kind is ins.FieldAddr:
+                    base = self._value(i.pointer, regs)
+                    st = i.pointer.type.pointee
+                    regs[i.result.name] = base + field_offset(st, i.index)
+                elif kind is ins.ElemAddr:
+                    base = self._value(i.pointer, regs)
+                    elem = i.pointer.type.pointee.element
+                    idx = self._value(i.index, regs)
+                    regs[i.result.name] = base + idx * sizeof(elem)
+                elif kind is ins.Call:
+                    self._do_call(i, regs)
+                elif kind is ins.Branch:
+                    cond = self._value(i.cond, regs)
+                    target = i.then_target if cond else i.else_target
+                    block = fn.block(target)
+                    jumped = True
+                    break
+                elif kind is ins.Jump:
+                    block = fn.block(i.target)
+                    jumped = True
+                    break
+                elif kind is ins.Ret:
+                    return self._value(i.value, regs) if i.value is not None else None
+                elif kind is ins.Alloca:
+                    count = self._value(i.count, regs) if i.count is not None else 1
+                    regs[i.result.name] = self.stack_alloc(
+                        sizeof(i.allocated_type) * count
+                    )
+                elif kind is ins.Malloc:
+                    count = self._value(i.count, regs) if i.count is not None else 1
+                    regs[i.result.name] = self.heap_malloc(
+                        sizeof(i.allocated_type) * count
+                    )
+                elif kind is ins.Free:
+                    self.heap_free(self._value(i.pointer, regs))
+                elif kind is ins.PtrCast:
+                    regs[i.result.name] = self._value(i.pointer, regs)
+                elif kind is ins.PtrToInt:
+                    regs[i.result.name] = self._value(i.pointer, regs)
+                elif kind is ins.IntToPtr:
+                    regs[i.result.name] = self._value(i.value, regs) & ((1 << 64) - 1)
+                elif kind is ins.NumCast:
+                    regs[i.result.name] = self._numcast(i, regs)
+                elif kind is ins.FuncAddr:
+                    regs[i.result.name] = self._func_addrs[i.function_name]
+                elif kind is ins.Unreachable:
+                    raise ExecutionTrap("unreachable", f"in {fn.name}")
+                else:  # pragma: no cover - defensive
+                    raise ExecutionTrap("bad-instruction", type(i).__name__)
+            if not jumped:
+                raise ExecutionTrap("fell-off-block", f"{fn.name}/{block.label}")
+
+    # -- operand & op evaluation ---------------------------------------------
+
+    def _value(self, v, regs):
+        kind = type(v)
+        if kind is Register:
+            try:
+                return regs[v.name]
+            except KeyError:
+                raise ExecutionTrap("undefined-register", v.name) from None
+        if kind is ConstInt:
+            return v.value
+        if kind is ConstFloat:
+            return v.value
+        if kind is ConstNull:
+            return 0
+        if kind is GlobalRef:
+            return self._globals[v.name]
+        if kind is FunctionRef:
+            return self._func_addrs[v.name]
+        raise ExecutionTrap("bad-operand", repr(v))
+
+    def _binop(self, i: ins.BinOp, regs):
+        a = self._value(i.lhs, regs)
+        b = self._value(i.rhs, regs)
+        op = i.op
+        if op == "add":
+            r = a + b
+        elif op == "sub":
+            r = a - b
+        elif op == "mul":
+            r = a * b
+        elif op == "sdiv":
+            if b == 0:
+                raise ExecutionTrap("divide-by-zero")
+            r = abs(a) // abs(b)
+            if (a < 0) != (b < 0):
+                r = -r
+        elif op == "srem":
+            if b == 0:
+                raise ExecutionTrap("divide-by-zero")
+            q = abs(a) // abs(b)
+            if (a < 0) != (b < 0):
+                q = -q
+            r = a - q * b
+        elif op == "and":
+            r = a & b
+        elif op == "or":
+            r = a | b
+        elif op == "xor":
+            r = a ^ b
+        elif op == "shl":
+            r = a << (b & 63)
+        elif op == "shr":
+            r = a >> (b & 63)
+        elif op == "fadd":
+            r = a + b
+        elif op == "fsub":
+            r = a - b
+        elif op == "fmul":
+            r = a * b
+        elif op == "fdiv":
+            if b == 0.0:
+                r = float("inf") if a > 0 else float("-inf") if a < 0 else float("nan")
+            else:
+                r = a / b
+        else:  # pragma: no cover - verified at construction
+            raise ExecutionTrap("bad-op", op)
+        ty = i.result.type
+        if isinstance(ty, IntType):
+            return wrap_int(int(r), max(ty.bits, 8))
+        if isinstance(ty, FloatType) and ty.bits == 32:
+            return struct.unpack("<f", struct.pack("<f", r))[0]
+        return r
+
+    def _cmp(self, i: ins.Cmp, regs) -> int:
+        a = self._value(i.lhs, regs)
+        b = self._value(i.rhs, regs)
+        op = i.op
+        if op == "eq":
+            return int(a == b)
+        if op == "ne":
+            return int(a != b)
+        if op == "slt":
+            return int(a < b)
+        if op == "sle":
+            return int(a <= b)
+        if op == "sgt":
+            return int(a > b)
+        return int(a >= b)
+
+    def _numcast(self, i: ins.NumCast, regs):
+        v = self._value(i.value, regs)
+        ty = i.result.type
+        if isinstance(ty, IntType):
+            return wrap_int(int(v), max(ty.bits, 8))
+        if isinstance(ty, FloatType):
+            f = float(v)
+            if ty.bits == 32:
+                return struct.unpack("<f", struct.pack("<f", f))[0]
+            return f
+        raise ExecutionTrap("bad-cast", str(ty))
+
+    def _do_call(self, i: ins.Call, regs) -> None:
+        args = [self._value(a, regs) for a in i.args]
+        if i.is_direct:
+            fn = self.module.functions.get(i.callee)
+            if fn is None:
+                raise ExecutionTrap("unresolved-call", str(i.callee))
+            result = self.call(fn, args)
+        else:
+            addr = self._value(i.callee, regs)
+            result = self.call_by_address(addr, args)
+        if i.result is not None:
+            regs[i.result.name] = result if result is not None else 0

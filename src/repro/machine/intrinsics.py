@@ -1,0 +1,248 @@
+"""Default external ("intrinsic") functions.
+
+These play the role of libc and the OS in the paper: they are *external code*
+that the DPMR transformation does not see (§2.8).  DPMR-transformed modules
+do not call these directly — the transformation reroutes every external call
+to an *external function wrapper* (``<name>_efw``, see
+:mod:`repro.core.wrappers`) that performs the replica/shadow bookkeeping and
+then invokes the underlying intrinsic.
+
+Each intrinsic charges simulated cycles proportional to the work performed so
+that external work participates in the overhead metric.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .interpreter import (
+    AppError,
+    DpmrDetected,
+    ExecutionTrap,
+    Machine,
+    ProgramExit,
+)
+
+
+def register_default_intrinsics(machine: Machine) -> None:
+    reg = machine.register_intrinsic
+    reg("print_i64", _print_i64)
+    reg("print_f64", _print_f64)
+    reg("print_str", _print_str)
+    reg("putchar", _putchar)
+    reg("exit", _exit)
+    reg("abort", _abort)
+    reg("app_error", _app_error)
+    reg("strlen", _strlen)
+    reg("strcpy", _strcpy)
+    reg("strcmp", _strcmp)
+    reg("atoi", _atoi)
+    reg("atof", _atof)
+    reg("memcpy", _memcpy)
+    reg("memmove", _memmove)
+    reg("memset", _memset)
+    reg("qsort", _qsort)
+    reg("dpmr_detect", _dpmr_detect)
+    reg("dpmr_replica_malloc", _dpmr_replica_malloc)
+    reg("dpmr_replica_free", _dpmr_replica_free)
+
+
+# -- output / control ---------------------------------------------------------
+
+
+def _print_i64(m: Machine, args: List):
+    m.charge(10)
+    m.output.append(str(args[0]))
+    return None
+
+
+def _print_f64(m: Machine, args: List):
+    m.charge(12)
+    m.output.append(f"{args[0]:.6g}")
+    return None
+
+
+def _print_str(m: Machine, args: List):
+    data = m.memory.read_cstring(args[0])
+    m.charge(5 + len(data))
+    m.output.append(data.decode("latin-1"))
+    return None
+
+
+def _putchar(m: Machine, args: List):
+    m.charge(3)
+    m.output.append(chr(args[0] & 0xFF))
+    return None
+
+
+def _exit(m: Machine, args: List):
+    raise ProgramExit(int(args[0]))
+
+
+def _abort(m: Machine, args: List):
+    raise ExecutionTrap("abort", "program called abort()")
+
+
+def _app_error(m: Machine, args: List):
+    raise AppError(int(args[0]))
+
+
+# -- string functions ----------------------------------------------------------
+
+
+def _strlen(m: Machine, args: List):
+    s = m.memory.read_cstring(args[0])
+    m.charge(2 + len(s))
+    return len(s)
+
+
+def _strcpy(m: Machine, args: List):
+    dest, src = args
+    data = m.memory.read_cstring(src)
+    m.charge(3 + 2 * len(data))
+    m.memory.write_cstring(dest, data)
+    return dest
+
+
+def _strcmp(m: Machine, args: List):
+    a = m.memory.read_cstring(args[0])
+    b = m.memory.read_cstring(args[1])
+    m.charge(2 + min(len(a), len(b)))
+    if a == b:
+        return 0
+    return -1 if a < b else 1
+
+
+def _atoi(m: Machine, args: List):
+    s = m.memory.read_cstring(args[0]).decode("latin-1").strip()
+    m.charge(5 + len(s))
+    digits = ""
+    for i, c in enumerate(s):
+        if i == 0 and c in "+-":
+            digits += c
+        elif c.isdigit():
+            digits += c
+        else:
+            break
+    try:
+        return int(digits)
+    except ValueError:
+        return 0
+
+
+def _atof(m: Machine, args: List):
+    s = m.memory.read_cstring(args[0]).decode("latin-1").strip()
+    m.charge(8 + len(s))
+    prefix = _float_prefix(s)
+    try:
+        return float(prefix) if prefix else 0.0
+    except ValueError:
+        return 0.0
+
+
+def _float_prefix(s: str) -> str:
+    """The longest prefix of ``s`` parseable as a float (atof semantics)."""
+    best = ""
+    cur = ""
+    for ch in s:
+        cand = cur + ch
+        if not _could_extend_to_float(cand):
+            break
+        cur = cand
+        try:
+            float(cand)
+            best = cand
+        except ValueError:
+            pass
+    return best
+
+
+def _could_extend_to_float(text: str) -> bool:
+    """Whether ``text`` is (or could still grow into) a valid float literal."""
+    if text in ("", "+", "-", ".", "+.", "-."):
+        return True
+    for suffix in ("", "0", "e0"):
+        try:
+            float(text + suffix)
+            return True
+        except ValueError:
+            continue
+    return False
+
+
+# -- memory functions ------------------------------------------------------------
+
+
+def _memcpy(m: Machine, args: List):
+    dest, src, n = args
+    n = max(0, n)
+    m.charge(4 + n // 4)
+    data = m.memory.read_bytes(src, n)
+    m.memory.write_bytes(dest, data)
+    return dest
+
+
+def _memmove(m: Machine, args: List):
+    return _memcpy(m, args)  # byte-level snapshot copy is move-safe
+
+
+def _memset(m: Machine, args: List):
+    dest, c, n = args
+    n = max(0, n)
+    m.charge(4 + n // 8)
+    m.memory.fill(dest, c, n)
+    return dest
+
+
+def _qsort(m: Machine, args: List):
+    base, nmemb, size, cmp_fn = args
+    _qsort_run(m, base, nmemb, size, lambda a, b: m.call_by_address(cmp_fn, [a, b]))
+    return None
+
+
+def _qsort_run(m: Machine, base: int, nmemb: int, size: int, compare) -> None:
+    """Sort ``nmemb`` elements of ``size`` bytes in place (insertion sort).
+
+    Insertion sort keeps the element movement observable byte-by-byte and is
+    fine at simulator scales; comparison callbacks charge their own cycles.
+    """
+    mem = m.memory
+    for i in range(1, nmemb):
+        key = mem.read_bytes(base + i * size, size)
+        j = i - 1
+        while j >= 0:
+            m.charge(6 + size // 4)
+            if compare(base + j * size, base + i * size) <= 0:
+                break
+            j -= 1
+        # shift (j+1 .. i-1) right by one slot
+        if j + 1 != i:
+            block = mem.read_bytes(base + (j + 1) * size, (i - j - 1) * size)
+            mem.write_bytes(base + (j + 2) * size, block)
+            mem.write_bytes(base + (j + 1) * size, key)
+
+
+# -- DPMR runtime hooks -------------------------------------------------------------
+
+
+def _dpmr_detect(m: Machine, args: List):
+    code = int(args[0]) if args else 0
+    raise DpmrDetected(code)
+
+
+def _dpmr_replica_malloc(m: Machine, args: List):
+    size = int(args[0])
+    runtime = m.dpmr_runtime
+    if runtime is not None:
+        return runtime.replica_malloc(m, size)
+    return m.heap_malloc(size)
+
+
+def _dpmr_replica_free(m: Machine, args: List):
+    addr = int(args[0])
+    runtime = m.dpmr_runtime
+    if runtime is not None:
+        runtime.replica_free(m, addr)
+        return None
+    m.heap_free(addr)
+    return None

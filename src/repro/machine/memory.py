@@ -1,0 +1,169 @@
+"""Flat byte-addressable simulated memory with segments and protection.
+
+Everything DPMR cares about — overflow corruption, dangling reads picking up
+allocator metadata, wild pointers trapping on unmapped pages — falls out of
+modelling memory as *real bytes*.  Pointers are integer addresses into a
+single address space containing a protected null page, a globals segment, a
+stack segment, and a heap segment, with unmapped guard gaps between them.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.types import (
+    FloatType,
+    IntType,
+    PointerType,
+    Type,
+)
+from ..ir.values import wrap_int
+
+NULL_PAGE_SIZE = 0x1000
+GLOBALS_BASE = 0x0001_0000
+STACK_BASE = 0x0020_0000
+HEAP_BASE = 0x0100_0000
+
+DEFAULT_GLOBALS_SIZE = 1 << 18  # 256 KiB
+DEFAULT_STACK_SIZE = 1 << 19  # 512 KiB
+DEFAULT_HEAP_SIZE = 1 << 22  # 4 MiB
+
+_SCALAR_FORMATS = {
+    ("int", 1): "b",
+    ("int", 8): "b",
+    ("int", 16): "<h",
+    ("int", 32): "<i",
+    ("int", 64): "<q",
+    ("float", 32): "<f",
+    ("float", 64): "<d",
+}
+
+
+class MemoryTrap(Exception):
+    """A hardware-style memory fault (natural detection by crash, §3.6)."""
+
+    def __init__(self, kind: str, address: int, message: str = ""):
+        self.kind = kind
+        self.address = address
+        super().__init__(f"{kind} at {address:#x} {message}".rstrip())
+
+
+class Segment:
+    """One contiguous mapped region of the address space."""
+
+    def __init__(self, name: str, base: int, size: int, fill_seed: Optional[int] = None):
+        self.name = name
+        self.base = base
+        self.size = size
+        if fill_seed is None:
+            self.data = bytearray(size)
+        else:
+            # Deterministic "garbage": uninitialized reads see junk that
+            # differs between addresses, which is what lets DPMR's replica
+            # comparison catch them (the app object and its replica hold
+            # different junk).
+            self.data = bytearray(random.Random(fill_seed ^ base).randbytes(size))
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, address: int, length: int = 1) -> bool:
+        return self.base <= address and address + length <= self.end
+
+
+class Memory:
+    """The process address space."""
+
+    def __init__(
+        self,
+        globals_size: int = DEFAULT_GLOBALS_SIZE,
+        stack_size: int = DEFAULT_STACK_SIZE,
+        heap_size: int = DEFAULT_HEAP_SIZE,
+        garbage_seed: Optional[int] = 0xD19E5,
+    ):
+        self.globals = Segment("globals", GLOBALS_BASE, globals_size)
+        self.stack = Segment("stack", STACK_BASE, stack_size, fill_seed=garbage_seed)
+        self.heap = Segment("heap", HEAP_BASE, heap_size, fill_seed=garbage_seed)
+        self._segments: List[Segment] = [self.globals, self.stack, self.heap]
+
+    # -- raw byte access --------------------------------------------------
+
+    def segment_for(self, address: int, length: int = 1) -> Segment:
+        if 0 <= address < NULL_PAGE_SIZE:
+            raise MemoryTrap("null-dereference", address)
+        for seg in self._segments:
+            if seg.contains(address, length):
+                return seg
+        raise MemoryTrap("segmentation-fault", address, "(unmapped)")
+
+    def read_bytes(self, address: int, length: int) -> bytes:
+        if length == 0:
+            return b""
+        seg = self.segment_for(address, length)
+        off = address - seg.base
+        return bytes(seg.data[off : off + length])
+
+    def write_bytes(self, address: int, data: bytes) -> None:
+        if not data:
+            return
+        seg = self.segment_for(address, len(data))
+        off = address - seg.base
+        seg.data[off : off + len(data)] = data
+
+    def fill(self, address: int, value: int, length: int) -> None:
+        if length < 0:
+            raise MemoryTrap("bad-fill", address, f"negative length {length}")
+        if length == 0:
+            return
+        # Validate the range *before* materializing the fill bytes, so a
+        # corrupted (huge) size becomes a memory fault, not host exhaustion.
+        seg = self.segment_for(address, length)
+        off = address - seg.base
+        seg.data[off : off + length] = bytes([value & 0xFF]) * length
+
+    # -- typed scalar access ----------------------------------------------
+
+    def read_scalar(self, address: int, ty: Type):
+        if isinstance(ty, PointerType):
+            raw = self.read_bytes(address, 8)
+            return struct.unpack("<Q", raw)[0]
+        fmt = self._format_for(ty)
+        raw = self.read_bytes(address, struct.calcsize(fmt))
+        return struct.unpack(fmt, raw)[0]
+
+    def write_scalar(self, address: int, ty: Type, value) -> None:
+        if isinstance(ty, PointerType):
+            self.write_bytes(address, struct.pack("<Q", value & ((1 << 64) - 1)))
+            return
+        fmt = self._format_for(ty)
+        if isinstance(ty, IntType):
+            value = wrap_int(int(value), max(ty.bits, 8))
+        self.write_bytes(address, struct.pack(fmt, value))
+
+    @staticmethod
+    def _format_for(ty: Type) -> str:
+        if isinstance(ty, IntType):
+            return _SCALAR_FORMATS[("int", ty.bits)]
+        if isinstance(ty, FloatType):
+            return _SCALAR_FORMATS[("float", ty.bits)]
+        raise TypeError(f"not a loadable scalar type: {ty}")
+
+    # -- C-string helpers ---------------------------------------------------
+
+    def read_cstring(self, address: int, max_len: int = 1 << 20) -> bytes:
+        """Read a NUL-terminated byte string (trapping on unmapped memory)."""
+        out = bytearray()
+        addr = address
+        while len(out) < max_len:
+            b = self.read_bytes(addr, 1)[0]
+            if b == 0:
+                return bytes(out)
+            out.append(b)
+            addr += 1
+        raise MemoryTrap("runaway-string", address)
+
+    def write_cstring(self, address: int, data: bytes) -> None:
+        self.write_bytes(address, data + b"\x00")

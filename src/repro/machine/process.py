@@ -1,0 +1,163 @@
+"""Process-level runner: executes a module's ``main`` and classifies the exit.
+
+Maps interpreter outcomes onto the exit statuses of the experimental
+framework (§3.6): normal exit, crash (signal exit), timeout, DPMR detection,
+and application-level error detection.
+"""
+
+from __future__ import annotations
+
+import enum
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..ir.module import Module
+from ..ir.types import IntType, PointerType, VoidType
+from .interpreter import (
+    AppError,
+    DpmrDetected,
+    ExecutionTrap,
+    Machine,
+    ProgramExit,
+    Timeout,
+    DEFAULT_MAX_CYCLES,
+)
+from .memory import MemoryTrap
+
+
+class ExitStatus(enum.Enum):
+    """How a run ended."""
+
+    NORMAL = "normal"
+    CRASH = "crash"
+    TIMEOUT = "timeout"
+    DPMR_DETECTED = "dpmr-detected"
+    APP_ERROR = "app-error"
+
+
+@dataclass
+class ProcessResult:
+    """Everything the evaluation framework records about one run (§3.6)."""
+
+    status: ExitStatus
+    exit_code: int
+    output: List[str]
+    cycles: int
+    instructions: int
+    fault_activations: Dict[str, int] = field(default_factory=dict)
+    detail: str = ""
+
+    @property
+    def output_text(self) -> str:
+        return "".join(self.output)
+
+    @property
+    def crashed(self) -> bool:
+        return self.status is ExitStatus.CRASH
+
+    @property
+    def first_activation(self) -> Optional[int]:
+        """Cycle stamp of the first successful fault injection, if any."""
+        if not self.fault_activations:
+            return None
+        return min(self.fault_activations.values())
+
+
+def run_process(
+    module: Module,
+    argv: Sequence[str] = (),
+    max_cycles: int = DEFAULT_MAX_CYCLES,
+    seed: int = 0,
+    dpmr_runtime=None,
+    entry: str = "main",
+) -> ProcessResult:
+    """Run ``module`` to completion and classify the outcome.
+
+    ``argv`` strings are materialized on the heap and passed as
+    ``(argc, argv)`` when ``main`` declares parameters (§3.1.1); a
+    zero-parameter ``main`` is also accepted.
+    """
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 20000))
+    machine = Machine(
+        module, max_cycles=max_cycles, seed=seed, dpmr_runtime=dpmr_runtime
+    )
+    try:
+        args = _build_main_args(machine, module, argv, entry)
+        try:
+            rv = machine.run(entry, args)
+            code = int(rv) if rv is not None else 0
+            status = ExitStatus.NORMAL
+            detail = ""
+        except ProgramExit as exc:
+            code = exc.code
+            status = ExitStatus.NORMAL
+            detail = ""
+        except DpmrDetected as exc:
+            code = 0
+            status = ExitStatus.DPMR_DETECTED
+            detail = str(exc)
+        except AppError as exc:
+            code = exc.code
+            status = ExitStatus.APP_ERROR
+            detail = str(exc)
+        except Timeout as exc:
+            code = 0
+            status = ExitStatus.TIMEOUT
+            detail = str(exc)
+        except (ExecutionTrap, MemoryTrap) as exc:
+            code = 0
+            status = ExitStatus.CRASH
+            detail = str(exc)
+        except RecursionError:
+            code = 0
+            status = ExitStatus.CRASH
+            detail = "stack overflow (host recursion limit)"
+        return ProcessResult(
+            status=status,
+            exit_code=code,
+            output=machine.output,
+            cycles=machine.cycles,
+            instructions=machine.instructions_executed,
+            fault_activations=dict(machine.fault_activations),
+            detail=detail,
+        )
+    finally:
+        sys.setrecursionlimit(old_limit)
+
+
+def _build_main_args(
+    machine: Machine, module: Module, argv: Sequence[str], entry: str
+) -> List:
+    fn = module.functions.get(entry)
+    if fn is None:
+        return []
+    nparams = len(fn.type.params)
+    if nparams == 0:
+        return []
+    if nparams >= 2 and isinstance(fn.type.params[0], IntType):
+        argc, argv_addr = _materialize_argv(machine, argv)
+        extra = [0] * (nparams - 2)  # replica/shadow argv filled by DPMR main
+        return [argc, argv_addr] + extra
+    raise ValueError(f"unsupported main signature: {fn.type}")
+
+
+def _materialize_argv(machine: Machine, argv: Sequence[str]):
+    """Write ``argv`` strings and the pointer array to the heap."""
+    ptrs: List[int] = []
+    for arg in argv:
+        data = arg.encode("latin-1")
+        addr = machine.heap_malloc(len(data) + 1)
+        machine.memory.write_cstring(addr, data)
+        ptrs.append(addr)
+    table = machine.heap_malloc(8 * (len(ptrs) + 1))
+    for i, p in enumerate(ptrs):
+        machine.memory.write_scalar(table + 8 * i, _PTR, p)
+    machine.memory.write_scalar(table + 8 * len(ptrs), _PTR, 0)
+    return len(ptrs), table
+
+
+from ..ir.types import VOID  # noqa: E402
+
+_PTR = PointerType(VOID)

@@ -1,0 +1,101 @@
+"""Workload application tests: determinism, DPMR equivalence, fault sites."""
+
+import pytest
+
+from repro.apps import APP_BUILDERS, WORKLOAD_ORDER, app_factory
+from repro.core import DpmrCompiler, RearrangeHeap
+from repro.faultinject import Campaign, HEAP_ARRAY_RESIZE, IMMEDIATE_FREE
+from repro.ir import verify_module
+from repro.machine import ExitStatus, run_process
+
+APPS = list(APP_BUILDERS)
+
+
+@pytest.mark.parametrize("name", APPS)
+def test_app_verifies(name):
+    verify_module(APP_BUILDERS[name](1))
+
+
+@pytest.mark.parametrize("name", APPS)
+def test_app_golden_run_succeeds(name):
+    r = run_process(APP_BUILDERS[name](1))
+    assert r.status is ExitStatus.NORMAL, (name, r.detail)
+    assert r.exit_code == 0
+    assert len(r.output_text) > 2
+
+
+@pytest.mark.parametrize("name", APPS)
+def test_app_deterministic(name):
+    r1 = run_process(APP_BUILDERS[name](1))
+    r2 = run_process(APP_BUILDERS[name](1))
+    assert r1.output_text == r2.output_text
+    assert r1.cycles == r2.cycles
+
+
+@pytest.mark.parametrize("name", APPS)
+@pytest.mark.parametrize("design", ["sds", "mds"])
+def test_app_output_preserved_under_dpmr(name, design):
+    golden = run_process(APP_BUILDERS[name](1))
+    build = DpmrCompiler(design=design).compile(APP_BUILDERS[name](1))
+    r = build.run()
+    assert r.status is ExitStatus.NORMAL, (name, design, r.detail)
+    assert r.output_text == golden.output_text
+
+
+@pytest.mark.parametrize("name", APPS)
+def test_app_output_preserved_under_rearrange_heap(name):
+    golden = run_process(APP_BUILDERS[name](1))
+    build = DpmrCompiler(design="sds", diversity=RearrangeHeap()).compile(
+        APP_BUILDERS[name](1)
+    )
+    r = build.run(seed=11)
+    assert r.status is ExitStatus.NORMAL, (name, r.detail)
+    assert r.output_text == golden.output_text
+
+
+@pytest.mark.parametrize("name", APPS)
+def test_app_has_fault_sites(name):
+    resize = Campaign(app_factory(name), HEAP_ARRAY_RESIZE)
+    free = Campaign(app_factory(name), IMMEDIATE_FREE)
+    assert len(resize.sites) >= 1
+    assert len(free.sites) >= 2
+
+
+@pytest.mark.parametrize("name", APPS)
+def test_app_scales(name):
+    small = run_process(APP_BUILDERS[name](1))
+    big = run_process(APP_BUILDERS[name](2))
+    assert big.cycles > small.cycles
+    assert big.status is ExitStatus.NORMAL
+
+
+def test_workload_order_matches_paper():
+    assert WORKLOAD_ORDER == ("art", "bzip2", "equake", "mcf")
+
+
+def test_pointer_heavy_apps_have_larger_sds_mds_gap():
+    """§4.5: MDS's advantage over SDS concentrates on equake/mcf because a
+    larger fraction of their allocations hold pointers."""
+    gaps = {}
+    for name in APPS:
+        golden = run_process(APP_BUILDERS[name](1)).cycles
+        sds = DpmrCompiler(design="sds").compile(APP_BUILDERS[name](1)).run().cycles
+        mds = DpmrCompiler(design="mds").compile(APP_BUILDERS[name](1)).run().cycles
+        gaps[name] = (sds - mds) / golden
+    light = max(gaps["art"], gaps["bzip2"])
+    heavy = min(gaps["equake"], gaps["mcf"])
+    assert heavy > light
+
+
+def test_apps_allocate_and_release_heap():
+    """Every app frees what it allocates (no leaks in the golden run)."""
+    from repro.machine.interpreter import Machine
+
+    for name in APPS:
+        machine = Machine(APP_BUILDERS[name](1))
+        machine.run("main", _main_args(machine, name))
+        assert machine.heap.live_chunks == 0, name
+
+
+def _main_args(machine, name):
+    return []

@@ -1,0 +1,199 @@
+"""Augmented type (``at()``) tests: Tables 2.3/2.4 (SDS) and 4.1/4.2 (MDS)."""
+
+import pytest
+
+from repro.core import ReplicationDesign, TypeMaps
+from repro.core.aug_types import composed_shadow_aug_reference, contains_function_type
+from repro.ir import (
+    ArrayType,
+    FLOAT64,
+    FunctionType,
+    INT32,
+    INT64,
+    INT8,
+    PointerType,
+    StructType,
+    UnionType,
+    VOID,
+    VOID_PTR,
+)
+
+
+@pytest.fixture
+def sds():
+    return TypeMaps(ReplicationDesign.SDS)
+
+
+@pytest.fixture
+def mds():
+    return TypeMaps(ReplicationDesign.MDS)
+
+
+def _structurally_equal(a, b, depth=0):
+    """Structural comparison tolerant of identified-vs-literal structs."""
+    if depth > 12:
+        return True
+    if isinstance(a, PointerType) and isinstance(b, PointerType):
+        return _structurally_equal(a.pointee, b.pointee, depth + 1)
+    if isinstance(a, StructType) and isinstance(b, StructType):
+        if len(a.fields) != len(b.fields):
+            return False
+        return all(
+            _structurally_equal(x, y, depth + 1)
+            for x, y in zip(a.fields, b.fields)
+        )
+    if isinstance(a, ArrayType) and isinstance(b, ArrayType):
+        return a.count == b.count and _structurally_equal(
+            a.element, b.element, depth + 1
+        )
+    if isinstance(a, UnionType) and isinstance(b, UnionType):
+        if len(a.members) != len(b.members):
+            return False
+        return all(
+            _structurally_equal(x, y, depth + 1)
+            for x, y in zip(a.members, b.members)
+        )
+    return a == b
+
+
+class TestIdentityCases:
+    """at() changes only types that mention function types."""
+
+    @pytest.mark.parametrize(
+        "t",
+        [
+            INT32,
+            FLOAT64,
+            PointerType(INT8),
+            StructType([INT32, PointerType(INT64)]),
+            ArrayType(PointerType(INT8), 4),
+            UnionType([INT32, PointerType(INT8)]),
+        ],
+    )
+    def test_no_function_types_identity(self, sds, t):
+        assert sds.at(t) is t
+
+    def test_contains_function_type(self):
+        assert contains_function_type(FunctionType(VOID, []))
+        assert contains_function_type(PointerType(FunctionType(VOID, [])))
+        assert not contains_function_type(StructType([INT32, PointerType(INT8)]))
+
+    def test_recursive_struct_identity(self, sds):
+        ll = StructType.opaque("LL")
+        ll.set_fields([INT32, PointerType(ll)])
+        assert sds.at(ll) is ll
+
+
+class TestTable24Example:
+    """at(int8[]* (int8[]*, int8[]*)) under SDS (Table 2.4)."""
+
+    def test_sds_function_augmentation(self, sds):
+        s = PointerType(ArrayType(INT8))
+        ft = FunctionType(s, [s, s])
+        aug = sds.aug.aug_function_type(ft)
+        assert aug.ret == s
+        # rvSop + (s1, s1Rop, s1Nsop) + (s2, s2Rop, s2Nsop) = 7 params
+        assert len(aug.params) == 7
+        rv_sop = aug.params[0]
+        assert isinstance(rv_sop, PointerType)
+        sop = rv_sop.pointee
+        assert isinstance(sop, StructType)
+        assert sop.fields[0] == s  # rop of the return value
+        assert aug.params[1] == s and aug.params[2] == s
+        assert aug.params[3] == VOID_PTR or isinstance(aug.params[3], PointerType)
+        # st(int8[]) is null, so the NSOP params degrade to void*
+        assert _structurally_equal(aug.params[3], VOID_PTR)
+        assert aug.params[4] == s and aug.params[5] == s
+        assert _structurally_equal(aug.params[6], VOID_PTR)
+
+    def test_sds_nonpointer_params_unchanged(self, sds):
+        ft = FunctionType(INT32, [INT32, FLOAT64])
+        aug = sds.aug.aug_function_type(ft)
+        assert aug.ret == INT32
+        assert list(aug.params) == [INT32, FLOAT64]
+
+
+class TestTable42Example:
+    """MDS augmentation (Table 4.2): ROPs only, rvRopPtr for pointer returns."""
+
+    def test_mds_function_augmentation(self, mds):
+        s = PointerType(ArrayType(INT8))
+        ft = FunctionType(s, [s, s])
+        aug = mds.aug.aug_function_type(ft)
+        assert aug.ret == s
+        # rvRopPtr + (s1, s1Rop) + (s2, s2Rop) = 5 params
+        assert len(aug.params) == 5
+        assert aug.params[0] == PointerType(s)  # int8[]** rvRopPtr
+        assert aug.params[1] == s and aug.params[2] == s
+        assert aug.params[3] == s and aug.params[4] == s
+
+    def test_mds_void_return_no_slot(self, mds):
+        ft = FunctionType(VOID, [PointerType(INT64)])
+        aug = mds.aug.aug_function_type(ft)
+        assert len(aug.params) == 2
+
+
+class TestNestedFunctionTypes:
+    def test_struct_with_function_pointer_field(self, sds):
+        ft = FunctionType(INT32, [PointerType(INT8)])
+        s = StructType([INT32, PointerType(ft)])
+        aug = sds.at(s)
+        assert aug is not s
+        fp = aug.fields[1]
+        assert isinstance(fp.pointee, FunctionType)
+        # the pointed-to function type got augmented: ptr param gains rop+nsop
+        assert len(fp.pointee.params) == 3
+
+    def test_function_pointer_param_is_augmented(self, sds):
+        """qsort-style: a function-pointer parameter's own type augments."""
+        elem = PointerType(INT64)
+        cmp = PointerType(FunctionType(INT32, [elem, elem]))
+        ft = FunctionType(VOID, [cmp])
+        aug = sds.aug.aug_function_type(ft)
+        # cmp is a pointer param: cmp, cmp_r, cmp_s
+        assert len(aug.params) == 3
+        inner = aug.params[0].pointee
+        assert isinstance(inner, FunctionType)
+        assert len(inner.params) == 6  # (a, a_r, a_s, b, b_r, b_s)
+
+
+class TestComposedMapping:
+    """(st∘at)(t) — Table 2.5 — must agree with st(at(t))."""
+
+    @pytest.mark.parametrize(
+        "t",
+        [
+            PointerType(INT64),
+            PointerType(ArrayType(INT8)),
+            StructType([PointerType(INT8), INT32]),
+            ArrayType(PointerType(FLOAT64), 3),
+            StructType([INT32, FLOAT64]),
+            UnionType([PointerType(INT8), INT64]),
+        ],
+    )
+    def test_sat_matches_reference(self, sds, t):
+        direct = sds.sat(t)
+        reference = composed_shadow_aug_reference(sds, t)
+        if direct is None:
+            assert reference is None
+        else:
+            assert _structurally_equal(direct, reference)
+
+
+class TestSpt:
+    def test_spt_of_pointer_with_shadow(self, sds):
+        t = PointerType(PointerType(INT64))
+        spt = sds.aug.spt(t)
+        assert isinstance(spt, PointerType)
+        assert isinstance(spt.pointee, StructType)
+
+    def test_spt_degrades_to_void_ptr(self, sds):
+        t = PointerType(INT64)
+        assert sds.aug.spt(t) == VOID_PTR
+
+
+class TestPhiOverAugTypes:
+    def test_phi_via_typemaps(self, sds):
+        t = StructType([INT32, PointerType(INT8), PointerType(INT64)])
+        assert sds.phi(t, 1) == 0
+        assert sds.phi(t, 2) == 1

@@ -1,0 +1,154 @@
+"""Detection-condition tests (§2.5): how each error class manifests."""
+
+import pytest
+
+from repro.core import DpmrCompiler, PadMalloc, RearrangeHeap, ZeroBeforeFree
+from repro.ir import INT32, INT64, ModuleBuilder, VOID, verify_module
+from repro.machine import ExitStatus, run_process
+from tests.conftest import build_overflow_module
+
+
+DESIGNS = ("sds", "mds")
+
+
+class TestWriteErrors:
+    @pytest.mark.parametrize("design", DESIGNS)
+    def test_unpaired_corruption_detected(self, design):
+        """§2.5.1: an overflow that corrupts unpaired bytes is detected when
+        a replicated load reads the corrupted offset."""
+        m = build_overflow_module(8, 18)
+        golden = run_process(m)
+        assert golden.status is ExitStatus.NORMAL  # silent corruption
+        r = DpmrCompiler(design=design).compile(build_overflow_module(8, 18)).run()
+        assert r.status is ExitStatus.DPMR_DETECTED
+
+    @pytest.mark.parametrize("design", DESIGNS)
+    def test_no_false_positives_without_error(self, design):
+        m = build_overflow_module(8, 8)
+        golden = run_process(m)
+        r = DpmrCompiler(design=design).compile(build_overflow_module(8, 8)).run()
+        assert r.status is ExitStatus.NORMAL
+        assert r.output_text == golden.output_text
+
+    def test_overflow_within_padding_not_detected_by_pad_malloc_alone(self):
+        """pad-malloc absorbs the *replica* overflow; the application
+        overflow still corrupts, so detection relies on the replicated load
+        pair seeing different data — which implicit diversity provides."""
+        m = build_overflow_module(8, 9)  # 1-element overflow
+        r = DpmrCompiler(design="sds", diversity=PadMalloc(1024)).compile(m).run()
+        assert r.status in (ExitStatus.DPMR_DETECTED, ExitStatus.NORMAL)
+
+
+class TestReadErrors:
+    def _uaf_module(self, reuse: bool):
+        """free(a); [maybe reuse chunk]; read a[2]."""
+        mb = ModuleBuilder()
+        mb.declare_external("print_i64", VOID, [INT64])
+        fn, b = mb.define("main", INT32)
+        a = b.malloc(INT64, b.i64(4))
+        with b.for_range(b.i64(4)) as i:
+            b.store(b.elem_addr(a, i), b.i64(5))
+        b.free(a)
+        if reuse:
+            d = b.malloc(INT64, b.i64(4))
+            with b.for_range(b.i64(4)) as i:
+                b.store(b.elem_addr(d, i), b.i64(9))
+        v = b.load(b.elem_addr(a, b.i64(2)))
+        b.call("print_i64", [v])
+        b.ret(b.i32(0))
+        verify_module(mb.module)
+        return mb.module
+
+    def test_dangling_read_after_reuse_missed_without_diversity(self):
+        """§3.7: the no-diversity variant re-pairs reused chunks identically,
+        so the dangling read loads the *same incorrect value* on both sides."""
+        r = DpmrCompiler(design="sds").compile(self._uaf_module(True)).run()
+        assert r.status is ExitStatus.NORMAL
+
+    def test_dangling_read_after_reuse_caught_by_rearrange_heap(self):
+        """rearrange-heap randomizes replica placement, so the reused chunk
+        pairs differently and the read pair diverges (§2.6)."""
+        r = (
+            DpmrCompiler(design="sds", diversity=RearrangeHeap())
+            .compile(self._uaf_module(True))
+            .run(seed=3)
+        )
+        assert r.status is ExitStatus.DPMR_DETECTED
+
+    def test_immediate_dangling_read_caught_by_zero_before_free(self):
+        """Before reallocation, zero-before-free makes the replica read 0
+        while the application reads stale data (§2.6)."""
+        r = (
+            DpmrCompiler(design="sds", diversity=ZeroBeforeFree())
+            .compile(self._uaf_module(False))
+            .run()
+        )
+        assert r.status is ExitStatus.DPMR_DETECTED
+
+    def test_uninitialized_read_detected(self):
+        """§1.3: uninitialized heap reads see different junk in application
+        and replica objects, so the comparison fires."""
+        mb = ModuleBuilder()
+        mb.declare_external("print_i64", VOID, [INT64])
+        fn, b = mb.define("main", INT32)
+        a = b.malloc(INT64, b.i64(4))
+        v = b.load(b.elem_addr(a, b.i64(1)))  # never written
+        b.call("print_i64", [v])
+        b.ret(b.i32(0))
+        verify_module(mb.module)
+        r = DpmrCompiler(design="sds").compile(mb.module).run()
+        assert r.status is ExitStatus.DPMR_DETECTED
+
+
+class TestFreeErrors:
+    def test_double_free_crashes_naturally(self):
+        """§2.5.3: the allocator detects the invalid second free → crash
+        (natural detection)."""
+        mb = ModuleBuilder()
+        fn, b = mb.define("main", INT32)
+        a = b.malloc(INT64, b.i64(4))
+        b.free(a)
+        b.free(a)
+        b.ret(b.i32(0))
+        verify_module(mb.module)
+        r = DpmrCompiler(design="sds").compile(mb.module).run()
+        assert r.status is ExitStatus.CRASH
+
+    def test_wild_free_crashes(self):
+        mb = ModuleBuilder()
+        mb.declare_external("print_i64", VOID, [INT64])
+        fn, b = mb.define("main", INT32)
+        a = b.malloc(INT64, b.i64(4))
+        bad = b.elem_addr(a, b.i64(1))  # interior pointer
+        b.free(bad)
+        b.ret(b.i32(0))
+        verify_module(mb.module)
+        r = DpmrCompiler(design="sds").compile(mb.module).run()
+        assert r.status is ExitStatus.CRASH
+
+    @pytest.mark.parametrize("design", DESIGNS)
+    def test_write_after_free_then_reuse_detected(self, design):
+        """Premature free + reuse: later writes through the dangling pointer
+        corrupt the new owner; the replicated loads diverge."""
+        mb = ModuleBuilder()
+        mb.declare_external("print_i64", VOID, [INT64])
+        fn, b = mb.define("main", INT32)
+        a = b.malloc(INT64, b.i64(4))
+        b.free(a)  # immediate free (the §3.4 fault)
+        d = b.malloc(INT64, b.i64(4))  # takes a's chunk
+        with b.for_range(b.i64(4)) as i:
+            b.store(b.elem_addr(d, i), b.i64(7))
+        b.store(b.elem_addr(a, b.i64(2)), b.i64(1))  # dangling write into d
+        total = b.alloca(INT64)
+        b.store(total, b.i64(0))
+        with b.for_range(b.i64(4)) as i:
+            b.store(total, b.add(b.load(total), b.load(b.elem_addr(d, i))))
+        b.call("print_i64", [b.load(total)])
+        b.ret(b.i32(0))
+        verify_module(mb.module)
+        r = (
+            DpmrCompiler(design=design, diversity=RearrangeHeap())
+            .compile(mb.module)
+            .run(seed=1)
+        )
+        assert r.status in (ExitStatus.DPMR_DETECTED, ExitStatus.CRASH)

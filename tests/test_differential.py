@@ -1,0 +1,170 @@
+"""Differential property testing: DPMR must be behaviour-preserving.
+
+Hypothesis generates random *error-free* straight-line programs over heap
+arrays, stack slots, and pointer indirection; every generated program must
+produce identical output under golden execution, SDS, and MDS (and under
+each diversity transformation), with no false detections — the core
+correctness contract of §2 ("states do not diverge under error-free
+execution").
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    DpmrCompiler,
+    PadMalloc,
+    RearrangeHeap,
+    ZeroBeforeFree,
+)
+from repro.ir import INT32, INT64, ModuleBuilder, PointerType, VOID, verify_module
+from repro.machine import ExitStatus, run_process
+
+N_ARRAYS = 3
+ARRAY_LEN = 6
+N_SLOTS = 2
+
+op_store = st.tuples(
+    st.just("store"),
+    st.integers(0, N_ARRAYS - 1),
+    st.integers(0, ARRAY_LEN - 1),
+    st.integers(-1000, 1000),
+)
+op_add = st.tuples(
+    st.just("add"),
+    st.integers(0, N_ARRAYS - 1),
+    st.integers(0, ARRAY_LEN - 1),
+    st.integers(0, N_SLOTS - 1),
+)
+op_copy = st.tuples(
+    st.just("copy"),
+    st.integers(0, N_ARRAYS - 1),
+    st.integers(0, ARRAY_LEN - 1),
+    st.integers(0, N_ARRAYS - 1),
+    st.integers(0, ARRAY_LEN - 1),
+)
+op_ptr = st.tuples(
+    st.just("ptr"),
+    st.integers(0, N_ARRAYS - 1),
+    st.integers(0, ARRAY_LEN - 1),
+)
+op_realloc = st.tuples(st.just("realloc"), st.integers(0, N_ARRAYS - 1))
+
+program_strategy = st.lists(
+    st.one_of(op_store, op_add, op_copy, op_ptr, op_realloc),
+    min_size=1,
+    max_size=25,
+)
+
+
+def build_program(ops):
+    """Lower an op list to an IR module (always error-free by construction)."""
+    mb = ModuleBuilder("generated")
+    mb.declare_external("print_i64", VOID, [INT64])
+    fn, b = mb.define("main", INT32)
+    arrays = []
+    for k in range(N_ARRAYS):
+        arr = b.malloc(INT64, b.i64(ARRAY_LEN), hint=f"arr{k}")
+        with b.for_range(b.i64(ARRAY_LEN)) as i:
+            b.store(b.elem_addr(arr, i), b.add(i, b.i64(k)))
+        arrays.append(arr)
+    # arrays may be re-allocated; keep current handles in alloca slots
+    handles = []
+    for k, arr in enumerate(arrays):
+        h = b.alloca(arr.type, hint=f"h{k}")
+        b.store(h, arr)
+        handles.append(h)
+    slots = []
+    for k in range(N_SLOTS):
+        s = b.alloca(INT64, hint=f"s{k}")
+        b.store(s, b.i64(k))
+        slots.append(s)
+    pslot = b.alloca(PointerType(INT64), hint="p")
+    first = b.load(handles[0])
+    b.store(pslot, b.elem_addr(first, b.i64(0)))
+
+    for op in ops:
+        kind = op[0]
+        if kind == "store":
+            _, a, i, v = op
+            arr = b.load(handles[a])
+            b.store(b.elem_addr(arr, b.i64(i)), b.i64(v))
+        elif kind == "add":
+            _, a, i, s = op
+            arr = b.load(handles[a])
+            v = b.load(b.elem_addr(arr, b.i64(i)))
+            b.store(slots[s], b.add(b.load(slots[s]), v))
+        elif kind == "copy":
+            _, a, i, c, j = op
+            src = b.load(handles[a])
+            dst = b.load(handles[c])
+            v = b.load(b.elem_addr(src, b.i64(i)))
+            b.store(b.elem_addr(dst, b.i64(j)), v)
+        elif kind == "ptr":
+            _, a, i = op
+            arr = b.load(handles[a])
+            b.store(pslot, b.elem_addr(arr, b.i64(i)))
+            p = b.load(pslot)
+            b.store(slots[0], b.add(b.load(slots[0]), b.load(p)))
+        elif kind == "realloc":
+            _, a = op
+            old = b.load(handles[a])
+            fresh = b.malloc(INT64, b.i64(ARRAY_LEN), hint=f"re{a}")
+            with b.for_range(b.i64(ARRAY_LEN)) as i:
+                b.store(b.elem_addr(fresh, i), b.load(b.elem_addr(old, i)))
+            b.free(old)
+            b.store(handles[a], fresh)
+            # keep the pointer slot valid: retarget it into array 0
+            zero = b.load(handles[0])
+            b.store(pslot, b.elem_addr(zero, b.i64(0)))
+
+    # output: checksum of all arrays and slots
+    for h in handles:
+        arr = b.load(h)
+        with b.for_range(b.i64(ARRAY_LEN)) as i:
+            b.store(slots[0], b.add(b.load(slots[0]), b.load(b.elem_addr(arr, i))))
+    for s in slots:
+        b.call("print_i64", [b.load(s)])
+    b.ret(b.i32(0))
+    verify_module(mb.module)
+    return mb.module
+
+
+@given(program_strategy)
+@settings(max_examples=30)
+def test_sds_and_mds_preserve_random_programs(ops):
+    golden = run_process(build_program(ops))
+    assert golden.status is ExitStatus.NORMAL
+    for design in ("sds", "mds"):
+        r = DpmrCompiler(design=design).compile(build_program(ops)).run()
+        assert r.status is ExitStatus.NORMAL, (design, r.detail, ops)
+        assert r.output_text == golden.output_text, (design, ops)
+
+
+@given(program_strategy)
+@settings(max_examples=12)
+def test_diversity_variants_preserve_random_programs(ops):
+    golden = run_process(build_program(ops))
+    for diversity in (ZeroBeforeFree(), RearrangeHeap(), PadMalloc(32)):
+        r = (
+            DpmrCompiler(design="sds", diversity=diversity)
+            .compile(build_program(ops))
+            .run(seed=5)
+        )
+        assert r.status is ExitStatus.NORMAL, (diversity.name, r.detail, ops)
+        assert r.output_text == golden.output_text, (diversity.name, ops)
+
+
+@given(program_strategy)
+@settings(max_examples=10)
+def test_policies_preserve_random_programs(ops):
+    from repro.core import static_50, temporal_1_2
+
+    golden = run_process(build_program(ops))
+    for policy in (temporal_1_2(), static_50()):
+        r = (
+            DpmrCompiler(design="sds", policy=policy)
+            .compile(build_program(ops))
+            .run()
+        )
+        assert r.status is ExitStatus.NORMAL, (policy.name, r.detail, ops)
+        assert r.output_text == golden.output_text, (policy.name, ops)

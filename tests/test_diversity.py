@@ -1,0 +1,131 @@
+"""Diversity transformation tests (Table 2.8, §2.6)."""
+
+import pytest
+
+from repro.core import (
+    DpmrCompiler,
+    DpmrRuntime,
+    NoDiversity,
+    PadMalloc,
+    RearrangeHeap,
+    ReplicationDesign,
+    ZeroBeforeFree,
+    standard_diversity_suite,
+)
+from repro.machine import Memory
+from repro.machine.interpreter import Machine
+from repro.ir import INT32, Module, ModuleBuilder
+from tests.conftest import build_sum_module
+
+
+def _bare_machine():
+    mb = ModuleBuilder()
+    fn, b = mb.define("main", INT32)
+    b.ret(b.i32(0))
+    return Machine(mb.module, seed=1)
+
+
+class TestPadMalloc:
+    def test_replica_chunks_are_padded(self):
+        m = _bare_machine()
+        policy = PadMalloc(256)
+        addr = policy.replica_malloc(m, 32)
+        assert m.heap.payload_size(addr) >= 32 + 256
+
+    def test_pad_sizes_match_paper(self):
+        names = {p.name for p in standard_diversity_suite()}
+        for pad in (8, 32, 256, 1024):
+            assert f"pad-malloc-{pad}" in names
+
+    def test_invalid_pad_rejected(self):
+        with pytest.raises(ValueError):
+            PadMalloc(0)
+
+
+class TestZeroBeforeFree:
+    def test_payload_zeroed_before_free(self):
+        m = _bare_machine()
+        policy = ZeroBeforeFree()
+        addr = m.heap_malloc(32)
+        m.memory.write_bytes(addr, b"\xAA" * 32)
+        policy.replica_free(m, addr)
+        # The first 8 bytes now hold the free-list link; the rest must be 0.
+        assert m.memory.read_bytes(addr + 16, 16) == b"\x00" * 16
+
+    def test_free_null_is_safe(self):
+        m = _bare_machine()
+        ZeroBeforeFree().replica_free(m, 0)
+
+    def test_invalid_free_still_aborts(self):
+        from repro.machine import ExecutionTrap
+
+        m = _bare_machine()
+        with pytest.raises(ExecutionTrap):
+            ZeroBeforeFree().replica_free(m, 0x100001)
+
+
+class TestRearrangeHeap:
+    def test_randomizes_placement(self):
+        """With rearrange-heap the replica usually does not directly follow
+        the application object (implicit layout broken up)."""
+        placements = set()
+        for seed in range(6):
+            m = _bare_machine()
+            m.rng.seed(seed)
+            policy = RearrangeHeap()
+            app = m.heap_malloc(32)
+            rep = policy.replica_malloc(m, 32)
+            placements.add(rep - app)
+        assert len(placements) > 1
+
+    def test_dummy_buffers_are_freed(self):
+        m = _bare_machine()
+        live_before = m.heap.live_chunks
+        RearrangeHeap().replica_malloc(m, 32)
+        assert m.heap.live_chunks == live_before + 1
+
+    def test_bounded_dummies(self):
+        assert RearrangeHeap.MAX_DUMMIES == 20  # Table 2.8's 20-slot buffer
+
+
+class TestOverheadOrdering:
+    def test_paper_overhead_shape(self):
+        """§3.7: no-diversity/zero-before-free cheapest; pad-malloc-1024
+        worst among pad-mallocs."""
+        results = {}
+        for policy in (NoDiversity(), ZeroBeforeFree(), PadMalloc(8), PadMalloc(1024)):
+            build = DpmrCompiler(design="sds", diversity=policy).compile(
+                build_sum_module(30)
+            )
+            results[policy.name] = build.run().cycles
+        assert results["no-diversity"] <= results["pad-malloc-8"]
+        assert results["pad-malloc-8"] <= results["pad-malloc-1024"]
+
+    def test_rearrange_heap_costs_more_than_no_diversity(self):
+        base = DpmrCompiler(design="sds").compile(build_sum_module(30)).run()
+        rearr = (
+            DpmrCompiler(design="sds", diversity=RearrangeHeap())
+            .compile(build_sum_module(30))
+            .run(seed=2)
+        )
+        assert rearr.cycles > base.cycles
+
+
+class TestSuite:
+    def test_standard_suite_has_seven_variants(self):
+        suite = standard_diversity_suite()
+        assert len(suite) == 7
+        assert suite[0].name == "no-diversity"
+
+    def test_all_variants_preserve_output(self):
+        from repro.machine import ExitStatus, run_process
+
+        golden = run_process(build_sum_module(12))
+        for policy in standard_diversity_suite():
+            r = (
+                DpmrCompiler(design="sds", diversity=policy)
+                .compile(build_sum_module(12))
+                .run(seed=4)
+            )
+            assert r.status is ExitStatus.NORMAL, (policy.name, r.detail)
+            assert r.output_text == golden.output_text, policy.name

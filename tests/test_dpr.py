@@ -1,0 +1,113 @@
+"""DPR race-condition tests (§1.2, Fig. 1.2)."""
+
+import pytest
+
+from repro.dpr import (
+    Bank,
+    DiverseSchedulePolicy,
+    OVERDRAFT_PENALTY,
+    Request,
+    SchedulePolicy,
+    WorkerPool,
+    paper_scenario,
+    run_with_dpr,
+)
+
+
+class TestBank:
+    def test_deposit_then_withdraw(self):
+        bank = Bank({"a": 100})
+        bank.commit(Request(0, "deposit", "a", 200))
+        bank.commit(Request(1, "withdraw", "a", 250))
+        assert bank.balances["a"] == 50
+        assert bank.penalties == 0
+
+    def test_overdraft_penalty(self):
+        bank = Bank({"a": 100})
+        bank.commit(Request(0, "withdraw", "a", 250))
+        assert bank.balances["a"] == 100 - 250 - OVERDRAFT_PENALTY
+        assert bank.penalties == 1
+
+
+class TestWorkerPool:
+    def test_fifo_single_worker_commits_in_order(self):
+        pool = WorkerPool(1)
+        order = pool.run(
+            [Request(i, "balance", f"acct{i}") for i in range(5)],
+            lambda r: None,
+        )
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_per_account_ordering_enforced(self):
+        """With ordering on, same-account requests commit in arrival order
+        even when service times would invert them."""
+        pool = WorkerPool(2, per_account_ordering=True)
+        order = pool.run(paper_scenario(), lambda r: None)
+        assert order == [0, 1]
+
+    def test_racy_pool_commits_out_of_order(self):
+        """Fig. 1.2(a): without per-account ordering the fast withdrawal
+        completes before the slow deposit."""
+        pool = WorkerPool(2, per_account_ordering=False)
+        order = pool.run(paper_scenario(), lambda r: None)
+        assert order == [1, 0]
+
+    def test_all_requests_commit_exactly_once(self):
+        reqs = [Request(i, "deposit", f"a{i % 3}", 10) for i in range(12)]
+        commits = []
+        WorkerPool(3, per_account_ordering=False).run(reqs, commits.append)
+        assert sorted(r.seq for r in commits) == list(range(12))
+
+
+class TestDprDetection:
+    def test_paper_scenario_faulty_balance(self):
+        """Fig. 1.2(a): $100 + deposit $200 / withdraw $250 processed out of
+        order → overdraft penalty → $35 instead of $50."""
+        outcome = run_with_dpr(paper_scenario(), {"alice": 100}, racy=True)
+        assert outcome.original_balances == {"alice": 35}
+
+    def test_race_detected_by_diverse_replica(self):
+        outcome = run_with_dpr(paper_scenario(), {"alice": 100}, racy=True)
+        assert outcome.detected
+        assert outcome.divergent_accounts == ["alice"]
+        assert outcome.replica_balances == {"alice": 50}
+
+    def test_correct_implementation_never_detected(self):
+        outcome = run_with_dpr(paper_scenario(), {"alice": 100}, racy=False)
+        assert not outcome.detected
+        assert outcome.original_balances == {"alice": 50}
+
+    def test_error_free_execution_schedule_invariant(self):
+        """The DPR requirement: diversity must not cause divergence under
+        error-free execution — across several diverse policies."""
+        reqs = [
+            Request(0, "deposit", "a", 50),
+            Request(1, "withdraw", "a", 30),
+            Request(2, "deposit", "b", 10),
+            Request(3, "withdraw", "b", 40),
+            Request(4, "deposit", "a", 5),
+        ]
+        for salt in (3, 7, 13):
+            outcome = run_with_dpr(
+                reqs,
+                {"a": 0, "b": 0},
+                racy=False,
+                diverse_policy=DiverseSchedulePolicy(salt),
+            )
+            assert not outcome.detected, salt
+
+    def test_commit_orders_recorded(self):
+        outcome = run_with_dpr(paper_scenario(), {"alice": 100}, racy=True)
+        assert outcome.original_commit_order == [1, 0]
+        assert outcome.replica_commit_order == [0, 1]
+
+    def test_multi_account_race(self):
+        reqs = [
+            Request(0, "deposit", "x", 100),
+            Request(1, "withdraw", "x", 120),
+            Request(2, "deposit", "y", 500),
+            Request(3, "withdraw", "y", 200),
+        ]
+        outcome = run_with_dpr(reqs, {"x": 50, "y": 0}, racy=True)
+        # x races (deposit slower than withdrawal); detection must fire.
+        assert outcome.detected

@@ -1,0 +1,232 @@
+"""DSA phase tests on crafted programs (§5.1, Figs. 5.1–5.6)."""
+
+import pytest
+
+from repro.dsa import (
+    DataStructureAnalysis,
+    FLAG_COMPLETE,
+    FLAG_HEAP,
+    FLAG_INCOMPLETE,
+    FLAG_INT_TO_PTR,
+    FLAG_PTR_TO_INT,
+    FLAG_STACK,
+    FLAG_UNKNOWN,
+)
+from repro.ir import (
+    INT32,
+    INT64,
+    ModuleBuilder,
+    PointerType,
+    StructType,
+    VOID,
+    VOID_PTR,
+    verify_module,
+)
+
+
+def _analyze(mb):
+    verify_module(mb.module)
+    return DataStructureAnalysis(mb.module).run()
+
+
+def _node(dsa, fn, reg):
+    cell = dsa.cell_for_register(fn, reg.name)
+    assert cell is not None, f"no cell for {reg.name}"
+    return cell.node.find()
+
+
+class TestLocalPhase:
+    def test_heap_and_stack_flags(self):
+        mb = ModuleBuilder()
+        fn, b = mb.define("main", INT32)
+        h = b.malloc(INT64, b.i64(4))
+        s = b.alloca(INT64)
+        b.store(s, b.i64(0))
+        b.free(h)
+        b.ret(b.i32(0))
+        dsa = _analyze(mb)
+        assert _node(dsa, "main", h).has(FLAG_HEAP)
+        assert _node(dsa, "main", s).has(FLAG_STACK)
+
+    def test_ptr_to_int_flags_node(self):
+        """Fig. 5.1(a): a pointer cast to an integer marks its node P."""
+        mb = ModuleBuilder()
+        fn, b = mb.define("main", INT32)
+        p = b.malloc(INT64, b.i64(3))
+        b.ptr_to_int(p)
+        b.ret(b.i32(0))
+        dsa = _analyze(mb)
+        assert _node(dsa, "main", p).has(FLAG_PTR_TO_INT)
+
+    def test_int_to_ptr_round_trip_aliases_and_marks_unknown(self):
+        """Fig. 5.1(a) continued: int→pointer yields an unknown node aliased
+        with the original pointee when the taint is visible."""
+        mb = ModuleBuilder()
+        fn, b = mb.define("main", INT32)
+        p = b.malloc(INT64, b.i64(3))
+        i = b.ptr_to_int(p)
+        j = b.add(i, b.i64(8))
+        q = b.int_to_ptr(j, INT64)
+        b.store(q, b.i64(1))
+        b.ret(b.i32(0))
+        dsa = _analyze(mb)
+        pn = _node(dsa, "main", p)
+        qn = _node(dsa, "main", q)
+        assert pn is qn
+        assert pn.has(FLAG_UNKNOWN) and pn.has(FLAG_INT_TO_PTR)
+
+    def test_untainted_int_to_ptr_is_fresh_unknown(self):
+        mb = ModuleBuilder()
+        fn, b = mb.define("main", INT32)
+        clean = b.malloc(INT64, b.i64(2))
+        q = b.int_to_ptr(b.i64(0x100010), INT64)
+        b.ret(b.i32(0))
+        dsa = _analyze(mb)
+        assert _node(dsa, "main", q).has(FLAG_UNKNOWN)
+        assert not _node(dsa, "main", clean).has(FLAG_UNKNOWN)
+
+    def test_store_links_pointee(self):
+        mb = ModuleBuilder()
+        fn, b = mb.define("main", INT32)
+        slot = b.malloc(PointerType(INT64))
+        val = b.malloc(INT64, b.i64(2))
+        val0 = b.elem_addr(val, b.i64(0))
+        b.store(slot, val0)
+        loaded = b.load(slot)
+        b.ret(b.i32(0))
+        dsa = _analyze(mb)
+        assert _node(dsa, "main", loaded) is _node(dsa, "main", val)
+
+    def test_masquerading_pointer_store(self):
+        """Fig. 5.3: storing a ptrtoint'd value as an integer marks the slot
+        P and the masqueraded pointee unknown."""
+        mb = ModuleBuilder()
+        fn, b = mb.define("main", INT32)
+        data = b.malloc(INT64, b.i64(2))
+        stash = b.malloc(INT64)
+        as_int = b.ptr_to_int(data)
+        b.store(stash, as_int)
+        b.ret(b.i32(0))
+        dsa = _analyze(mb)
+        assert _node(dsa, "main", stash).has(FLAG_PTR_TO_INT)
+        assert _node(dsa, "main", data).has(FLAG_UNKNOWN)
+
+    def test_loading_masqueraded_int_taints(self):
+        """§5.5 load-comparison problem: loading an int from a P node and
+        casting it back reaches the masqueraded object."""
+        mb = ModuleBuilder()
+        fn, b = mb.define("main", INT32)
+        data = b.malloc(INT64, b.i64(2))
+        stash = b.malloc(INT64)
+        b.store(stash, b.ptr_to_int(data))
+        lifted = b.load(stash)
+        q = b.int_to_ptr(lifted, INT64)
+        v = b.load(q)
+        b.ret(b.i32(0))
+        dsa = _analyze(mb)
+        assert _node(dsa, "main", q) is _node(dsa, "main", data)
+
+
+class TestInterprocedural:
+    def test_bottom_up_propagates_callee_allocation(self):
+        """A heap node allocated in a callee and returned is visible (with
+        its flags) at the caller's result register."""
+        mb = ModuleBuilder()
+        mk, kb = mb.define("mk", PointerType(INT64), [], [])
+        arr = kb.malloc(INT64, kb.i64(2))
+        p = kb.elem_addr(arr, kb.i64(0))
+        kb.ret(p)
+        fn, b = mb.define("main", INT32)
+        q = b.call("mk", [])
+        b.ret(b.i32(0))
+        dsa = _analyze(mb)
+        assert _node(dsa, "main", q).has(FLAG_HEAP)
+
+    def test_top_down_pushes_unknown_into_callee(self):
+        """A callee storing through its parameter must see the caller's
+        unknown flag (soundness of Ch. 5 plans)."""
+        mb = ModuleBuilder()
+        sink, sb = mb.define("sink", INT32, [PointerType(INT64)], ["p"])
+        sb.store(sink.params[0], sb.i64(1))
+        sb.ret(sb.i32(0))
+        fn, b = mb.define("main", INT32)
+        q = b.int_to_ptr(b.i64(0x100040), INT64)
+        b.call("sink", [q])
+        b.ret(b.i32(0))
+        dsa = _analyze(mb)
+        formal = dsa.cell_for_register("sink", "p")
+        assert formal.node.find().has(FLAG_UNKNOWN)
+
+    def test_recursive_function_terminates(self):
+        mb = ModuleBuilder()
+        node_t = StructType.opaque("N")
+        node_t.set_fields([INT64, PointerType(node_t)])
+        walk, wb = mb.define("walk", INT64, [PointerType(node_t)], ["n"])
+        isnull = wb.eq(walk.params[0], wb.null(node_t))
+        with wb.if_then(isnull):
+            wb.ret(wb.i64(0))
+        nxt = wb.load(wb.field_addr(walk.params[0], 1))
+        rest = wb.call("walk", [nxt])
+        v = wb.load(wb.field_addr(walk.params[0], 0))
+        wb.ret(wb.add(v, rest))
+        fn, b = mb.define("main", INT32)
+        b.call("walk", [b.null(node_t)])
+        b.ret(b.i32(0))
+        dsa = _analyze(mb)
+        assert dsa.graph("walk") is not None
+
+    def test_external_call_marks_args_incomplete(self):
+        mb = ModuleBuilder()
+        mb.declare_external("print_str", VOID, [VOID_PTR])
+        fn, b = mb.define("main", INT32)
+        p = b.malloc(INT64, b.i64(2))
+        b.call("print_str", [b.ptr_cast(p, VOID)])
+        b.ret(b.i32(0))
+        dsa = _analyze(mb)
+        assert _node(dsa, "main", p).has(FLAG_INCOMPLETE)
+
+    def test_unsummarized_external_makes_args_unknown(self):
+        mb = ModuleBuilder()
+        mb.declare_external("mystery", VOID, [VOID_PTR])
+        fn, b = mb.define("main", INT32)
+        p = b.malloc(INT64, b.i64(2))
+        b.call("mystery", [b.ptr_cast(p, VOID)])
+        b.ret(b.i32(0))
+        dsa = _analyze(mb)
+        assert _node(dsa, "main", p).has(FLAG_UNKNOWN)
+
+    def test_strcpy_summary_aliases_return_to_dest(self):
+        mb = ModuleBuilder()
+        mb.declare_external("strcpy", VOID_PTR, [VOID_PTR, VOID_PTR])
+        from repro.ir import INT8
+
+        fn, b = mb.define("main", INT32)
+        dest = b.malloc(INT8, b.i64(8))
+        src = b.malloc(INT8, b.i64(8))
+        dv = b.ptr_cast(dest, VOID)
+        sv = b.ptr_cast(src, VOID)
+        rv = b.call("strcpy", [dv, sv])
+        b.ret(b.i32(0))
+        dsa = _analyze(mb)
+        assert _node(dsa, "main", rv) is _node(dsa, "main", dest)
+
+
+class TestCompleteness:
+    def test_private_allocation_is_complete(self):
+        mb = ModuleBuilder()
+        fn, b = mb.define("main", INT32)
+        p = b.malloc(INT64, b.i64(2))
+        b.store(b.elem_addr(p, b.i64(0)), b.i64(1))
+        b.free(p)
+        b.ret(b.i32(0))
+        dsa = _analyze(mb)
+        assert _node(dsa, "main", p).has(FLAG_COMPLETE)
+
+    def test_unknown_node_never_complete(self):
+        mb = ModuleBuilder()
+        fn, b = mb.define("main", INT32)
+        q = b.int_to_ptr(b.i64(0x100080), INT64)
+        b.ret(b.i32(0))
+        dsa = _analyze(mb)
+        n = _node(dsa, "main", q)
+        assert not n.has(FLAG_COMPLETE)

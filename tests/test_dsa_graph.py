@@ -1,0 +1,106 @@
+"""DS graph mechanics: unification, collapsing, field sensitivity."""
+
+from repro.dsa import (
+    Cell,
+    DSGraph,
+    FLAG_COLLAPSED,
+    FLAG_HEAP,
+    FLAG_UNKNOWN,
+)
+
+
+def test_merge_unions_flags_and_globals():
+    g = DSGraph("t")
+    a = g.make_node(FLAG_HEAP)
+    b = g.make_node(FLAG_UNKNOWN)
+    b.globals.add("x")
+    g.merge(a, b)
+    rep = a.find()
+    assert rep is b.find()
+    assert FLAG_HEAP in rep.flags and FLAG_UNKNOWN in rep.flags
+    assert "x" in rep.globals
+
+
+def test_union_find_path_compression():
+    g = DSGraph("t")
+    nodes = [g.make_node() for _ in range(5)]
+    for x, y in zip(nodes, nodes[1:]):
+        g.merge(y, x)
+    rep = nodes[0].find()
+    assert all(n.find() is rep for n in nodes)
+
+
+def test_field_sensitivity_distinct_offsets():
+    g = DSGraph("t")
+    n = g.make_node()
+    t0 = g.field_target(Cell(n, 0))
+    t8 = g.field_target(Cell(n, 8))
+    assert t0.node.find() is not t8.node.find()
+    # repeated access returns the same target
+    assert g.field_target(Cell(n, 0)).node.find() is t0.node.find()
+
+
+def test_offset_conflict_collapses():
+    g = DSGraph("t")
+    a = g.make_node()
+    b = g.make_node()
+    g.field_target(Cell(a, 0))
+    g.field_target(Cell(a, 8))
+    # unify the same node at two different offsets → collapse
+    g.unify_cells(Cell(a, 0), Cell(a, 8))
+    assert a.find().is_collapsed
+    assert len(a.find().fields) <= 1
+
+
+def test_collapse_folds_fields():
+    g = DSGraph("t")
+    n = g.make_node()
+    x = g.field_target(Cell(n, 0))
+    y = g.field_target(Cell(n, 8))
+    g.collapse(n)
+    rep = n.find()
+    assert FLAG_COLLAPSED in rep.flags
+    assert list(rep.fields) == [0]
+    # both previous targets merged
+    assert x.node.find() is y.node.find()
+
+
+def test_merge_collapsed_with_fielded():
+    g = DSGraph("t")
+    a = g.make_node()
+    g.field_target(Cell(a, 0))
+    g.field_target(Cell(a, 8))
+    b = g.make_node()
+    g.collapse(b)
+    g.merge(b, a)
+    assert b.find().is_collapsed
+
+
+def test_reachable_from_traverses_edges():
+    g = DSGraph("t")
+    a = g.make_node()
+    mid = g.field_target(Cell(a, 0))
+    leaf = g.field_target(Cell(mid.node, 0))
+    nodes = g.reachable_from([Cell(a, 0)])
+    ids = {n.find().id for n in nodes}
+    assert leaf.node.find().id in ids
+    assert len(ids) == 3
+
+
+def test_reachable_from_handles_cycles():
+    g = DSGraph("t")
+    a = g.make_node()
+    t = g.field_target(Cell(a, 0))
+    g.unify_cells(t, Cell(a, 0))  # self loop
+    nodes = g.reachable_from([Cell(a, 0)])
+    assert len(nodes) >= 1
+
+
+def test_set_cell_unifies_on_rebind():
+    g = DSGraph("t")
+    a = g.make_node()
+    b = g.make_node(FLAG_UNKNOWN)
+    g.set_cell("r", Cell(a, 0))
+    g.set_cell("r", Cell(b, 0))
+    assert a.find() is b.find()
+    assert g.cell_for("r").node.has(FLAG_UNKNOWN)

@@ -1,0 +1,156 @@
+"""Scope-expansion tests (§5.2–5.5): DSA plans under MDS end-to-end."""
+
+import pytest
+
+from repro.core import DpmrCompiler, DpmrTransformError
+from repro.dsa import DataStructureAnalysis, DsaReplicationPlan, FLAG_UNKNOWN
+from repro.dsa.scope import mark_unknown_closure
+from repro.ir import (
+    INT32,
+    INT64,
+    ModuleBuilder,
+    PointerType,
+    VOID,
+    verify_module,
+)
+from repro.machine import ExitStatus, run_process
+
+
+def _int_to_ptr_module():
+    """Round-trips a pointer through an integer (forbidden by plain MDS)."""
+    mb = ModuleBuilder()
+    mb.declare_external("print_i64", VOID, [INT64])
+    fn, b = mb.define("main", INT32)
+    buf = b.malloc(INT64, b.i64(4))
+    with b.for_range(b.i64(4)) as i:
+        b.store(b.elem_addr(buf, i), b.mul(i, b.i64(3)))
+    as_int = b.ptr_to_int(b.elem_addr(buf, b.i64(0)))
+    back = b.int_to_ptr(b.add(as_int, b.i64(16)), INT64)
+    b.call("print_i64", [b.load(back)])
+    other = b.malloc(INT64, b.i64(2))
+    b.store(b.elem_addr(other, b.i64(0)), b.i64(42))
+    b.call("print_i64", [b.load(b.elem_addr(other, b.i64(0)))])
+    b.free(buf)
+    b.free(other)
+    b.ret(b.i32(0))
+    verify_module(mb.module)
+    return mb.module
+
+
+def _masquerade_module():
+    """Stores a pointer disguised as an integer, reloads, dereferences."""
+    mb = ModuleBuilder()
+    mb.declare_external("print_i64", VOID, [INT64])
+    fn, b = mb.define("main", INT32)
+    data = b.malloc(INT64, b.i64(2))
+    b.store(b.elem_addr(data, b.i64(1)), b.i64(77))
+    stash = b.malloc(INT64)
+    b.store(stash, b.ptr_to_int(b.elem_addr(data, b.i64(1))))
+    lifted = b.load(stash)
+    q = b.int_to_ptr(lifted, INT64)
+    b.call("print_i64", [b.load(q)])
+    b.ret(b.i32(0))
+    verify_module(mb.module)
+    return mb.module
+
+
+class TestPlanDecisions:
+    def test_escaped_allocation_excluded(self):
+        m = _int_to_ptr_module()
+        plan = DsaReplicationPlan(m)
+        s = plan.summary()
+        assert s["allocs_excluded"] == 1
+        assert s["allocs_replicated"] >= 2  # 'other' + loop counter slots
+
+    def test_clean_program_fully_replicated(self, sum_module):
+        plan = DsaReplicationPlan(sum_module)
+        s = plan.summary()
+        assert s["allocs_excluded"] == 0
+        assert s["loads_excluded"] == 0
+        assert s["stores_excluded"] == 0
+
+    def test_plan_allows_int_to_pointer(self, sum_module):
+        assert DsaReplicationPlan(sum_module).allows_int_to_pointer()
+
+    def test_mark_unknown_closure_spreads_through_fields(self):
+        """markX (Fig. 5.7): objects reachable from an unknown node become
+        unknown too."""
+        mb = ModuleBuilder()
+        fn, b = mb.define("main", INT32)
+        inner = b.malloc(INT64, b.i64(2))
+        slot = b.malloc(PointerType(INT64))
+        b.store(slot, b.elem_addr(inner, b.i64(0)))
+        # the *slot* escapes via int round trip
+        q = b.int_to_ptr(b.ptr_to_int(slot), PointerType(INT64))
+        loaded = b.load(q)
+        b.ret(b.i32(0))
+        verify_module(mb.module)
+        analysis = DataStructureAnalysis(mb.module).run()
+        mark_unknown_closure(analysis)
+        inner_node = analysis.cell_for_register("main", inner.name).node.find()
+        assert inner_node.has(FLAG_UNKNOWN)
+
+
+class TestEndToEnd:
+    def test_plain_designs_reject_int_to_pointer(self):
+        for design in ("sds", "mds"):
+            with pytest.raises(DpmrTransformError):
+                DpmrCompiler(design=design).compile(_int_to_ptr_module())
+
+    def test_dsa_mds_runs_int_to_pointer_program(self):
+        m = _int_to_ptr_module()
+        golden = run_process(m)
+        plan = DsaReplicationPlan(m)
+        r = DpmrCompiler(design="mds", plan=plan).compile(m).run()
+        assert r.status is ExitStatus.NORMAL, r.detail
+        assert r.output_text == golden.output_text
+
+    def test_dsa_mds_runs_masquerading_pointer_program(self):
+        m = _masquerade_module()
+        golden = run_process(m)
+        plan = DsaReplicationPlan(m)
+        r = DpmrCompiler(design="mds", plan=plan).compile(m).run()
+        assert r.status is ExitStatus.NORMAL, r.detail
+        assert r.output_text == golden.output_text == "77"
+
+    def test_replicated_portion_still_detects_errors(self):
+        """The refined partial replica loses coverage only on excluded
+        objects; faults in replicated memory are still caught."""
+        mb = ModuleBuilder()
+        mb.declare_external("print_i64", VOID, [INT64])
+        fn, b = mb.define("main", INT32)
+        escaped = b.int_to_ptr(b.i64(0x100100), INT64)  # unknown pointer
+        a = b.malloc(INT64, b.i64(4))
+        victim = b.malloc(INT64, b.i64(4))
+        with b.for_range(b.i64(4)) as i:
+            b.store(b.elem_addr(victim, i), b.i64(7))
+        with b.for_range(b.i64(12)) as i:  # overflow out of a
+            b.store(b.elem_addr(a, i), b.i64(1))
+        b.call("print_i64", [b.load(b.elem_addr(victim, b.i64(0)))])
+        b.ret(b.i32(0))
+        verify_module(mb.module)
+        plan = DsaReplicationPlan(mb.module)
+        r = DpmrCompiler(design="mds", plan=plan).compile(mb.module).run()
+        assert r.status is ExitStatus.DPMR_DETECTED
+
+    def test_dsa_plan_on_all_apps_is_full_replication(self):
+        """The four workloads are clean C-like programs: DSA must not
+        exclude anything, and the DSA build must behave identically."""
+        from repro.apps import APP_BUILDERS
+
+        for name, build_app in APP_BUILDERS.items():
+            m = build_app(1)
+            plan = DsaReplicationPlan(m)
+            s = plan.summary()
+            assert s["allocs_excluded"] == 0, name
+            golden = run_process(build_app(1))
+            r = DpmrCompiler(design="mds", plan=plan).compile(m).run()
+            assert r.status is ExitStatus.NORMAL, (name, r.detail)
+            assert r.output_text == golden.output_text, name
+
+    def test_plan_for_wrong_module_rejected(self, sum_module):
+        from tests.conftest import build_sum_module
+
+        plan = DsaReplicationPlan(build_sum_module())
+        with pytest.raises(ValueError, match="different module"):
+            DpmrCompiler(design="mds", plan=plan).compile(sum_module)

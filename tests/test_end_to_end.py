@@ -1,0 +1,107 @@
+"""Integration tests: full campaigns reproducing the paper's key findings
+at test scale (single app, single seed)."""
+
+import pytest
+
+from repro.apps import app_factory
+from repro.eval import (
+    WorkloadHarness,
+    by_variant,
+    conditional_coverage_components,
+    coverage,
+    coverage_components,
+    diversity_variants,
+    mean_time_to_detection,
+    policy_variants,
+    std_not_all_det_sites,
+    stdapp_variant,
+)
+from repro.faultinject import HEAP_ARRAY_RESIZE, IMMEDIATE_FREE
+from repro.machine import ExitStatus
+
+
+@pytest.fixture(scope="module")
+def mcf_harness():
+    return WorkloadHarness("mcf", app_factory("mcf", 1))
+
+
+@pytest.fixture(scope="module")
+def art_harness():
+    return WorkloadHarness("art", app_factory("art", 1))
+
+
+class TestResizeCoverage:
+    def test_implicit_diversity_covers_heap_array_resizes(self, art_harness):
+        """§3.7 key finding: buffer overflows from heap array resizes are
+        entirely covered by implicit diversity (the no-diversity variant)."""
+        no_div = diversity_variants("sds")[0]
+        records = art_harness.run_campaign([no_div], HEAP_ARRAY_RESIZE)
+        assert coverage(records) == 1.0
+
+    def test_dpmr_beats_stdapp_on_resizes(self, art_harness):
+        variants = [stdapp_variant(), diversity_variants("sds")[2]]
+        records = by_variant(
+            art_harness.run_campaign(variants, HEAP_ARRAY_RESIZE)
+        )
+        assert coverage(records["rearrange-heap"]) >= coverage(records["stdapp"])
+
+
+class TestImmediateFreeCoverage:
+    def test_rearrange_heap_covers_immediate_frees(self, mcf_harness):
+        """§3.7: rearrange-heap is the strongest variant against dangling
+        pointers from immediate frees."""
+        rearrange = diversity_variants("sds")[2]
+        records = mcf_harness.run_campaign([rearrange], IMMEDIATE_FREE)
+        assert coverage(records) == 1.0
+
+    def test_coverage_breakdown_sums_to_one_or_less(self, mcf_harness):
+        v = diversity_variants("sds")[0]
+        c = coverage_components(mcf_harness.run_campaign([v], IMMEDIATE_FREE))
+        assert 0.0 <= c.coverage <= 1.0
+
+
+class TestConditionalCoverage:
+    def test_conditional_coverage_pipeline(self, mcf_harness):
+        """Runs the Figs. 3.8/3.9 pipeline: stdapp records define the
+        StdNotAllDet sites; DPMR variants are conditioned on them."""
+        variants = [stdapp_variant(), diversity_variants("sds")[2]]
+        records = by_variant(mcf_harness.run_campaign(variants, IMMEDIATE_FREE))
+        qualifying = std_not_all_det_sites(records["stdapp"])
+        if qualifying:
+            cc = conditional_coverage_components(
+                records["rearrange-heap"], qualifying
+            )
+            assert cc.total_runs >= 1
+            assert cc.coverage >= 0.5
+
+
+class TestLatency:
+    def test_detection_latency_measured(self, art_harness):
+        v = diversity_variants("sds")[2]
+        records = art_harness.run_campaign([v], IMMEDIATE_FREE)
+        latency = mean_time_to_detection(records)
+        detected = [r for r in records if r.ddet or (r.ndet and not r.co)]
+        if detected:
+            assert latency is not None and latency >= 0
+
+
+class TestPolicyCampaign:
+    def test_policy_variants_run_under_faults(self, art_harness):
+        pv = [v for v in policy_variants("sds") if v.name in ("all-loads", "static-90%")]
+        records = by_variant(art_harness.run_campaign(pv, HEAP_ARRAY_RESIZE))
+        for name, recs in records.items():
+            assert coverage(recs) >= 0.5, name
+
+
+class TestMdsCampaign:
+    def test_mds_resize_coverage_matches_sds_shape(self, art_harness):
+        sds = diversity_variants("sds")[0]
+        mds = diversity_variants("mds")[0]
+        sds_cov = coverage(art_harness.run_campaign([sds], HEAP_ARRAY_RESIZE))
+        mds_cov = coverage(art_harness.run_campaign([mds], HEAP_ARRAY_RESIZE))
+        assert mds_cov == pytest.approx(sds_cov, abs=0.35)
+
+    def test_mds_overhead_not_greater_than_sds(self, mcf_harness):
+        sds = mcf_harness.overhead(diversity_variants("sds")[0])
+        mds = mcf_harness.overhead(diversity_variants("mds")[0])
+        assert mds <= sds + 0.05

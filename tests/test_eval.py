@@ -1,0 +1,205 @@
+"""Evaluation framework tests: metrics of §3.6 and the workload harness."""
+
+import pytest
+
+from repro.eval import (
+    ExperimentRecord,
+    Variant,
+    WorkloadHarness,
+    by_variant,
+    conditional_coverage_components,
+    coverage,
+    coverage_components,
+    diversity_variants,
+    mean_time_to_detection,
+    policy_variants,
+    std_not_all_det_sites,
+    stdapp_variant,
+)
+from repro.faultinject import IMMEDIATE_FREE, HEAP_ARRAY_RESIZE
+from repro.machine import ExitStatus, ProcessResult
+from tests.conftest import build_sum_module
+
+
+def _record(
+    status=ExitStatus.NORMAL,
+    exit_code=0,
+    output="285",
+    site="s1",
+    activations=None,
+    cycles=1000,
+    variant="v",
+):
+    if activations is None:
+        activations = {"s1": 100} if site else {}
+    return ExperimentRecord(
+        workload="w",
+        variant=variant,
+        site=site,
+        run=0,
+        result=ProcessResult(
+            status=status,
+            exit_code=exit_code,
+            output=[output],
+            cycles=cycles,
+            instructions=cycles,
+            fault_activations=activations,
+        ),
+        golden_output="285",
+    )
+
+
+class TestClassification:
+    def test_correct_output(self):
+        r = _record()
+        assert r.sf and r.co and not r.ndet and not r.ddet and r.covered
+
+    def test_wrong_output_not_covered(self):
+        r = _record(output="999")
+        assert r.sf and not r.co and not r.covered
+
+    def test_detected_output_is_not_correct_output(self):
+        """§3.6: 'incorrect output includes not only bad results but also
+        error detection' — the literal interpretation."""
+        r = _record(status=ExitStatus.DPMR_DETECTED, output="")
+        assert not r.co and r.ddet and r.covered
+
+    def test_crash_is_natural_detection(self):
+        r = _record(status=ExitStatus.CRASH, output="")
+        assert r.ndet and r.covered
+
+    def test_error_exit_code_is_natural_detection(self):
+        r = _record(exit_code=3, output="285")
+        assert r.ndet and not r.co
+
+    def test_timeout_neither_detected_nor_correct(self):
+        r = _record(status=ExitStatus.TIMEOUT, output="")
+        assert not r.covered
+
+    def test_unactivated_fault_not_sf(self):
+        r = _record(activations={})
+        assert not r.sf
+
+    def test_t2d_is_detection_minus_activation(self):
+        r = _record(status=ExitStatus.DPMR_DETECTED, output="", cycles=600,
+                    activations={"s1": 100})
+        assert r.t2d == 500
+
+    def test_t2d_undefined_for_correct_output(self):
+        r = _record()
+        assert r.t2d is None
+
+
+class TestCoverageMetrics:
+    def test_components_partition(self):
+        records = [
+            _record(),  # CO
+            _record(status=ExitStatus.CRASH, output=""),  # Ndet
+            _record(status=ExitStatus.DPMR_DETECTED, output=""),  # Ddet
+            _record(status=ExitStatus.TIMEOUT, output=""),  # uncovered
+        ]
+        c = coverage_components(records)
+        assert c.co == 0.25 and c.ndet == 0.25 and c.ddet == 0.25
+        assert c.coverage == 0.75
+        assert coverage(records) == 0.75
+
+    def test_only_sf_records_count(self):
+        records = [_record(), _record(activations={})]
+        assert coverage_components(records).total_runs == 1
+
+    def test_empty_records(self):
+        c = coverage_components([])
+        assert c.coverage == 0.0 and c.total_runs == 0
+
+    def test_std_not_all_det_sites(self):
+        """A site qualifies iff stdapp sometimes silently corrupted there."""
+        records = [
+            _record(site="good", output="285", activations={"good": 5}),
+            _record(site="silent", output="999", activations={"silent": 5}),
+            _record(
+                site="crashy",
+                status=ExitStatus.CRASH,
+                output="",
+                activations={"crashy": 5},
+            ),
+        ]
+        assert std_not_all_det_sites(records) == {"silent"}
+
+    def test_conditional_coverage_filters_sites(self):
+        records = [
+            _record(site="a", status=ExitStatus.DPMR_DETECTED, output="",
+                    activations={"a": 5}),
+            _record(site="b", output="285", activations={"b": 5}),
+        ]
+        c = conditional_coverage_components(records, {"a"})
+        assert c.total_runs == 1 and c.ddet == 1.0
+
+    def test_mean_time_to_detection(self):
+        records = [
+            _record(status=ExitStatus.DPMR_DETECTED, output="", cycles=300,
+                    activations={"s1": 100}),
+            _record(status=ExitStatus.CRASH, output="", cycles=700,
+                    activations={"s1": 100}),
+            _record(),  # CO: excluded
+        ]
+        assert mean_time_to_detection(records) == 400.0
+
+    def test_mean_t2d_none_without_detections(self):
+        assert mean_time_to_detection([_record()]) is None
+
+
+class TestVariantSuites:
+    def test_diversity_suite_shape(self):
+        names = [v.name for v in diversity_variants("sds")]
+        assert names == [
+            "no-diversity",
+            "zero-before-free",
+            "rearrange-heap",
+            "pad-malloc-8",
+            "pad-malloc-32",
+            "pad-malloc-256",
+            "pad-malloc-1024",
+        ]
+
+    def test_policy_suite_uses_rearrange_heap(self):
+        for v in policy_variants("mds"):
+            assert v.diversity.name == "rearrange-heap"
+        names = [v.name for v in policy_variants("sds")]
+        assert "all-loads" in names and "static-10%" in names
+
+    def test_stdapp_variant_is_untransformed(self, sum_module):
+        compiled = stdapp_variant().compile(sum_module)
+        r = compiled.run()
+        assert r.status is ExitStatus.NORMAL
+
+
+class TestHarness:
+    def test_golden_run_and_timeout(self):
+        h = WorkloadHarness("sum", build_sum_module)
+        assert h.golden.status is ExitStatus.NORMAL
+        assert h.timeout >= h.golden.cycles * 20
+
+    def test_overhead_of_stdapp_is_one(self):
+        h = WorkloadHarness("sum", build_sum_module)
+        assert h.overhead(stdapp_variant()) == pytest.approx(1.0)
+
+    def test_overhead_of_dpmr_exceeds_one(self):
+        h = WorkloadHarness("sum", build_sum_module)
+        v = diversity_variants("sds")[0]
+        assert h.overhead(v) > 1.5
+
+    def test_campaign_produces_records_per_site_and_variant(self):
+        h = WorkloadHarness("sum", build_sum_module)
+        variants = [stdapp_variant(), diversity_variants("sds")[0]]
+        records = h.run_campaign(variants, IMMEDIATE_FREE)
+        groups = by_variant(records)
+        assert set(groups) == {"stdapp", "no-diversity"}
+        n_sites = len({r.site for r in records})
+        assert all(len(v) == n_sites for v in groups.values())
+
+    def test_dpmr_coverage_at_least_stdapp(self):
+        h = WorkloadHarness("sum", build_sum_module)
+        variants = [stdapp_variant(), diversity_variants("sds")[2]]  # rearrange
+        records = h.run_campaign(variants, HEAP_ARRAY_RESIZE)
+        groups = by_variant(records)
+        assert coverage(groups["rearrange-heap"]) >= coverage(groups["stdapp"])

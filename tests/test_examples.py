@@ -1,0 +1,52 @@
+"""Smoke tests: every example script runs cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart_example():
+    out = _run("quickstart.py")
+    assert "dpmr-detected" in out
+    assert "silently" in out
+
+
+def test_linked_list_transform_example():
+    out = _run("linked_list_transform.py")
+    assert "rvSop" in out  # SDS signature shown
+    assert "rvRopPtr" in out  # MDS signature shown
+    assert "BEHAVIOURAL EQUIVALENCE" in out
+
+
+def test_dsa_scope_expansion_example():
+    out = _run("dsa_scope_expansion.py")
+    assert "DpmrTransformError" in out
+    assert "allocs_excluded" in out
+
+
+def test_banking_race_example():
+    out = _run("banking_race.py")
+    assert "RACE DETECTED" in out
+    assert "no divergence" in out
+
+
+@pytest.mark.slow
+def test_tuning_example():
+    out = _run("tuning.py", timeout=480)
+    assert "DIVERSITY AXIS" in out
+    assert "POLICY AXIS" in out

@@ -1,0 +1,163 @@
+"""Fault-injection framework tests (§3.4)."""
+
+import pytest
+
+from repro.core import DpmrCompiler
+from repro.faultinject import (
+    Campaign,
+    FaultSite,
+    HEAP_ARRAY_RESIZE,
+    IMMEDIATE_FREE,
+    InjectionError,
+    enumerate_sites,
+    inject,
+    would_definitely_not_manifest,
+)
+from repro.ir import INT32, INT64, ModuleBuilder, VOID, verify_module
+from repro.ir import instructions as ins
+from repro.ir.values import ConstInt
+from repro.machine import ExitStatus, run_process
+from tests.conftest import build_sum_module
+
+
+class TestSiteEnumeration:
+    def test_resize_targets_array_allocations_only(self):
+        mb = ModuleBuilder()
+        fn, b = mb.define("main", INT32)
+        b.malloc(INT64)  # scalar allocation — not a resize target
+        b.malloc(INT64, b.i64(8))  # array allocation — a resize target
+        b.ret(b.i32(0))
+        m = mb.module
+        assert len(enumerate_sites(m, HEAP_ARRAY_RESIZE)) == 1
+        assert len(enumerate_sites(m, IMMEDIATE_FREE)) == 2
+
+    def test_unknown_kind_rejected(self, sum_module):
+        with pytest.raises(ValueError):
+            enumerate_sites(sum_module, "bit-flip")
+
+    def test_site_ids_stable_across_rebuilds(self):
+        s1 = enumerate_sites(build_sum_module(), HEAP_ARRAY_RESIZE)
+        s2 = enumerate_sites(build_sum_module(), HEAP_ARRAY_RESIZE)
+        assert [s.site_id for s in s1] == [s.site_id for s in s2]
+
+
+class TestResizeInjection:
+    def test_constant_count_halved(self):
+        m = build_sum_module(16)
+        site = enumerate_sites(m, HEAP_ARRAY_RESIZE)[0]
+        inject(m, site, percent=50)
+        fn = m.functions[site.function]
+        malloc = fn.block(site.block).instructions[site.index]
+        assert isinstance(malloc, ins.Malloc)
+        assert isinstance(malloc.count, ConstInt)
+        assert malloc.count.value == 8
+        assert malloc.fault_site == site.site_id
+
+    def test_register_count_scaled_with_inserted_arithmetic(self):
+        mb = ModuleBuilder()
+        mb.declare_external("print_i64", VOID, [INT64])
+        sized, sb = mb.define("alloc_n", INT32, [INT64], ["n"])
+        arr = sb.malloc(INT64, sized.params[0])
+        sb.free(arr)
+        sb.ret(sb.i32(0))
+        fn, b = mb.define("main", INT32)
+        b.call("alloc_n", [b.i64(10)])
+        b.ret(b.i32(0))
+        m = mb.module
+        site = enumerate_sites(m, HEAP_ARRAY_RESIZE)[0]
+        before = len(m.functions["alloc_n"].block(site.block).instructions)
+        inject(m, site)
+        after = len(m.functions["alloc_n"].block(site.block).instructions)
+        assert after == before + 2  # mul + sdiv inserted
+        verify_module(m)
+
+    def test_resized_program_misbehaves_or_survives(self):
+        """A halved allocation leads to out-of-bounds writes; the golden run
+        either silently corrupts (normal) or crashes."""
+        m = build_sum_module(16)
+        site = enumerate_sites(m, HEAP_ARRAY_RESIZE)[0]
+        inject(m, site)
+        r = run_process(m)
+        assert r.status in (ExitStatus.NORMAL, ExitStatus.CRASH, ExitStatus.TIMEOUT)
+        assert site.site_id in r.fault_activations
+
+    def test_dpmr_detects_resized_allocation(self):
+        m = build_sum_module(16)
+        site = enumerate_sites(m, HEAP_ARRAY_RESIZE)[0]
+        inject(m, site)
+        r = DpmrCompiler(design="sds").compile(m).run()
+        assert r.status is ExitStatus.DPMR_DETECTED
+
+
+class TestImmediateFreeInjection:
+    def test_free_inserted_after_malloc(self):
+        m = build_sum_module()
+        site = enumerate_sites(m, IMMEDIATE_FREE)[0]
+        inject(m, site)
+        fn = m.functions[site.function]
+        block = fn.block(site.block)
+        nxt = block.instructions[site.index + 1]
+        assert isinstance(nxt, ins.Free)
+        assert nxt.fault_site == site.site_id
+        verify_module(m)
+
+    def test_activation_recorded_with_cycle_stamp(self):
+        m = build_sum_module()
+        site = enumerate_sites(m, IMMEDIATE_FREE)[0]
+        inject(m, site)
+        r = run_process(m)
+        assert r.fault_activations[site.site_id] > 0
+        assert r.first_activation == r.fault_activations[site.site_id]
+
+
+class TestStaticFilter:
+    def test_filters_requests_that_round_up_identically(self):
+        """§3.4's example: a 24-byte request reduced to 12 bytes still gets
+        the 24-byte minimum chunk, so the fault cannot manifest."""
+        mb = ModuleBuilder()
+        fn, b = mb.define("main", INT32)
+        b.malloc(INT64, b.i64(3))  # 24 bytes → resized 8 → still 24 reserved
+        b.malloc(INT64, b.i64(100))  # 800 bytes → 400: manifests
+        b.ret(b.i32(0))
+        m = mb.module
+        sites = enumerate_sites(m, HEAP_ARRAY_RESIZE)
+        flags = [would_definitely_not_manifest(m, s) for s in sites]
+        assert flags == [True, False]
+
+    def test_campaign_applies_filter(self):
+        def factory():
+            mb = ModuleBuilder()
+            fn, b = mb.define("main", INT32)
+            b.malloc(INT64, b.i64(3))
+            b.malloc(INT64, b.i64(100))
+            b.ret(b.i32(0))
+            return mb.module
+
+        c = Campaign(factory, HEAP_ARRAY_RESIZE)
+        assert len(c.sites) == 1
+        unfiltered = Campaign(factory, HEAP_ARRAY_RESIZE, apply_static_filter=False)
+        assert len(unfiltered.sites) == 2
+
+
+class TestCampaign:
+    def test_faulty_modules_are_fresh_builds(self):
+        c = Campaign(build_sum_module, IMMEDIATE_FREE)
+        m1 = c.faulty_module(c.sites[0])
+        m2 = c.faulty_module(c.sites[0])
+        assert m1 is not m2
+        assert c.pristine_module() is not m1
+
+    def test_bad_site_rejected(self):
+        c = Campaign(build_sum_module, IMMEDIATE_FREE)
+        bogus = FaultSite(IMMEDIATE_FREE, "main", "entry", 999)
+        with pytest.raises(InjectionError):
+            c.faulty_module(bogus)
+
+    def test_injection_survives_dpmr_transformation(self):
+        """Faults are injected pre-DPMR; the transformed module must carry
+        the fault-site markers through (activation still recorded)."""
+        c = Campaign(build_sum_module, IMMEDIATE_FREE)
+        site = c.sites[0]
+        build = DpmrCompiler(design="sds").compile(c.faulty_module(site))
+        r = build.run()
+        assert site.site_id in r.fault_activations

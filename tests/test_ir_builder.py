@@ -1,0 +1,162 @@
+"""IRBuilder and structured-control-flow tests."""
+
+import pytest
+
+from repro.ir import (
+    INT32,
+    INT64,
+    VOID,
+    ModuleBuilder,
+    format_function,
+    verify_module,
+)
+from repro.machine import ExitStatus, run_process
+
+
+def _run_main(mb):
+    verify_module(mb.module)
+    return run_process(mb.module)
+
+
+class TestArithmetic:
+    def test_constant_helpers(self):
+        mb = ModuleBuilder()
+        fn, b = mb.define("main", INT32)
+        assert b.i8(300).value == 44  # wraps to int8
+        assert b.i64(-1).value == -1
+        b.ret(b.i32(0))
+
+    def test_basic_arithmetic_runs(self):
+        mb = ModuleBuilder()
+        mb.declare_external("print_i64", VOID, [INT64])
+        fn, b = mb.define("main", INT32)
+        v = b.add(b.mul(b.i64(6), b.i64(7)), b.i64(-2))
+        b.call("print_i64", [v])
+        b.ret(b.i32(0))
+        r = _run_main(mb)
+        assert r.output_text == "40"
+
+    def test_unknown_binop_rejected(self):
+        mb = ModuleBuilder()
+        fn, b = mb.define("main", INT32)
+        with pytest.raises(ValueError):
+            b.binop("bogus", b.i64(1), b.i64(2))
+
+
+class TestControlFlowSugar:
+    def test_if_then_both_paths(self):
+        for cond_val, expected in ((1, "10"), (0, "0")):
+            mb = ModuleBuilder()
+            mb.declare_external("print_i64", VOID, [INT64])
+            fn, b = mb.define("main", INT32)
+            slot = b.alloca(INT64)
+            b.store(slot, b.i64(0))
+            c = b.ne(b.i64(cond_val), b.i64(0))
+            with b.if_then(c):
+                b.store(slot, b.i64(10))
+            b.call("print_i64", [b.load(slot)])
+            b.ret(b.i32(0))
+            assert _run_main(mb).output_text == expected
+
+    def test_if_else_arms(self):
+        for cond_val, expected in ((1, "1"), (0, "2")):
+            mb = ModuleBuilder()
+            mb.declare_external("print_i64", VOID, [INT64])
+            fn, b = mb.define("main", INT32)
+            c = b.ne(b.i64(cond_val), b.i64(0))
+            slot = b.alloca(INT64)
+            with b.if_else(c) as arms:
+                with arms.then():
+                    b.store(slot, b.i64(1))
+                with arms.otherwise():
+                    b.store(slot, b.i64(2))
+            b.call("print_i64", [b.load(slot)])
+            b.ret(b.i32(0))
+            assert _run_main(mb).output_text == expected
+
+    def test_for_range_counts(self):
+        mb = ModuleBuilder()
+        mb.declare_external("print_i64", VOID, [INT64])
+        fn, b = mb.define("main", INT32)
+        acc = b.alloca(INT64)
+        b.store(acc, b.i64(0))
+        with b.for_range(b.i64(10), start=b.i64(2), step=b.i64(3)) as i:
+            b.store(acc, b.add(b.load(acc), i))
+        b.call("print_i64", [b.load(acc)])  # 2 + 5 + 8 = 15
+        b.ret(b.i32(0))
+        assert _run_main(mb).output_text == "15"
+
+    def test_while_loop_break(self):
+        mb = ModuleBuilder()
+        mb.declare_external("print_i64", VOID, [INT64])
+        fn, b = mb.define("main", INT32)
+        i = b.alloca(INT64)
+        b.store(i, b.i64(0))
+        with b.while_loop(lambda bb: bb.slt(bb.load(i), bb.i64(100))) as loop:
+            cur = b.load(i)
+            done = b.sge(cur, b.i64(7))
+            with b.if_then(done):
+                loop.break_()
+            b.store(i, b.add(cur, b.i64(1)))
+        b.call("print_i64", [b.load(i)])
+        b.ret(b.i32(0))
+        assert _run_main(mb).output_text == "7"
+
+    def test_nested_loops(self):
+        mb = ModuleBuilder()
+        mb.declare_external("print_i64", VOID, [INT64])
+        fn, b = mb.define("main", INT32)
+        acc = b.alloca(INT64)
+        b.store(acc, b.i64(0))
+        with b.for_range(b.i64(4)) as i:
+            with b.for_range(b.i64(4)) as j:
+                b.store(acc, b.add(b.load(acc), b.mul(i, j)))
+        b.call("print_i64", [b.load(acc)])  # (0+1+2+3)^2 = 36
+        b.ret(b.i32(0))
+        assert _run_main(mb).output_text == "36"
+
+
+class TestFunctions:
+    def test_call_with_return_value(self):
+        mb = ModuleBuilder()
+        mb.declare_external("print_i64", VOID, [INT64])
+        dbl, b = mb.define("double", INT64, [INT64], ["x"])
+        b.ret(b.mul(dbl.params[0], b.i64(2)))
+        fn, b = mb.define("main", INT32)
+        b.call("print_i64", [b.call("double", [b.i64(21)])])
+        b.ret(b.i32(0))
+        assert _run_main(mb).output_text == "42"
+
+    def test_recursion(self):
+        mb = ModuleBuilder()
+        mb.declare_external("print_i64", VOID, [INT64])
+        fact, b = mb.define("fact", INT64, [INT64], ["n"])
+        base = b.sle(fact.params[0], b.i64(1))
+        with b.if_else(base) as arms:
+            with arms.then():
+                b.ret(b.i64(1))
+            with arms.otherwise():
+                rec = b.call("fact", [b.sub(fact.params[0], b.i64(1))])
+                b.ret(b.mul(fact.params[0], rec))
+        b.unreachable()
+        fn, b = mb.define("main", INT32)
+        b.call("print_i64", [b.call("fact", [b.i64(6)])])
+        b.ret(b.i32(0))
+        assert _run_main(mb).output_text == "720"
+
+    def test_indirect_call_through_function_pointer(self):
+        mb = ModuleBuilder()
+        mb.declare_external("print_i64", VOID, [INT64])
+        inc, b = mb.define("inc", INT64, [INT64], ["x"])
+        b.ret(b.add(inc.params[0], b.i64(1)))
+        fn, b = mb.define("main", INT32)
+        fp = b.func_addr(inc)
+        r = b.call(fp, [b.i64(41)])
+        b.call("print_i64", [r])
+        b.ret(b.i32(0))
+        assert _run_main(mb).output_text == "42"
+
+    def test_format_function_renders(self, linked_list_module):
+        text = format_function(linked_list_module.functions["createNode"])
+        assert "createNode" in text
+        assert "malloc" in text

@@ -1,0 +1,85 @@
+"""Printer tests: every instruction kind renders, fault sites are visible."""
+
+from repro.ir import (
+    INT32,
+    INT64,
+    ModuleBuilder,
+    PointerType,
+    StructType,
+    VOID,
+    format_function,
+    format_instruction,
+    format_module,
+)
+from repro.ir import instructions as ins
+from tests.conftest import build_linked_list_module
+
+
+def _rich_module():
+    """Touches every instruction kind once."""
+    s = StructType([INT64, PointerType(INT64)])
+    mb = ModuleBuilder("rich")
+    mb.declare_external("print_i64", VOID, [INT64])
+    mb.add_global("g", INT64, 7)
+    callee, cb = mb.define("callee", INT64, [INT64], ["x"])
+    cb.ret(callee.params[0])
+    fn, b = mb.define("main", INT32)
+    box = b.malloc(s)
+    slot = b.alloca(INT64)
+    arr = b.malloc(INT64, b.i64(4))
+    b.store(slot, b.i64(1))
+    v = b.load(slot)
+    fa = b.field_addr(box, 0)
+    ea = b.elem_addr(arr, b.i64(2))
+    pc = b.ptr_cast(arr, INT64)
+    pi = b.ptr_to_int(pc)
+    ip = b.int_to_ptr(pi, INT64)
+    t = b.add(v, b.i64(2))
+    c = b.slt(t, b.i64(10))
+    nc = b.num_cast(t, INT32)
+    fp = b.func_addr(callee)
+    r = b.call(fp, [t])
+    r2 = b.call("callee", [r])
+    b.call("print_i64", [r2])
+    with b.if_then(c):
+        b.store(slot, b.i64(9))
+    b.free(arr)
+    b.free(box)
+    b.ret(b.i32(0))
+    return mb.module
+
+
+def test_every_instruction_formats():
+    m = _rich_module()
+    for f in m.defined_functions():
+        for inst in f.instructions():
+            text = format_instruction(inst)
+            assert text and "unknown" not in text
+
+
+def test_format_function_and_module():
+    m = _rich_module()
+    fn_text = format_function(m.functions["main"])
+    assert "func @main" in fn_text
+    assert "malloc" in fn_text and "ptrcast" in fn_text
+    mod_text = format_module(m)
+    assert "global @g" in mod_text
+    assert "extern func @print_i64" in mod_text
+
+
+def test_fault_site_annotation_rendered():
+    from repro.faultinject import HEAP_ARRAY_RESIZE, enumerate_sites, inject
+
+    m = build_linked_list_module()
+    from repro.faultinject import IMMEDIATE_FREE
+
+    site = enumerate_sites(m, IMMEDIATE_FREE)[0]
+    inject(m, site)
+    text = format_function(m.functions[site.function])
+    assert "fault-site=" in text
+
+
+def test_branch_and_jump_rendering():
+    assert "jump done" == format_instruction(ins.Jump("done"))
+    text = format_instruction(ins.Unreachable())
+    assert text == "unreachable"

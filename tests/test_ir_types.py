@@ -1,0 +1,199 @@
+"""Type system tests: sizes, alignment, layout, and the paper's helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir import (
+    ArrayType,
+    FLOAT32,
+    FLOAT64,
+    FunctionType,
+    INT16,
+    INT32,
+    INT64,
+    INT8,
+    IntType,
+    POINTER_SIZE,
+    PointerType,
+    StructType,
+    UnionType,
+    VOID,
+    alignof,
+    array,
+    contains_pointer_outside_function_types,
+    field_offset,
+    ptr,
+    scalarize,
+    sizeof,
+    walk,
+)
+
+
+class TestPrimitives:
+    def test_int_sizes(self):
+        assert sizeof(INT8) == 1
+        assert sizeof(INT16) == 2
+        assert sizeof(INT32) == 4
+        assert sizeof(INT64) == 8
+
+    def test_float_sizes(self):
+        assert sizeof(FLOAT32) == 4
+        assert sizeof(FLOAT64) == 8
+
+    def test_pointer_size_is_predefined(self):
+        assert sizeof(ptr(INT8)) == POINTER_SIZE
+        assert sizeof(ptr(StructType([INT64] * 10))) == POINTER_SIZE
+
+    def test_int_types_are_interned(self):
+        assert IntType(32) is INT32
+
+    def test_invalid_int_width_rejected(self):
+        with pytest.raises(ValueError):
+            IntType(24)
+
+    def test_void_has_no_size(self):
+        with pytest.raises(TypeError):
+            sizeof(VOID)
+
+    def test_scalar_classification(self):
+        assert INT32.is_scalar()
+        assert FLOAT64.is_scalar()
+        assert ptr(INT8).is_scalar()
+        assert not StructType([INT32]).is_scalar()
+        assert not array(INT8, 4).is_scalar()
+
+
+class TestAggregates:
+    def test_array_size(self):
+        assert sizeof(array(INT32, 5)) == 20
+
+    def test_unsized_array_has_no_size(self):
+        with pytest.raises(TypeError):
+            sizeof(array(INT8))
+
+    def test_struct_equivalence_to_array(self):
+        # The paper: struct{int32;int32;int32;} is equivalent to int32[3].
+        s = StructType([INT32, INT32, INT32])
+        assert sizeof(s) == sizeof(array(INT32, 3))
+
+    def test_struct_padding(self):
+        s = StructType([INT8, INT64])
+        assert field_offset(s, 0) == 0
+        assert field_offset(s, 1) == 8
+        assert sizeof(s) == 16
+
+    def test_struct_tail_padding(self):
+        s = StructType([INT64, INT8])
+        assert sizeof(s) == 16  # padded to alignment 8
+
+    def test_union_size_is_max_member(self):
+        u = UnionType([INT8, INT64, array(INT16, 3)])
+        assert sizeof(u) == 8
+
+    def test_alignment(self):
+        assert alignof(INT8) == 1
+        assert alignof(INT64) == 8
+        assert alignof(ptr(INT8)) == POINTER_SIZE
+        assert alignof(StructType([INT8, INT32])) == 4
+
+    def test_field_offset_out_of_range(self):
+        with pytest.raises(IndexError):
+            field_offset(StructType([INT32]), 3)
+
+
+class TestNamedStructs:
+    def test_recursive_struct(self):
+        ll = StructType.opaque("LL")
+        ll.set_fields([INT32, PointerType(ll)])
+        assert sizeof(ll) == 16
+        assert field_offset(ll, 1) == 8
+
+    def test_opaque_struct_rejects_field_access(self):
+        s = StructType.opaque("X")
+        with pytest.raises(ValueError):
+            _ = s.fields
+
+    def test_double_body_rejected(self):
+        s = StructType.opaque("X")
+        s.set_fields([INT32])
+        with pytest.raises(ValueError):
+            s.set_fields([INT64])
+
+    def test_named_structs_compare_by_identity(self):
+        a = StructType([INT32], name="A")
+        b = StructType([INT32], name="A")
+        assert a != b
+        assert a == a
+
+    def test_literal_structs_compare_structurally(self):
+        assert StructType([INT32, INT8]) == StructType([INT32, INT8])
+        assert StructType([INT32]) != StructType([INT64])
+
+    def test_named_struct_hashable_when_recursive(self):
+        ll = StructType.opaque("LL2")
+        ll.set_fields([PointerType(ll)])
+        assert ll in {ll}
+
+
+class TestTypePredicates:
+    def test_contains_pointer_basic(self):
+        assert contains_pointer_outside_function_types(ptr(INT8))
+        assert not contains_pointer_outside_function_types(INT32)
+        assert contains_pointer_outside_function_types(
+            StructType([INT32, ptr(INT8)])
+        )
+        assert not contains_pointer_outside_function_types(
+            StructType([INT32, FLOAT64])
+        )
+
+    def test_function_params_do_not_count_as_pointers(self):
+        # A *function type* with pointer params contains no data pointer...
+        ft = FunctionType(VOID, [ptr(INT8)])
+        assert not contains_pointer_outside_function_types(ft)
+        # ...but a function *pointer* is itself a pointer.
+        assert contains_pointer_outside_function_types(ptr(ft))
+
+    def test_contains_pointer_recursive_type_terminates(self):
+        ll = StructType.opaque("LL3")
+        ll.set_fields([INT32, PointerType(ll)])
+        assert contains_pointer_outside_function_types(ll)
+
+    def test_scalarize(self):
+        s = StructType([INT32, array(INT8, 2), StructType([FLOAT64])])
+        assert scalarize(s) == (INT32, INT8, INT8, FLOAT64)
+
+    def test_scalarize_union_uses_largest_member(self):
+        u = UnionType([INT8, StructType([INT32, INT32])])
+        assert scalarize(u) == (INT32, INT32)
+
+    def test_walk_visits_components(self):
+        s = StructType([INT32, ptr(FLOAT64)])
+        seen = list(walk(s))
+        assert INT32 in seen and FLOAT64 in seen
+
+    def test_walk_handles_cycles(self):
+        ll = StructType.opaque("LL4")
+        ll.set_fields([PointerType(ll)])
+        assert len(list(walk(ll))) < 10
+
+
+@given(st.lists(st.sampled_from([INT8, INT16, INT32, INT64, FLOAT64]), min_size=1, max_size=8))
+def test_struct_size_at_least_sum_of_fields(fields):
+    """Padding can only grow a struct, never shrink it."""
+    s = StructType(fields)
+    assert sizeof(s) >= sum(sizeof(f) for f in fields)
+    assert sizeof(s) % alignof(s) == 0
+
+
+@given(st.lists(st.sampled_from([INT8, INT16, INT32, INT64, FLOAT64]), min_size=1, max_size=8))
+def test_field_offsets_monotone_and_aligned(fields):
+    s = StructType(fields)
+    offsets = [field_offset(s, i) for i in range(len(fields))]
+    assert offsets == sorted(offsets)
+    for off, f in zip(offsets, fields):
+        assert off % alignof(f) == 0
+
+
+@given(st.integers(min_value=0, max_value=64), st.sampled_from([INT8, INT32, INT64]))
+def test_array_size_linear(n, elem):
+    assert sizeof(array(elem, n)) == n * sizeof(elem)

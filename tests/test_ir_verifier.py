@@ -1,0 +1,135 @@
+"""Verifier tests: each IR invariant rejects a matching violation."""
+
+import pytest
+
+from repro.ir import (
+    INT32,
+    INT64,
+    FunctionType,
+    Function,
+    Module,
+    ModuleBuilder,
+    PointerType,
+    Register,
+    VOID,
+    VerificationError,
+    verify_module,
+)
+from repro.ir import instructions as ins
+from repro.ir.values import ConstInt
+
+
+def _empty_main():
+    mb = ModuleBuilder()
+    fn, b = mb.define("main", INT32)
+    return mb, fn, b
+
+
+def test_valid_module_passes(sum_module):
+    verify_module(sum_module)
+
+
+def test_unterminated_block_rejected():
+    mb, fn, b = _empty_main()
+    # no terminator emitted
+    with pytest.raises(VerificationError, match="not terminated"):
+        verify_module(mb.module)
+
+
+def test_unknown_branch_target_rejected():
+    mb, fn, b = _empty_main()
+    b.emit(ins.Jump("nowhere"))
+    with pytest.raises(VerificationError, match="unknown successor"):
+        verify_module(mb.module)
+
+
+def test_use_of_undefined_register_rejected():
+    mb, fn, b = _empty_main()
+    ghost = Register("ghost", INT64)
+    b.emit(ins.Ret(ConstInt(INT32, 0)))
+    fn.blocks[0].instructions.insert(
+        0, ins.BinOp(Register("x", INT64), "add", ghost, ConstInt(INT64, 1))
+    )
+    with pytest.raises(VerificationError, match="undefined register"):
+        verify_module(mb.module)
+
+
+def test_ret_type_mismatch_rejected():
+    mb, fn, b = _empty_main()
+    b.emit(ins.Ret(ConstInt(INT64, 0)))  # main returns int32
+    with pytest.raises(VerificationError, match="ret type"):
+        verify_module(mb.module)
+
+
+def test_ret_value_in_void_function_rejected():
+    mb = ModuleBuilder()
+    fn, b = mb.define("f", VOID)
+    b.emit(ins.Ret(ConstInt(INT32, 1)))
+    with pytest.raises(VerificationError, match="void"):
+        verify_module(mb.module)
+
+
+def test_call_arity_mismatch_rejected():
+    mb = ModuleBuilder()
+    g, gb = mb.define("g", INT64, [INT64], ["x"])
+    gb.ret(g.params[0])
+    fn, b = mb.define("main", INT32)
+    b.emit(ins.Call(Register("r", INT64), "g", []))
+    b.ret(b.i32(0))
+    with pytest.raises(VerificationError, match="arg count"):
+        verify_module(mb.module)
+
+
+def test_call_to_unknown_function_rejected():
+    mb, fn, b = _empty_main()
+    b.emit(ins.Call(None, "missing", []))
+    b.ret(b.i32(0))
+    with pytest.raises(VerificationError, match="unknown"):
+        verify_module(mb.module)
+
+
+def test_load_of_aggregate_rejected():
+    from repro.ir import StructType
+
+    mb, fn, b = _empty_main()
+    s = StructType([INT32, INT32])
+    p = b.alloca(s)
+    bad = Register("v", INT64)
+    b.ret(b.i32(0))
+    fn.blocks[0].instructions.insert(1, ins.Load(bad, p))
+    with pytest.raises(VerificationError, match="load"):
+        verify_module(mb.module)
+
+
+def test_terminator_mid_block_rejected():
+    mb, fn, b = _empty_main()
+    b.ret(b.i32(0))
+    fn.blocks[0].instructions.append(ins.Ret(ConstInt(INT32, 0)))
+    with pytest.raises(VerificationError, match="terminator not last"):
+        verify_module(mb.module)
+
+
+def test_block_append_after_terminator_rejected():
+    mb, fn, b = _empty_main()
+    b.ret(b.i32(0))
+    with pytest.raises(ValueError, match="terminated"):
+        b.ret(b.i32(0))
+
+
+def test_void_pointer_args_accepted():
+    """void* params are compatible with typed pointer args (external code)."""
+    mb = ModuleBuilder()
+    mb.declare_external("sink", VOID, [PointerType(VOID)])
+    fn, b = mb.define("main", INT32)
+    p = b.malloc(INT64, b.i64(2))
+    b.call("sink", [p])
+    b.free(p)
+    b.ret(b.i32(0))
+    verify_module(mb.module)
+
+
+def test_duplicate_function_rejected():
+    m = Module()
+    m.add_function(Function("f", FunctionType(VOID, [])))
+    with pytest.raises(ValueError, match="duplicate"):
+        m.add_function(Function("f", FunctionType(VOID, [])))

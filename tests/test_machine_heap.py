@@ -1,0 +1,160 @@
+"""Heap allocator tests: the behaviours the paper's results depend on."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.machine import Memory, HeapAllocator, HeapError, OutOfMemory, MIN_PAYLOAD
+
+
+@pytest.fixture
+def heap():
+    return HeapAllocator(Memory())
+
+
+class TestAllocation:
+    def test_returns_aligned_payload(self, heap):
+        for size in (1, 7, 24, 100):
+            assert heap.malloc(size) % 8 == 0
+
+    def test_minimum_allocation_size(self, heap):
+        """§3.4: a 16-byte request still reserves the 24-byte minimum, which
+        is why some heap-array-resize injections cannot manifest."""
+        assert heap.round_request(16) == MIN_PAYLOAD
+        assert heap.round_request(1) == MIN_PAYLOAD
+        assert heap.round_request(25) == 32
+
+    def test_distinct_chunks(self, heap):
+        a = heap.malloc(32)
+        b = heap.malloc(32)
+        assert abs(a - b) >= 32
+
+    def test_sequential_layout(self, heap):
+        """Bump allocation lays chunks out in order — the source of DPMR's
+        implicit diversity (Fig. 2.1): X, Xr, Xs, Y, Yr, Ys."""
+        addrs = [heap.malloc(24) for _ in range(4)]
+        assert addrs == sorted(addrs)
+
+    def test_payload_size(self, heap):
+        a = heap.malloc(40)
+        assert heap.payload_size(a) == 40
+
+    def test_out_of_memory(self):
+        heap = HeapAllocator(Memory(heap_size=1 << 12))
+        with pytest.raises(OutOfMemory):
+            for _ in range(1000):
+                heap.malloc(64)
+
+
+class TestFree:
+    def test_free_null_is_noop(self, heap):
+        heap.free(0)
+
+    def test_lifo_reuse(self, heap):
+        """Recently freed chunks are reused first — makes dangling-pointer
+        reuse likely, as in real allocators."""
+        a = heap.malloc(32)
+        heap.malloc(32)
+        heap.free(a)
+        c = heap.malloc(32)
+        assert c == a
+
+    def test_free_writes_metadata_into_payload(self, heap):
+        """§2.5.3: dangling readers observe allocator metadata."""
+        a = heap.malloc(32)
+        before = heap.memory.read_bytes(a, 16)
+        heap.free(a)
+        after = heap.memory.read_bytes(a, 16)
+        assert before != after
+
+    def test_double_free_aborts(self, heap):
+        a = heap.malloc(32)
+        heap.free(a)
+        with pytest.raises(HeapError, match="double free"):
+            heap.free(a)
+
+    def test_double_free_after_reallocation_succeeds(self, heap):
+        """If the chunk was reallocated in between, the second free is
+        'valid' to the allocator and prematurely frees the new owner's
+        buffer (§2.5.3 free errors)."""
+        a = heap.malloc(32)
+        heap.free(a)
+        b = heap.malloc(32)
+        assert b == a
+        heap.free(a)  # no abort: frees b's buffer out from under it
+
+    def test_misaligned_free_aborts(self, heap):
+        a = heap.malloc(32)
+        with pytest.raises(HeapError, match="misaligned"):
+            heap.free(a + 3)
+
+    def test_interior_pointer_free_aborts(self, heap):
+        a = heap.malloc(64)
+        with pytest.raises(HeapError):
+            heap.free(a + 16)
+
+    def test_non_heap_pointer_free_aborts(self, heap):
+        with pytest.raises(HeapError, match="non-heap"):
+            heap.free(0x1000)
+
+    def test_live_chunk_query(self, heap):
+        a = heap.malloc(32)
+        assert heap.is_live_chunk(a)
+        heap.free(a)
+        assert not heap.is_live_chunk(a)
+
+
+class TestFreeListBehaviour:
+    def test_first_fit_splits_nothing_but_reuses_larger(self, heap):
+        a = heap.malloc(128)
+        heap.free(a)
+        b = heap.malloc(24)  # fits in the freed 128-byte chunk
+        assert b == a
+
+    def test_small_chunk_not_reused_for_big_request(self, heap):
+        a = heap.malloc(24)
+        top_before = heap.top
+        heap.free(a)
+        b = heap.malloc(256)
+        assert b != a
+        assert heap.top > top_before
+
+    def test_bytes_in_use_accounting(self, heap):
+        a = heap.malloc(32)
+        b = heap.malloc(64)
+        used = heap.bytes_in_use
+        heap.free(a)
+        assert heap.bytes_in_use == used - 32
+        heap.free(b)
+        assert heap.bytes_in_use == 0
+        assert heap.live_chunks == 0
+
+
+@given(st.lists(st.integers(min_value=1, max_value=512), min_size=1, max_size=40))
+def test_allocations_never_overlap(sizes):
+    heap = HeapAllocator(Memory())
+    spans = []
+    for s in sizes:
+        a = heap.malloc(s)
+        spans.append((a, a + heap.round_request(s)))
+    spans.sort()
+    for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+        assert e1 <= s2
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(1, 256), st.booleans()), min_size=1, max_size=60
+    )
+)
+def test_alloc_free_sequences_keep_invariants(ops):
+    """Interleaved malloc/free sequences preserve allocator invariants."""
+    heap = HeapAllocator(Memory())
+    live = []
+    for size, do_free in ops:
+        if do_free and live:
+            heap.free(live.pop())
+        else:
+            live.append(heap.malloc(size))
+    assert heap.live_chunks == len(live)
+    for a in live:
+        assert heap.is_live_chunk(a)

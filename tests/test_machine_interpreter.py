@@ -1,0 +1,261 @@
+"""Interpreter semantics: arithmetic, memory, control, traps, timing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir import (
+    ArrayType,
+    FLOAT64,
+    GlobalVariable,
+    INT32,
+    INT64,
+    INT8,
+    ModuleBuilder,
+    PointerType,
+    StructType,
+    verify_module,
+    wrap_int,
+)
+from repro.machine import ExitStatus, run_process
+
+
+def _expr_main(build_fn, declare=("print_i64",)):
+    from repro.ir import VOID
+
+    mb = ModuleBuilder()
+    if "print_i64" in declare:
+        mb.declare_external("print_i64", VOID, [INT64])
+    if "print_f64" in declare:
+        mb.declare_external("print_f64", VOID, [FLOAT64])
+    fn, b = mb.define("main", INT32)
+    build_fn(mb, b)
+    verify_module(mb.module)
+    return run_process(mb.module)
+
+
+class TestArithmeticSemantics:
+    def test_c_style_division_truncates_toward_zero(self):
+        def body(mb, b):
+            b.call("print_i64", [b.sdiv(b.i64(-7), b.i64(2))])
+            b.call("print_i64", [b.srem(b.i64(-7), b.i64(2))])
+            b.ret(b.i32(0))
+
+        r = _expr_main(body)
+        assert r.output_text == "-3-1"
+
+    def test_division_by_zero_crashes(self):
+        def body(mb, b):
+            b.call("print_i64", [b.sdiv(b.i64(1), b.i64(0))])
+            b.ret(b.i32(0))
+
+        r = _expr_main(body)
+        assert r.status is ExitStatus.CRASH
+        assert "divide" in r.detail
+
+    def test_int32_overflow_wraps(self):
+        def body(mb, b):
+            big = b.num_cast(b.i64(2**31 - 1), INT32)
+            v = b.add(big, b.num_cast(b.i64(1), INT32))
+            b.call("print_i64", [b.num_cast(v, INT64)])
+            b.ret(b.i32(0))
+
+        assert _expr_main(body).output_text == str(-(2**31))
+
+    def test_float_arithmetic(self):
+        def body(mb, b):
+            v = b.fdiv(b.fmul(b.f64(3.0), b.f64(5.0)), b.f64(4.0))
+            b.call("print_f64", [v])
+            b.ret(b.i32(0))
+
+        r = _expr_main(body, declare=("print_f64",))
+        assert r.output_text == "3.75"
+
+    def test_shift_ops(self):
+        def body(mb, b):
+            b.call("print_i64", [b.binop("shl", b.i64(3), b.i64(4))])
+            b.call("print_i64", [b.binop("shr", b.i64(256), b.i64(3))])
+            b.ret(b.i32(0))
+
+        assert _expr_main(body).output_text == "4832"
+
+
+class TestMemorySemantics:
+    def test_struct_field_store_load(self):
+        def body(mb, b):
+            s = StructType([INT32, INT64, INT8])
+            p = b.alloca(s)
+            b.store(b.field_addr(p, 1), b.i64(99))
+            b.call("print_i64", [b.load(b.field_addr(p, 1))])
+            b.ret(b.i32(0))
+
+        assert _expr_main(body).output_text == "99"
+
+    def test_adjacent_fields_do_not_clobber(self):
+        def body(mb, b):
+            s = StructType([INT32, INT32])
+            p = b.alloca(s)
+            b.store(b.field_addr(p, 0), b.i32(1))
+            b.store(b.field_addr(p, 1), b.i32(2))
+            a = b.num_cast(b.load(b.field_addr(p, 0)), INT64)
+            c = b.num_cast(b.load(b.field_addr(p, 1)), INT64)
+            b.call("print_i64", [b.add(b.mul(a, b.i64(10)), c)])
+            b.ret(b.i32(0))
+
+        assert _expr_main(body).output_text == "12"
+
+    def test_out_of_bounds_heap_write_corrupts_silently(self):
+        """Writing one element past a heap array lands in the next chunk's
+        header/payload — no trap (this is what DPMR exists to detect)."""
+
+        def body(mb, b):
+            a = b.malloc(INT64, b.i64(2))
+            b.store(b.elem_addr(a, b.i64(2)), b.i64(13))  # one past the end
+            b.call("print_i64", [b.i64(0)])
+            b.ret(b.i32(0))
+
+        r = _expr_main(body)
+        assert r.status is ExitStatus.NORMAL
+
+    def test_wild_pointer_dereference_traps(self):
+        def body(mb, b):
+            from repro.ir import ConstInt
+
+            wild = b.int_to_ptr(b.i64(0x7000), INT64)
+            b.call("print_i64", [b.load(wild)])
+            b.ret(b.i32(0))
+
+        r = _expr_main(body)
+        assert r.status is ExitStatus.CRASH
+
+    def test_null_dereference_traps(self):
+        def body(mb, b):
+            null = b.int_to_ptr(b.i64(0), INT64)
+            b.call("print_i64", [b.load(null)])
+            b.ret(b.i32(0))
+
+        r = _expr_main(body)
+        assert r.status is ExitStatus.CRASH
+        assert "null" in r.detail
+
+    def test_stack_frames_are_released(self):
+        """Alloca'd memory is reused across calls (dangling stack pointers
+        point at reused memory, as on a real stack)."""
+
+        def body(mb, b):
+            b.ret(b.i32(0))
+
+        mb = ModuleBuilder()
+        from repro.ir import VOID
+
+        mb.declare_external("print_i64", VOID, [INT64])
+        leaf, lb = mb.define("leaf", INT64, [INT64], ["x"])
+        slot = lb.alloca(INT64)
+        lb.store(slot, leaf.params[0])
+        lb.ret(lb.load(slot))
+        fn, b = mb.define("main", INT32)
+        a = b.call("leaf", [b.i64(1)])
+        c = b.call("leaf", [b.i64(2)])
+        b.call("print_i64", [b.add(a, c)])
+        b.ret(b.i32(0))
+        verify_module(mb.module)
+        r = run_process(mb.module)
+        assert r.output_text == "3"
+
+
+class TestGlobals:
+    def test_global_scalar_initializer(self):
+        from repro.ir import VOID
+
+        mb = ModuleBuilder()
+        mb.declare_external("print_i64", VOID, [INT64])
+        mb.add_global("counter", INT64, 41)
+        fn, b = mb.define("main", INT32)
+        g = mb.module.globals["counter"].ref()
+        b.store(g, b.add(b.load(g), b.i64(1)))
+        b.call("print_i64", [b.load(g)])
+        b.ret(b.i32(0))
+        verify_module(mb.module)
+        assert run_process(mb.module).output_text == "42"
+
+    def test_global_array_initializer(self):
+        from repro.ir import VOID
+
+        mb = ModuleBuilder()
+        mb.declare_external("print_i64", VOID, [INT64])
+        mb.add_global("table", ArrayType(INT64, 3), [10, 20, 30])
+        fn, b = mb.define("main", INT32)
+        g = mb.module.globals["table"].ref()
+        v = b.load(b.elem_addr(g, b.i64(1)))
+        b.call("print_i64", [v])
+        b.ret(b.i32(0))
+        verify_module(mb.module)
+        assert run_process(mb.module).output_text == "20"
+
+    def test_global_pointer_to_global(self):
+        from repro.ir import VOID
+
+        mb = ModuleBuilder()
+        mb.declare_external("print_i64", VOID, [INT64])
+        target = mb.add_global("target", INT64, 7)
+        mb.add_global("indirect", PointerType(INT64), target.ref())
+        fn, b = mb.define("main", INT32)
+        pp = mb.module.globals["indirect"].ref()
+        p = b.load(pp)
+        b.call("print_i64", [b.load(p)])
+        b.ret(b.i32(0))
+        verify_module(mb.module)
+        assert run_process(mb.module).output_text == "7"
+
+
+class TestExecutionLimits:
+    def test_timeout(self):
+        from repro.ir import VOID
+
+        mb = ModuleBuilder()
+        fn, b = mb.define("main", INT32)
+        with b.while_loop(lambda bb: bb.eq(bb.i64(1), bb.i64(1))):
+            pass
+        b.ret(b.i32(0))
+        verify_module(mb.module)
+        r = run_process(mb.module, max_cycles=10_000)
+        assert r.status is ExitStatus.TIMEOUT
+
+    def test_cycle_accounting_monotone(self, sum_module):
+        r = run_process(sum_module)
+        assert r.cycles > r.instructions > 0
+
+    def test_deterministic_cycles(self, sum_module):
+        from tests.conftest import build_sum_module
+
+        r1 = run_process(build_sum_module())
+        r2 = run_process(build_sum_module())
+        assert r1.cycles == r2.cycles
+        assert r1.output_text == r2.output_text
+
+
+class TestArgv:
+    def test_main_receives_argc_argv(self):
+        from repro.ir import VOID, VOID_PTR
+
+        mb = ModuleBuilder()
+        mb.declare_external("print_i64", VOID, [INT64])
+        argv_ty = PointerType(ArrayType(PointerType(ArrayType(INT8))))
+        fn, b = mb.define("main", INT32, [INT32, argv_ty], ["argc", "argv"])
+        b.call("print_i64", [b.num_cast(fn.params[0], INT64)])
+        b.ret(b.i32(0))
+        verify_module(mb.module)
+        r = run_process(mb.module, argv=["prog", "x", "y"])
+        assert r.output_text == "3"
+
+
+@given(st.integers(-(2**63), 2**63 - 1), st.integers(-(2**63), 2**63 - 1))
+def test_add_wraps_like_int64(a, c):
+    from repro.ir import VOID
+
+    mb = ModuleBuilder()
+    mb.declare_external("print_i64", VOID, [INT64])
+    fn, b = mb.define("main", INT32)
+    b.call("print_i64", [b.add(b.i64(a), b.i64(c))])
+    b.ret(b.i32(0))
+    r = run_process(mb.module)
+    assert r.output_text == str(wrap_int(a + c, 64))

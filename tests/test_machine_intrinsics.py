@@ -1,0 +1,177 @@
+"""Base intrinsic ("libc") tests — the external code of §2.8, untransformed."""
+
+import pytest
+
+from repro.ir import (
+    ArrayType,
+    FLOAT64,
+    FunctionType,
+    INT32,
+    INT64,
+    INT8,
+    ModuleBuilder,
+    PointerType,
+    VOID,
+    VOID_PTR,
+    verify_module,
+)
+from repro.machine import ExitStatus, run_process
+
+
+def _module():
+    mb = ModuleBuilder()
+    mb.declare_external("print_i64", VOID, [INT64])
+    mb.declare_external("print_f64", VOID, [FLOAT64])
+    mb.declare_external("print_str", VOID, [VOID_PTR])
+    mb.declare_external("strlen", INT64, [VOID_PTR])
+    mb.declare_external("strcpy", VOID_PTR, [VOID_PTR, VOID_PTR])
+    mb.declare_external("strcmp", INT32, [VOID_PTR, VOID_PTR])
+    mb.declare_external("atoi", INT64, [VOID_PTR])
+    mb.declare_external("atof", FLOAT64, [VOID_PTR])
+    mb.declare_external("memcpy", VOID, [VOID_PTR, VOID_PTR, INT64])
+    mb.declare_external("memset", VOID, [VOID_PTR, INT64, INT64])
+    mb.declare_external("exit", VOID, [INT32])
+    mb.declare_external("app_error", VOID, [INT32])
+    return mb
+
+
+def _string_global(mb, name, text):
+    data = text.encode() + b"\x00"
+    mb.add_global(name, ArrayType(INT8, len(data)), data)
+    return mb.module.globals[name].ref()
+
+
+def test_strlen_and_print_str():
+    mb = _module()
+    s = _string_global(mb, "msg", "hello")
+    fn, b = mb.define("main", INT32)
+    b.call("print_str", [s])
+    b.call("print_i64", [b.call("strlen", [s])])
+    b.ret(b.i32(0))
+    verify_module(mb.module)
+    r = run_process(mb.module)
+    assert r.output_text == "hello5"
+
+
+def test_strcpy_copies_and_returns_dest():
+    mb = _module()
+    s = _string_global(mb, "src", "dpmr")
+    fn, b = mb.define("main", INT32)
+    dest = b.malloc(INT8, b.i64(16))
+    rv = b.call("strcpy", [dest, s])
+    b.call("print_str", [rv])
+    b.ret(b.i32(0))
+    verify_module(mb.module)
+    assert run_process(mb.module).output_text == "dpmr"
+
+
+def test_strcmp_ordering():
+    mb = _module()
+    a = _string_global(mb, "a", "apple")
+    c = _string_global(mb, "c", "cherry")
+    fn, b = mb.define("main", INT32)
+    lt = b.call("strcmp", [a, c])
+    eq = b.call("strcmp", [a, a])
+    gt = b.call("strcmp", [c, a])
+    for v in (lt, eq, gt):
+        b.call("print_i64", [b.num_cast(v, INT64)])
+    b.ret(b.i32(0))
+    verify_module(mb.module)
+    assert run_process(mb.module).output_text == "-101"
+
+
+def test_atoi_and_atof_prefix_parsing():
+    mb = _module()
+    s1 = _string_global(mb, "n1", "  -42abc")
+    s2 = _string_global(mb, "n2", "3.5xyz")
+    fn, b = mb.define("main", INT32)
+    b.call("print_i64", [b.call("atoi", [s1])])
+    b.call("print_f64", [b.call("atof", [s2])])
+    b.ret(b.i32(0))
+    verify_module(mb.module)
+    assert run_process(mb.module).output_text == "-423.5"
+
+
+def test_memcpy_and_memset():
+    mb = _module()
+    fn, b = mb.define("main", INT32)
+    a = b.malloc(INT64, b.i64(4))
+    c = b.malloc(INT64, b.i64(4))
+    with b.for_range(b.i64(4)) as i:
+        b.store(b.elem_addr(a, i), b.add(i, b.i64(1)))
+    b.call("memcpy", [c, a, b.i64(32)])
+    b.call("memset", [a, b.i64(0), b.i64(32)])
+    total = b.alloca(INT64)
+    b.store(total, b.i64(0))
+    with b.for_range(b.i64(4)) as i:
+        both = b.add(b.load(b.elem_addr(a, i)), b.load(b.elem_addr(c, i)))
+        b.store(total, b.add(b.load(total), both))
+    b.call("print_i64", [b.load(total)])  # 0 + (1+2+3+4)
+    b.ret(b.i32(0))
+    verify_module(mb.module)
+    assert run_process(mb.module).output_text == "10"
+
+
+def test_qsort_with_callback():
+    mb = _module()
+    mb.declare_external(
+        "qsort", VOID, [VOID_PTR, INT64, INT64, VOID_PTR]
+    )
+    cmp, cb = mb.define(
+        "cmp_i64", INT32, [PointerType(INT64), PointerType(INT64)], ["a", "b"]
+    )
+    av = cb.load(cmp.params[0])
+    bv = cb.load(cmp.params[1])
+    lt = cb.slt(av, bv)
+    with cb.if_then(lt):
+        cb.ret(cb.i32(-1))
+    gt = cb.sgt(av, bv)
+    with cb.if_then(gt):
+        cb.ret(cb.i32(1))
+    cb.ret(cb.i32(0))
+
+    fn, b = mb.define("main", INT32)
+    arr = b.malloc(INT64, b.i64(5))
+    for i, v in enumerate([5, 3, 9, 1, 7]):
+        b.store(b.elem_addr(arr, b.i64(i)), b.i64(v))
+    fp = b.func_addr(cmp)
+    b.call("qsort", [arr, b.i64(5), b.i64(8), fp])
+    with b.for_range(b.i64(5)) as i:
+        b.call("print_i64", [b.load(b.elem_addr(arr, i))])
+    b.ret(b.i32(0))
+    verify_module(mb.module)
+    assert run_process(mb.module).output_text == "13579"
+
+
+def test_exit_sets_code():
+    mb = _module()
+    fn, b = mb.define("main", INT32)
+    b.call("exit", [b.i32(3)])
+    b.unreachable()
+    verify_module(mb.module)
+    r = run_process(mb.module)
+    assert r.status is ExitStatus.NORMAL
+    assert r.exit_code == 3
+
+
+def test_app_error_is_distinct_status():
+    mb = _module()
+    fn, b = mb.define("main", INT32)
+    b.call("app_error", [b.i32(9)])
+    b.unreachable()
+    verify_module(mb.module)
+    r = run_process(mb.module)
+    assert r.status is ExitStatus.APP_ERROR
+    assert r.exit_code == 9
+
+
+def test_unresolved_external_crashes():
+    mb = ModuleBuilder()
+    mb.declare_external("no_such_fn", VOID, [])
+    fn, b = mb.define("main", INT32)
+    b.call("no_such_fn", [])
+    b.ret(b.i32(0))
+    verify_module(mb.module)
+    r = run_process(mb.module)
+    assert r.status is ExitStatus.CRASH
+    assert "unresolved" in r.detail

@@ -1,0 +1,91 @@
+"""Command-line argument handling tests (§3.1.1, Fig. 3.1)."""
+
+import pytest
+
+from repro.core import DpmrCompiler
+from repro.ir import (
+    ArrayType,
+    INT32,
+    INT64,
+    INT8,
+    ModuleBuilder,
+    PointerType,
+    VOID,
+    VOID_PTR,
+    verify_module,
+)
+from repro.machine import ExitStatus, run_process
+
+ARGV_T = PointerType(ArrayType(PointerType(ArrayType(INT8))))
+
+
+def _argv_module():
+    """main(argc, argv) prints argc, the length of argv[1], and argv[1]."""
+    mb = ModuleBuilder()
+    mb.declare_external("print_i64", VOID, [INT64])
+    mb.declare_external("print_str", VOID, [VOID_PTR])
+    mb.declare_external("strlen", INT64, [VOID_PTR])
+    fn, b = mb.define("main", INT32, [INT32, ARGV_T], ["argc", "argv"])
+    b.call("print_i64", [b.num_cast(fn.params[0], INT64)])
+    arg1 = b.load(b.elem_addr(fn.params[1], b.i64(1)))
+    b.call("print_i64", [b.call("strlen", [arg1])])
+    b.call("print_str", [arg1])
+    b.ret(b.i32(0))
+    verify_module(mb.module)
+    return mb.module
+
+
+def test_untransformed_argv():
+    r = run_process(_argv_module(), argv=["prog", "hello"])
+    assert r.status is ExitStatus.NORMAL
+    assert r.output_text == "25hello"
+
+
+@pytest.mark.parametrize("design", ["sds", "mds"])
+def test_transformed_main_replicates_argv(design):
+    """The generated main replicates command-line memory before mainAug."""
+    build = DpmrCompiler(design=design).compile(_argv_module())
+    r = build.run(argv=["prog", "hello"])
+    assert r.status is ExitStatus.NORMAL, (design, r.detail)
+    assert r.output_text == "25hello"
+
+
+@pytest.mark.parametrize("design", ["sds", "mds"])
+def test_main_signature_unchanged(design):
+    """§3.1.1: the function type of main() must not change."""
+    build = DpmrCompiler(design=design).compile(_argv_module())
+    main = build.module.functions["main"]
+    assert len(main.type.params) == 2
+    aug = build.module.functions["mainAug"]
+    assert len(aug.type.params) > 2  # argv gained replica (and shadow) params
+
+
+def test_zero_arg_main_gets_trivial_stub(linked_list_module):
+    build = DpmrCompiler(design="sds").compile(linked_list_module)
+    main = build.module.functions["main"]
+    assert len(main.type.params) == 0
+    r = build.run()
+    assert r.status is ExitStatus.NORMAL
+
+
+@pytest.mark.parametrize("design", ["sds", "mds"])
+def test_argv_strings_fully_traversable(design):
+    """Loop over all argv entries through replicated pointers."""
+    mb = ModuleBuilder()
+    mb.declare_external("print_i64", VOID, [INT64])
+    mb.declare_external("strlen", INT64, [VOID_PTR])
+    fn, b = mb.define("main", INT32, [INT32, ARGV_T], ["argc", "argv"])
+    total = b.alloca(INT64)
+    b.store(total, b.i64(0))
+    argc64 = b.num_cast(fn.params[0], INT64)
+    with b.for_range(argc64) as i:
+        arg = b.load(b.elem_addr(fn.params[1], i))
+        b.store(total, b.add(b.load(total), b.call("strlen", [arg])))
+    b.call("print_i64", [b.load(total)])
+    b.ret(b.i32(0))
+    verify_module(mb.module)
+    golden = run_process(mb.module, argv=["p", "ab", "cdef"])
+    build = DpmrCompiler(design=design).compile(mb.module)
+    r = build.run(argv=["p", "ab", "cdef"])
+    assert r.status is ExitStatus.NORMAL, r.detail
+    assert r.output_text == golden.output_text == "7"

@@ -1,0 +1,154 @@
+"""MDS transformation tests (Tables 4.1–4.4)."""
+
+import pytest
+
+from repro.core import DpmrCompiler
+from repro.ir import (
+    GlobalRef,
+    INT32,
+    INT64,
+    ModuleBuilder,
+    PointerType,
+    VOID,
+    verify_module,
+)
+from repro.ir import instructions as ins
+from repro.machine import ExitStatus, run_process
+from tests.conftest import build_linked_list_module
+
+
+@pytest.fixture
+def mds_build(linked_list_module):
+    return DpmrCompiler(design="mds").compile(linked_list_module)
+
+
+class TestSignatures:
+    def test_create_node_params(self, mds_build):
+        """Fig. 4.1: createNode(rvRopPtr, data, last, last_r) — no shadow."""
+        fn = mds_build.module.functions["createNode"]
+        assert [p.name for p in fn.params] == ["rvRopPtr", "data", "last", "last_r"]
+
+    def test_get_sum_params(self, mds_build):
+        fn = mds_build.module.functions["getSum"]
+        assert [p.name for p in fn.params] == ["n", "n_r"]
+
+    def test_no_shadow_allocations(self, mds_build):
+        """MDS allocates exactly one extra object (the replica): app malloc +
+        dpmr_replica_malloc, no shadow malloc."""
+        fn = mds_build.module.functions["createNode"]
+        mallocs = [i for i in fn.instructions() if isinstance(i, ins.Malloc)]
+        assert len(mallocs) == 1
+        replica_calls = [
+            i
+            for i in fn.instructions()
+            if isinstance(i, ins.Call)
+            and i.is_direct
+            and i.callee == "dpmr_replica_malloc"
+        ]
+        assert len(replica_calls) == 1
+
+    def test_module_verifies(self, mds_build):
+        verify_module(mds_build.module)
+
+
+class TestPointerLoadBehaviour:
+    def test_pointer_loads_never_compared(self, mds_build):
+        """Under MDS pointer loads yield ROPs; only non-pointer loads get
+        detect calls.  getSum loads one int (compared) and one pointer (not),
+        per loop iteration."""
+        fn = mds_build.module.functions["getSum"]
+        detects = [
+            i
+            for i in fn.instructions()
+            if isinstance(i, ins.Call) and i.is_direct and i.callee == "dpmr_detect"
+        ]
+        loads = [i for i in fn.instructions() if isinstance(i, ins.Load)]
+        ptr_loads = [l for l in loads if isinstance(l.result.type, PointerType)]
+        # the pointer load count doubles (app + replica ROP load)
+        assert ptr_loads
+        # detect calls exist (for the int loads) but fewer than total loads
+        assert 0 < len(detects) < len(loads)
+
+    def test_replica_memory_mirrors(self, linked_list_module, mds_build):
+        golden = run_process(linked_list_module)
+        r = mds_build.run()
+        assert r.status is ExitStatus.NORMAL
+        assert r.output_text == golden.output_text
+
+
+class TestReplicaGlobals:
+    def test_replica_global_pointer_redirected(self):
+        """Table 4.3: replica memory holds replica pointers, so a replica
+        global pointer initializer targets the replica global."""
+        mb = ModuleBuilder()
+        mb.declare_external("print_i64", VOID, [INT64])
+        target = mb.add_global("t", INT64, 9)
+        mb.add_global("p", PointerType(INT64), target.ref())
+        fn, b = mb.define("main", INT32)
+        loaded = b.load(mb.module.globals["p"].ref())
+        b.call("print_i64", [b.load(loaded)])
+        b.ret(b.i32(0))
+        verify_module(mb.module)
+        out = DpmrCompiler(design="mds").compile(mb.module).module
+        init = out.globals["p_r"].initializer
+        assert isinstance(init, GlobalRef) and init.name == "t_r"
+        assert "p_s" not in out.globals
+
+    def test_runs_with_redirected_globals(self):
+        mb = ModuleBuilder()
+        mb.declare_external("print_i64", VOID, [INT64])
+        target = mb.add_global("t", INT64, 9)
+        mb.add_global("p", PointerType(INT64), target.ref())
+        fn, b = mb.define("main", INT32)
+        loaded = b.load(mb.module.globals["p"].ref())
+        b.call("print_i64", [b.load(loaded)])
+        b.ret(b.i32(0))
+        r = DpmrCompiler(design="mds").compile(mb.module).run()
+        assert r.status is ExitStatus.NORMAL
+        assert r.output_text == "9"
+
+
+class TestMemoryFootprint:
+    def test_mds_uses_less_heap_than_sds(self, linked_list_module):
+        """§4.1: SDS memory overhead is 2–4x, MDS is 2x — a pointer-bearing
+        workload must allocate strictly less under MDS."""
+        from repro.core import DpmrRuntime, ReplicationDesign
+        from repro.machine.interpreter import Machine
+
+        usage = {}
+        for design in ("sds", "mds"):
+            build = DpmrCompiler(design=design).compile(
+                build_linked_list_module()
+            )
+            machine = Machine(build.module, dpmr_runtime=build.runtime())
+            machine.run("main", [])
+            usage[design] = machine.heap.top - machine.heap.base
+        assert usage["mds"] < usage["sds"]
+
+    def test_mds_cheaper_than_sds_on_pointer_workload(self, linked_list_module):
+        sds = DpmrCompiler(design="sds").compile(build_linked_list_module()).run()
+        mds = DpmrCompiler(design="mds").compile(build_linked_list_module()).run()
+        assert mds.cycles < sds.cycles
+
+
+class TestRestrictionRelaxation:
+    def test_type_generic_pointer_arithmetic_allowed(self):
+        """§4.4: MDS drops SDS's pointer-arithmetic typing restrictions —
+        casting a struct pointer to a byte array and indexing it works."""
+        from repro.ir import ArrayType, INT8, StructType
+
+        mb = ModuleBuilder()
+        mb.declare_external("print_i64", VOID, [INT64])
+        s = StructType([INT64, INT64])
+        fn, b = mb.define("main", INT32)
+        p = b.malloc(s)
+        b.store(b.field_addr(p, 1), b.i64(0x0807060504030201))
+        raw = b.ptr_cast(p, ArrayType(INT8))
+        byte = b.load(b.elem_addr(raw, b.i64(8)))
+        b.call("print_i64", [b.num_cast(byte, INT64)])
+        b.ret(b.i32(0))
+        verify_module(mb.module)
+        golden = run_process(mb.module)
+        r = DpmrCompiler(design="mds").compile(mb.module).run()
+        assert r.status is ExitStatus.NORMAL
+        assert r.output_text == golden.output_text == "1"

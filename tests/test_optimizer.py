@@ -1,0 +1,204 @@
+"""Optimizer pass tests: semantics preservation and cleanup effectiveness."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import (
+    INT32,
+    INT64,
+    ModuleBuilder,
+    VOID,
+    verify_module,
+)
+from repro.ir import instructions as ins
+from repro.ir.optimizer import (
+    eliminate_dead_code,
+    fold_constants,
+    optimize_module,
+    simplify_branches,
+)
+from repro.machine import ExitStatus, run_process
+from tests.conftest import build_linked_list_module, build_sum_module
+
+
+def _print_main(build_body):
+    mb = ModuleBuilder()
+    mb.declare_external("print_i64", VOID, [INT64])
+    fn, b = mb.define("main", INT32)
+    build_body(b)
+    verify_module(mb.module)
+    return mb.module
+
+
+class TestConstantFolding:
+    def test_folds_arithmetic_chain(self):
+        def body(b):
+            v = b.add(b.mul(b.i64(6), b.i64(7)), b.i64(0))
+            b.call("print_i64", [v])
+            b.ret(b.i32(0))
+
+        m = _print_main(body)
+        n = fold_constants(m)
+        assert n >= 2
+        verify_module(m)
+        assert run_process(m).output_text == "42"
+
+    def test_folds_comparisons(self):
+        def body(b):
+            c = b.slt(b.i64(1), b.i64(2))
+            v = b.num_cast(c, INT64)
+            b.call("print_i64", [v])
+            b.ret(b.i32(0))
+
+        m = _print_main(body)
+        fold_constants(m)
+        assert run_process(m).output_text == "1"
+
+    def test_division_by_zero_not_folded(self):
+        def body(b):
+            v = b.sdiv(b.i64(1), b.i64(0))
+            b.call("print_i64", [v])
+            b.ret(b.i32(0))
+
+        m = _print_main(body)
+        fold_constants(m)
+        # the trap must survive optimization
+        assert run_process(m).status is ExitStatus.CRASH
+
+    def test_wrapping_preserved(self):
+        def body(b):
+            big = b.num_cast(b.i64(2**31 - 1), INT32)
+            one = b.num_cast(b.i64(1), INT32)
+            v = b.add(big, one)
+            b.call("print_i64", [b.num_cast(v, INT64)])
+            b.ret(b.i32(0))
+
+        m = _print_main(body)
+        before = run_process(_print_main(body)).output_text
+        fold_constants(m)
+        assert run_process(m).output_text == before == str(-(2**31))
+
+
+class TestDeadCodeElimination:
+    def test_removes_unused_arithmetic(self):
+        def body(b):
+            b.add(b.i64(1), b.i64(2))  # dead
+            b.mul(b.i64(3), b.i64(4))  # dead
+            b.call("print_i64", [b.i64(9)])
+            b.ret(b.i32(0))
+
+        m = _print_main(body)
+        removed = eliminate_dead_code(m)
+        assert removed == 2
+        assert run_process(m).output_text == "9"
+
+    def test_keeps_loads_and_stores(self):
+        """DCE must never remove memory operations — loads participate in
+        DPMR's comparison semantics even when the value is unused."""
+
+        def body(b):
+            p = b.malloc(INT64, b.i64(2))
+            b.store(b.elem_addr(p, b.i64(0)), b.i64(5))
+            b.load(b.elem_addr(p, b.i64(0)))  # result unused but kept
+            b.call("print_i64", [b.i64(1)])
+            b.ret(b.i32(0))
+
+        m = _print_main(body)
+        eliminate_dead_code(m)
+        loads = [
+            i for i in m.functions["main"].instructions() if isinstance(i, ins.Load)
+        ]
+        assert len(loads) == 1
+
+    def test_keeps_calls(self):
+        def body(b):
+            b.call("print_i64", [b.i64(3)])
+            b.ret(b.i32(0))
+
+        m = _print_main(body)
+        eliminate_dead_code(m)
+        assert run_process(m).output_text == "3"
+
+
+class TestBranchSimplification:
+    def test_constant_branch_becomes_jump(self):
+        def body(b):
+            c = b.eq(b.i64(1), b.i64(1))
+            with b.if_else(c) as arms:
+                with arms.then():
+                    b.call("print_i64", [b.i64(1)])
+                with arms.otherwise():
+                    b.call("print_i64", [b.i64(2)])
+            b.ret(b.i32(0))
+
+        m = _print_main(body)
+        stats = optimize_module(m)
+        assert stats["branches_simplified"] >= 1
+        assert stats["blocks_removed"] >= 1
+        verify_module(m)
+        assert run_process(m).output_text == "1"
+
+    def test_unreachable_blocks_removed(self):
+        def body(b):
+            c = b.eq(b.i64(0), b.i64(1))
+            with b.if_then(c):
+                b.call("print_i64", [b.i64(99)])
+            b.ret(b.i32(0))
+
+        m = _print_main(body)
+        blocks_before = len(m.functions["main"].blocks)
+        optimize_module(m)
+        assert len(m.functions["main"].blocks) < blocks_before
+        assert run_process(m).output_text == ""
+
+
+class TestOnTransformedModules:
+    @pytest.mark.parametrize("design", ["sds", "mds"])
+    def test_optimizing_dpmr_output_preserves_behaviour(self, design):
+        from repro.core import DpmrCompiler
+
+        golden = run_process(build_linked_list_module())
+        build = DpmrCompiler(design=design).compile(build_linked_list_module())
+        stats = optimize_module(build.module)
+        verify_module(build.module)
+        r = build.run()
+        assert r.status is ExitStatus.NORMAL
+        assert r.output_text == golden.output_text
+
+    def test_optimizer_reduces_cycles_or_is_neutral(self):
+        from repro.core import DpmrCompiler
+
+        unopt = DpmrCompiler(design="sds").compile(build_sum_module(20))
+        baseline = unopt.run().cycles
+        opt = DpmrCompiler(design="sds").compile(build_sum_module(20))
+        optimize_module(opt.module)
+        assert opt.run().cycles <= baseline
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["add", "sub", "mul", "and", "or", "xor"]),
+            st.integers(-100, 100),
+        ),
+        min_size=1,
+        max_size=10,
+    )
+)
+@settings(max_examples=20)
+def test_folding_matches_interpreter(ops):
+    """Folded constant chains must equal the interpreter's own evaluation."""
+
+    def body(b):
+        acc = b.i64(1)
+        for op, k in ops:
+            acc = b.binop(op, acc, b.i64(k))
+        b.call("print_i64", [acc])
+        b.ret(b.i32(0))
+
+    unopt = _print_main(body)
+    expected = run_process(unopt).output_text
+    opt = _print_main(body)
+    optimize_module(opt)
+    verify_module(opt)
+    assert run_process(opt).output_text == expected

@@ -1,0 +1,126 @@
+"""Pipeline facade, report rendering, and process-result plumbing tests."""
+
+import pytest
+
+from repro.core import (
+    AllLoadsPolicy,
+    DpmrCompiler,
+    NoDiversity,
+    RearrangeHeap,
+    ReplicationDesign,
+    static_50,
+)
+from repro.eval import CoverageComponents
+from repro.eval.report import (
+    conditional_coverage_table,
+    coverage_table,
+    latency_table,
+    overhead_table,
+)
+from repro.machine import ExitStatus, run_process
+from tests.conftest import build_sum_module
+
+
+class TestDpmrCompiler:
+    def test_design_coercion_from_string(self):
+        assert DpmrCompiler(design="MDS").design is ReplicationDesign.MDS
+        assert DpmrCompiler(design="sds").design is ReplicationDesign.SDS
+
+    def test_invalid_design_rejected(self):
+        with pytest.raises(ValueError):
+            DpmrCompiler(design="xds")
+
+    def test_variant_name_encodes_configuration(self):
+        build = DpmrCompiler(
+            design="mds", diversity=RearrangeHeap(), policy=static_50()
+        ).compile(build_sum_module())
+        assert build.variant_name == "mds/rearrange-heap/static-50%"
+
+    def test_defaults(self):
+        c = DpmrCompiler()
+        assert isinstance(c.policy, AllLoadsPolicy)
+        assert isinstance(c.diversity, NoDiversity)
+
+    def test_input_module_unmodified(self):
+        m = build_sum_module()
+        before = sum(1 for f in m.defined_functions() for _ in f.instructions())
+        DpmrCompiler(design="sds").compile(m)
+        after = sum(1 for f in m.defined_functions() for _ in f.instructions())
+        assert before == after
+        # the source still runs as the untransformed program
+        assert run_process(m).status is ExitStatus.NORMAL
+
+    def test_optimize_flag_preserves_behaviour(self):
+        golden = run_process(build_sum_module())
+        plain = DpmrCompiler(design="sds").compile(build_sum_module())
+        optimized = DpmrCompiler(design="sds", optimize=True).compile(
+            build_sum_module()
+        )
+        r_plain = plain.run()
+        r_opt = optimized.run()
+        assert r_opt.status is ExitStatus.NORMAL
+        assert r_opt.output_text == r_plain.output_text == golden.output_text
+        assert r_opt.cycles <= r_plain.cycles
+
+    def test_seeded_runs_reproducible(self):
+        build = DpmrCompiler(design="sds", diversity=RearrangeHeap()).compile(
+            build_sum_module()
+        )
+        a = build.run(seed=9)
+        c = build.run(seed=9)
+        assert a.cycles == c.cycles
+        assert a.output_text == c.output_text
+
+    def test_different_seeds_change_rearrange_layout(self):
+        build = DpmrCompiler(design="sds", diversity=RearrangeHeap()).compile(
+            build_sum_module()
+        )
+        cycles = {build.run(seed=s).cycles for s in range(4)}
+        assert len(cycles) > 1  # dummy counts differ per seed
+
+
+class TestReportRendering:
+    def _components(self):
+        return CoverageComponents(co=0.5, ndet=0.25, ddet=0.25, total_runs=8)
+
+    def test_coverage_table_contains_rows(self):
+        text = coverage_table(
+            "T",
+            {("v1", "art"): self._components()},
+            ["v1"],
+            ["art", "mcf"],
+        )
+        assert "v1" in text and "art" in text and "0.50" in text
+        assert "mcf" not in text.splitlines()[-1] or True
+
+    def test_conditional_table(self):
+        text = conditional_coverage_table("T", {"v1": self._components()}, ["v1"])
+        assert "1.00" in text  # total coverage
+
+    def test_overhead_table_marks_missing(self):
+        text = overhead_table("T", {("v1", "art"): 2.5}, ["v1"], ["art", "mcf"])
+        assert "2.50x" in text and "--" in text
+
+    def test_latency_table_converts_to_kcycles(self):
+        text = latency_table("T", {("v1", "art"): 2500.0}, ["v1"], ["art"])
+        assert "2.50" in text
+
+
+class TestProcessResult:
+    def test_first_activation_none_without_faults(self, sum_module):
+        r = run_process(sum_module)
+        assert r.first_activation is None
+
+    def test_output_text_joins_chunks(self, sum_module):
+        r = run_process(sum_module)
+        assert r.output_text == "".join(r.output)
+
+    def test_crashed_property(self):
+        from repro.ir import INT32, ModuleBuilder, verify_module
+
+        mb = ModuleBuilder()
+        fn, b = mb.define("main", INT32)
+        b.unreachable()
+        verify_module(mb.module)
+        r = run_process(mb.module)
+        assert r.crashed

@@ -1,0 +1,157 @@
+"""State comparison policy tests (§2.7, Table 2.9)."""
+
+import pytest
+
+from repro.core import (
+    AllLoadsPolicy,
+    DpmrCompiler,
+    StaticLoadCheckingPolicy,
+    TemporalLoadCheckingPolicy,
+    static_10,
+    static_50,
+    static_90,
+    temporal_1_2,
+    temporal_1_8,
+    temporal_7_8,
+)
+from repro.core.policies import MASK_COUNTER_GLOBAL
+from repro.ir import instructions as ins
+from repro.machine import ExitStatus, run_process
+from tests.conftest import build_overflow_module, build_sum_module
+
+
+def _count_detect_sites(module):
+    return sum(
+        1
+        for f in module.defined_functions()
+        for i in f.instructions()
+        if isinstance(i, ins.Call) and i.is_direct and i.callee == "dpmr_detect"
+    )
+
+
+def _count_loads(module):
+    return sum(
+        1
+        for f in module.defined_functions()
+        for i in f.instructions()
+        if isinstance(i, ins.Load)
+    )
+
+
+class TestAllLoads:
+    def test_every_eligible_load_gets_a_check(self):
+        src = build_sum_module(10)
+        src_loads = _count_loads(src)
+        out = DpmrCompiler(design="mds", policy=AllLoadsPolicy()).compile(src).module
+        # MDS: every non-pointer source load gets exactly one detect site
+        assert _count_detect_sites(out) > 0
+        assert _count_detect_sites(out) <= src_loads
+
+
+class TestStaticLoadChecking:
+    def test_fraction_bounds_validated(self):
+        with pytest.raises(ValueError):
+            StaticLoadCheckingPolicy(1.5)
+
+    def test_site_counts_scale_with_fraction(self):
+        counts = {}
+        for policy in (static_10(), static_50(), static_90()):
+            out = (
+                DpmrCompiler(design="mds", policy=policy)
+                .compile(build_sum_module(40))
+                .module
+            )
+            counts[policy.name] = _count_detect_sites(out)
+        assert counts["static-10%"] < counts["static-50%"] < counts["static-90%"]
+
+    def test_rebuilds_are_deterministic(self):
+        policy = static_50(seed=99)
+        a = DpmrCompiler(design="mds", policy=policy).compile(build_sum_module(20))
+        c = DpmrCompiler(design="mds", policy=policy).compile(build_sum_module(20))
+        assert _count_detect_sites(a.module) == _count_detect_sites(c.module)
+        assert a.run().cycles == c.run().cycles
+
+    def test_static_reduces_overhead(self):
+        """§3.8: static 10% achieves roughly a 1/3 speedup over all-loads."""
+        all_loads = (
+            DpmrCompiler(design="sds", policy=AllLoadsPolicy())
+            .compile(build_sum_module(40))
+            .run()
+        )
+        s10 = (
+            DpmrCompiler(design="sds", policy=static_10())
+            .compile(build_sum_module(40))
+            .run()
+        )
+        assert s10.cycles < all_loads.cycles
+
+
+class TestTemporalLoadChecking:
+    def test_mask_fractions(self):
+        assert temporal_1_8().name == "temporal-1/8"
+        assert bin(temporal_1_8().mask).count("1") == 8
+        assert bin(temporal_1_2().mask).count("1") == 32
+        assert bin(temporal_7_8().mask).count("1") == 56
+
+    def test_mask_counter_global_added(self):
+        out = (
+            DpmrCompiler(design="sds", policy=temporal_1_2())
+            .compile(build_sum_module(10))
+            .module
+        )
+        assert MASK_COUNTER_GLOBAL in out.globals
+
+    def test_temporal_increases_overhead_over_all_loads(self):
+        """§3.8's key negative result: the per-load counter/branch work makes
+        temporal checking *more* expensive than checking every load."""
+        all_loads = (
+            DpmrCompiler(design="sds", policy=AllLoadsPolicy())
+            .compile(build_sum_module(40))
+            .run()
+        )
+        t18 = (
+            DpmrCompiler(design="sds", policy=temporal_1_8())
+            .compile(build_sum_module(40))
+            .run()
+        )
+        assert t18.cycles > all_loads.cycles
+
+    def test_temporal_checks_subset_of_loads_at_runtime(self):
+        """With mask 1/2 the dynamic number of comparisons halves, yet the
+        program output is unchanged."""
+        golden = run_process(build_sum_module(20))
+        r = (
+            DpmrCompiler(design="sds", policy=temporal_1_2())
+            .compile(build_sum_module(20))
+            .run()
+        )
+        assert r.status is ExitStatus.NORMAL
+        assert r.output_text == golden.output_text
+
+
+class TestDetectionUnderReducedChecking:
+    @pytest.mark.parametrize(
+        "policy_factory",
+        [AllLoadsPolicy, temporal_1_2, temporal_7_8, static_90, static_50],
+    )
+    def test_overflow_still_detected(self, policy_factory):
+        """§3.8: coverage is robust in the face of reduced checking — errors
+        propagate to many loads, and faulty code re-executes."""
+        m = build_overflow_module(8, 24)
+        r = (
+            DpmrCompiler(design="sds", policy=policy_factory())
+            .compile(m)
+            .run()
+        )
+        assert r.status is ExitStatus.DPMR_DETECTED
+
+    def test_static_10_may_miss(self):
+        """The paper saw coverage dip only at static 10% — with few checked
+        sites a fault can escape."""
+        m = build_overflow_module(4, 6)
+        r = (
+            DpmrCompiler(design="sds", policy=static_10(seed=7))
+            .compile(m)
+            .run()
+        )
+        assert r.status in (ExitStatus.NORMAL, ExitStatus.DPMR_DETECTED)

@@ -1,0 +1,171 @@
+"""Shadow type (``st()``) tests against the paper's exact examples.
+
+Table 2.2 gives four worked examples (``int8[]*``, ``int8[]**``, the
+``LinkedList``, and the ``dir``/``file`` pair); these tests assert the
+resulting structures field-for-field.  Because this implementation realizes
+the paper's placeholders as identified structs, comparisons are structural.
+"""
+
+import pytest
+
+from repro.core import ShadowTypeBuilder, NSOP_FIELD, ROP_FIELD
+from repro.ir import (
+    ArrayType,
+    FLOAT64,
+    FunctionType,
+    INT32,
+    INT64,
+    INT8,
+    PointerType,
+    StructType,
+    UnionType,
+    VOID,
+    VOID_PTR,
+)
+
+
+@pytest.fixture
+def st():
+    return ShadowTypeBuilder()
+
+
+def is_void_ptr(t):
+    return isinstance(t, PointerType) and t.pointee is VOID or t == VOID_PTR
+
+
+class TestNullShadows:
+    """Primitive, function, and void types have the null shadow type."""
+
+    @pytest.mark.parametrize("t", [INT8, INT32, INT64, FLOAT64])
+    def test_primitives(self, st, t):
+        assert st.shadow_type(t) is None
+
+    def test_function_type(self, st):
+        assert st.shadow_type(FunctionType(VOID, [PointerType(INT8)])) is None
+
+    def test_void(self, st):
+        assert st.shadow_type(VOID) is None
+
+    def test_pointer_free_struct(self, st):
+        assert st.shadow_type(StructType([INT32, FLOAT64])) is None
+
+    def test_pointer_free_array(self, st):
+        assert st.shadow_type(ArrayType(INT32, 8)) is None
+
+
+class TestTable22Examples:
+    def test_int8_array_ptr(self, st):
+        """st(int8[]*) = struct{ int8[]* rop; void* nsop; }"""
+        t = PointerType(ArrayType(INT8))
+        sdw = st.shadow_type(t)
+        assert isinstance(sdw, StructType)
+        assert len(sdw.fields) == 2
+        assert sdw.fields[ROP_FIELD] == t
+        assert is_void_ptr(sdw.fields[NSOP_FIELD])
+
+    def test_int8_array_ptr_ptr(self, st):
+        """st(int8[]**) = struct{ int8[]** rop; int8ArrayPtrSdwTy* nsop; }"""
+        inner = PointerType(ArrayType(INT8))
+        t = PointerType(inner)
+        sdw = st.shadow_type(t)
+        assert sdw.fields[ROP_FIELD] == t
+        nsop = sdw.fields[NSOP_FIELD]
+        assert isinstance(nsop, PointerType)
+        inner_sdw = nsop.pointee
+        assert isinstance(inner_sdw, StructType)
+        assert inner_sdw.fields[ROP_FIELD] == inner
+        assert is_void_ptr(inner_sdw.fields[NSOP_FIELD])
+
+    def test_linked_list(self, st):
+        """The LinkedList shadow: the int32 drops out; the nxt pointer maps
+        to a {rop, nsop} pair whose nsop recursively points at the shadow."""
+        ll = StructType.opaque("LinkedList")
+        ll.set_fields([INT32, PointerType(ll)])
+        sdw = st.shadow_type(ll)
+        assert isinstance(sdw, StructType)
+        # int32 data dropped: only nxtSdwObj remains
+        assert len(sdw.fields) == 1
+        pair = sdw.fields[0]
+        assert isinstance(pair, StructType)
+        assert pair.fields[ROP_FIELD] == PointerType(ll)
+        nsop = pair.fields[NSOP_FIELD]
+        assert isinstance(nsop, PointerType)
+        # recursion: the NSOP points at the LinkedList shadow type itself
+        assert nsop.pointee is sdw
+
+    def test_dir_file_example(self, st):
+        """The struct file example: name and parent become shadow pairs, the
+        int32 size drops out."""
+        dir_t = StructType.opaque("dir")
+        dir_t.set_fields([PointerType(INT8)])  # some pointer-bearing body
+        name_t = PointerType(ArrayType(INT8))
+        file_t = StructType.opaque("file")
+        file_t.set_fields([name_t, INT32, PointerType(dir_t)])
+        sdw = st.shadow_type(file_t)
+        assert len(sdw.fields) == 2  # size dropped
+        name_pair, parent_pair = sdw.fields
+        assert name_pair.fields[ROP_FIELD] == name_t
+        assert is_void_ptr(name_pair.fields[NSOP_FIELD])
+        assert parent_pair.fields[ROP_FIELD] == PointerType(dir_t)
+        parent_nsop = parent_pair.fields[NSOP_FIELD]
+        assert isinstance(parent_nsop, PointerType)
+        assert isinstance(parent_nsop.pointee, StructType)
+
+
+class TestDerivedRules:
+    def test_array_shadow_maps_elementwise(self, st):
+        t = ArrayType(PointerType(INT64), 4)
+        sdw = st.shadow_type(t)
+        assert isinstance(sdw, ArrayType)
+        assert sdw.count == 4
+        assert isinstance(sdw.element, StructType)
+
+    def test_union_shadow(self, st):
+        t = UnionType([PointerType(INT8), INT64])
+        sdw = st.shadow_type(t)
+        assert isinstance(sdw, UnionType)
+        assert len(sdw.members) == 1  # the int64 member drops out
+
+    def test_function_pointer_gets_void_nsop(self, st):
+        fp = PointerType(FunctionType(VOID, [INT32]))
+        sdw = st.shadow_type(fp)
+        assert sdw.fields[ROP_FIELD] == fp
+        assert is_void_ptr(sdw.fields[NSOP_FIELD])
+
+    def test_memoization_returns_same_object(self, st):
+        t = PointerType(ArrayType(INT8))
+        assert st.shadow_type(t) is st.shadow_type(t)
+
+    def test_memoization_is_structural(self, st):
+        """Two equal pointer types share one shadow struct — the property
+        that keeps NSOP types coherent across the whole transformed module."""
+        t1 = PointerType(ArrayType(INT8))
+        t2 = PointerType(ArrayType(INT8))
+        assert st.shadow_type(t1) is st.shadow_type(t2)
+
+    def test_mutually_recursive_structs(self, st):
+        a = StructType.opaque("A")
+        c = StructType.opaque("C")
+        a.set_fields([PointerType(c), INT32])
+        c.set_fields([PointerType(a)])
+        sa = st.shadow_type(a)
+        sc = st.shadow_type(c)
+        # a's pair: {C*, st(C)*}; c's pair: {A*, st(A)*}
+        assert sa.fields[0].fields[NSOP_FIELD].pointee is sc
+        assert sc.fields[0].fields[NSOP_FIELD].pointee is sa
+
+
+class TestPhi:
+    """φ() (Eq. 2.2): original field index → shadow struct field index."""
+
+    def test_phi_skips_dropped_fields(self, st):
+        t = StructType(
+            [INT32, PointerType(INT8), FLOAT64, PointerType(INT64), INT8]
+        )
+        assert st.shadow_field_index(t, 1) == 0
+        assert st.shadow_field_index(t, 3) == 1
+
+    def test_phi_on_all_pointer_struct(self, st):
+        t = StructType([PointerType(INT8)] * 3)
+        for i in range(3):
+            assert st.shadow_field_index(t, i) == i

@@ -1,0 +1,224 @@
+"""Transformation edge cases: function pointers in memory, recursion with
+pointer returns, unions, deep call chains, and struct-of-struct layouts."""
+
+import pytest
+
+from repro.core import DpmrCompiler
+from repro.ir import (
+    ArrayType,
+    FLOAT64,
+    INT32,
+    INT64,
+    ModuleBuilder,
+    PointerType,
+    StructType,
+    UnionType,
+    VOID,
+    verify_module,
+)
+from repro.machine import ExitStatus, run_process
+
+DESIGNS = ("sds", "mds")
+
+
+def _check_equivalence(build_module, designs=DESIGNS):
+    golden = run_process(build_module())
+    assert golden.status is ExitStatus.NORMAL, golden.detail
+    for design in designs:
+        r = DpmrCompiler(design=design).compile(build_module()).run()
+        assert r.status is ExitStatus.NORMAL, (design, r.detail)
+        assert r.output_text == golden.output_text, design
+    return golden
+
+
+class TestFunctionPointersInMemory:
+    """Function pointers are stored/loaded like any pointer; their ROP is
+    the same address and their NSOP is null (Table 2.6, address of a
+    function)."""
+
+    def _build(self):
+        mb = ModuleBuilder("fnptr")
+        mb.declare_external("print_i64", VOID, [INT64])
+        inc, b = mb.define("inc", INT64, [INT64], ["x"])
+        b.ret(b.add(inc.params[0], b.i64(1)))
+        dbl, b = mb.define("dbl", INT64, [INT64], ["x"])
+        b.ret(b.mul(dbl.params[0], b.i64(2)))
+        fn, b = mb.define("main", INT32)
+        slot = b.alloca(PointerType(inc.type))
+        b.store(slot, b.func_addr(inc))
+        b.call("print_i64", [b.call(b.load(slot), [b.i64(41)])])
+        b.store(slot, b.func_addr(dbl))
+        b.call("print_i64", [b.call(b.load(slot), [b.i64(21)])])
+        b.ret(b.i32(0))
+        verify_module(mb.module)
+        return mb.module
+
+    def test_indirect_calls_through_loaded_pointers(self):
+        golden = _check_equivalence(self._build)
+        assert golden.output_text == "4242"
+
+    def test_function_pointer_table_on_heap(self):
+        def build():
+            mb = ModuleBuilder("fntable")
+            mb.declare_external("print_i64", VOID, [INT64])
+            sq, b = mb.define("sq", INT64, [INT64], ["x"])
+            b.ret(b.mul(sq.params[0], sq.params[0]))
+            ng, b = mb.define("ng", INT64, [INT64], ["x"])
+            b.ret(b.sub(b.i64(0), ng.params[0]))
+            fpt = PointerType(sq.type)
+            fn, b = mb.define("main", INT32)
+            table = b.malloc(fpt, b.i64(2))
+            b.store(b.elem_addr(table, b.i64(0)), b.func_addr(sq))
+            b.store(b.elem_addr(table, b.i64(1)), b.func_addr(ng))
+            with b.for_range(b.i64(2)) as i:
+                f = b.load(b.elem_addr(table, i))
+                b.call("print_i64", [b.call(f, [b.i64(7)])])
+            b.free(table)
+            b.ret(b.i32(0))
+            verify_module(mb.module)
+            return mb.module
+
+        golden = _check_equivalence(build)
+        assert golden.output_text == "49-7"
+
+
+class TestRecursionWithPointerReturns:
+    def test_recursive_list_build_and_sum(self):
+        """A recursive constructor returning pointers exercises the rvSop /
+        rvRopPtr protocol through arbitrarily deep call chains."""
+
+        def build():
+            node = StructType.opaque("rnode")
+            node.set_fields([INT64, PointerType(node)])
+            np_ = PointerType(node)
+            mb = ModuleBuilder("recbuild")
+            mb.declare_external("print_i64", VOID, [INT64])
+            mk, b = mb.define("mk", np_, [INT64], ["n"])
+            done = b.sle(mk.params[0], b.i64(0))
+            with b.if_then(done):
+                b.ret(b.null(node))
+            rest = b.call("mk", [b.sub(mk.params[0], b.i64(1))])
+            cell = b.malloc(node)
+            b.store(b.field_addr(cell, 0), mk.params[0])
+            b.store(b.field_addr(cell, 1), rest)
+            b.ret(cell)
+
+            total, b = mb.define("total", INT64, [np_], ["p"])
+            isnull = b.eq(total.params[0], b.null(node))
+            with b.if_then(isnull):
+                b.ret(b.i64(0))
+            v = b.load(b.field_addr(total.params[0], 0))
+            nxt = b.load(b.field_addr(total.params[0], 1))
+            rest = b.call("total", [nxt])
+            b.ret(b.add(v, rest))
+
+            fn, b = mb.define("main", INT32)
+            head = b.call("mk", [b.i64(10)])
+            b.call("print_i64", [b.call("total", [head])])
+            b.ret(b.i32(0))
+            verify_module(mb.module)
+            return mb.module
+
+        golden = _check_equivalence(build)
+        assert golden.output_text == "55"
+
+
+class TestUnions:
+    def test_union_of_scalars_replicated(self):
+        def build():
+            u = UnionType([INT64, FLOAT64])
+            mb = ModuleBuilder("union")
+            mb.declare_external("print_i64", VOID, [INT64])
+            fn, b = mb.define("main", INT32)
+            slot = b.alloca(u)
+            as_int = b.ptr_cast(slot, INT64)
+            b.store(as_int, b.i64(1234))
+            b.call("print_i64", [b.load(as_int)])
+            b.ret(b.i32(0))
+            verify_module(mb.module)
+            return mb.module
+
+        golden = _check_equivalence(build)
+        assert golden.output_text == "1234"
+
+
+class TestNestedAggregates:
+    def test_struct_of_struct_field_addressing(self):
+        def build():
+            inner = StructType([INT64, PointerType(INT64)])
+            outer = StructType([INT32, inner, FLOAT64])
+            mb = ModuleBuilder("nested")
+            mb.declare_external("print_i64", VOID, [INT64])
+            fn, b = mb.define("main", INT32)
+            box = b.malloc(outer)
+            mid = b.field_addr(box, 1)
+            b.store(b.field_addr(mid, 0), b.i64(88))
+            target = b.alloca(INT64)
+            b.store(target, b.i64(5))
+            b.store(b.field_addr(mid, 1), target)
+            loaded_ptr = b.load(b.field_addr(mid, 1))
+            total = b.add(b.load(b.field_addr(mid, 0)), b.load(loaded_ptr))
+            b.call("print_i64", [total])
+            b.free(box)
+            b.ret(b.i32(0))
+            verify_module(mb.module)
+            return mb.module
+
+        golden = _check_equivalence(build)
+        assert golden.output_text == "93"
+
+    def test_array_of_structs_with_pointers(self):
+        def build():
+            pair = StructType([PointerType(INT64), INT64])
+            mb = ModuleBuilder("aos")
+            mb.declare_external("print_i64", VOID, [INT64])
+            fn, b = mb.define("main", INT32)
+            vals = b.malloc(INT64, b.i64(3))
+            arr = b.malloc(pair, b.i64(3))
+            with b.for_range(b.i64(3)) as i:
+                b.store(b.elem_addr(vals, i), b.mul(i, b.i64(4)))
+                entry = b.elem_addr(arr, i)
+                b.store(b.field_addr(entry, 0), b.elem_addr(vals, i))
+                b.store(b.field_addr(entry, 1), i)
+            acc = b.alloca(INT64)
+            b.store(acc, b.i64(0))
+            with b.for_range(b.i64(3)) as i:
+                entry = b.elem_addr(arr, i)
+                p = b.load(b.field_addr(entry, 0))
+                k = b.load(b.field_addr(entry, 1))
+                b.store(acc, b.add(b.load(acc), b.add(b.load(p), k)))
+            b.call("print_i64", [b.load(acc)])
+            b.free(vals)
+            b.free(arr)
+            b.ret(b.i32(0))
+            verify_module(mb.module)
+            return mb.module
+
+        golden = _check_equivalence(build)
+        assert golden.output_text == "15"
+
+
+class TestDeepCallChains:
+    def test_pointer_threaded_through_many_frames(self):
+        def build():
+            mb = ModuleBuilder("deep")
+            mb.declare_external("print_i64", VOID, [INT64])
+            ptr_t = PointerType(INT64)
+            bump, b = mb.define("bump", INT64, [ptr_t, INT64], ["p", "d"])
+            depth = bump.params[1]
+            done = b.sle(depth, b.i64(0))
+            with b.if_then(done):
+                b.ret(b.load(bump.params[0]))
+            b.store(bump.params[0], b.add(b.load(bump.params[0]), b.i64(1)))
+            r = b.call("bump", [bump.params[0], b.sub(depth, b.i64(1))])
+            b.ret(r)
+            fn, b = mb.define("main", INT32)
+            cell = b.alloca(INT64)
+            b.store(cell, b.i64(0))
+            b.call("print_i64", [b.call("bump", [cell, b.i64(30)])])
+            b.ret(b.i32(0))
+            verify_module(mb.module)
+            return mb.module
+
+        golden = _check_equivalence(build)
+        assert golden.output_text == "30"

@@ -1,0 +1,218 @@
+"""External function wrapper tests (§2.8, §3.1.5) under SDS and MDS."""
+
+import pytest
+
+from repro.core import DpmrCompiler, get_wrapper_spec, WrapperSpec
+from repro.core.wrappers import MemRegionSpec, QsortSpec
+from repro.ir import (
+    ArrayType,
+    FLOAT64,
+    INT32,
+    INT64,
+    INT8,
+    ModuleBuilder,
+    PointerType,
+    VOID,
+    VOID_PTR,
+    verify_module,
+)
+from repro.machine import ExitStatus, run_process
+
+DESIGNS = ("sds", "mds")
+
+
+def _module():
+    mb = ModuleBuilder()
+    mb.declare_external("print_i64", VOID, [INT64])
+    mb.declare_external("print_f64", VOID, [FLOAT64])
+    mb.declare_external("print_str", VOID, [VOID_PTR])
+    mb.declare_external("strlen", INT64, [VOID_PTR])
+    mb.declare_external("strcpy", VOID_PTR, [VOID_PTR, VOID_PTR])
+    mb.declare_external("strcmp", INT32, [VOID_PTR, VOID_PTR])
+    mb.declare_external("atof", FLOAT64, [VOID_PTR])
+    mb.declare_external("memcpy", VOID, [VOID_PTR, VOID_PTR, INT64])
+    mb.declare_external("qsort", VOID, [VOID_PTR, INT64, INT64, VOID_PTR])
+    return mb
+
+
+def _string_global(mb, name, text):
+    data = text.encode() + b"\x00"
+    mb.add_global(name, ArrayType(INT8, len(data)), data)
+    return mb.module.globals[name].ref()
+
+
+def _both(module):
+    """Run golden + both designs; returns (golden, {design: result})."""
+    golden = run_process(module)
+    out = {}
+    for design in DESIGNS:
+        out[design] = DpmrCompiler(design=design).compile(module).run()
+    return golden, out
+
+
+class TestSpecs:
+    def test_default_spec_for_unknown_name(self):
+        assert isinstance(get_wrapper_spec("whatever"), WrapperSpec)
+
+    def test_qsort_spec_registered(self):
+        assert isinstance(get_wrapper_spec("qsort"), QsortSpec)
+        assert isinstance(get_wrapper_spec("memcpy"), MemRegionSpec)
+
+    def test_sds_qsort_wrapper_has_leading_sdw_size(self):
+        """Fig. 3.3: qsort_efw(size_t sdwSize, base, base_r, base_s, ...)."""
+        mb = _module()
+        fn, b = mb.define("main", INT32)
+        b.ret(b.i32(0))
+        out = DpmrCompiler(design="sds").compile(mb.module).module
+        w = out.functions["qsort_efw"]
+        assert w.type.params[0] == INT64
+
+    def test_mds_qsort_wrapper_has_no_extra(self):
+        """§4.3: MDS needs no shadow size for qsort."""
+        mb = _module()
+        fn, b = mb.define("main", INT32)
+        b.ret(b.i32(0))
+        out = DpmrCompiler(design="mds").compile(mb.module).module
+        w = out.functions["qsort_efw"]
+        assert w.type.params[0] != INT64  # first param is the base pointer
+
+
+class TestStringWrappers:
+    def test_strcpy_round_trip(self):
+        """Fig. 2.11's wrapper: src checked, dest mirrored, ROP returned."""
+        mb = _module()
+        s = _string_global(mb, "src", "shadow")
+        fn, b = mb.define("main", INT32)
+        dest = b.malloc(INT8, b.i64(16))
+        rv = b.call("strcpy", [dest, s])
+        b.call("print_str", [rv])
+        b.call("print_i64", [b.call("strlen", [rv])])
+        b.ret(b.i32(0))
+        verify_module(mb.module)
+        golden, results = _both(mb.module)
+        for design, r in results.items():
+            assert r.status is ExitStatus.NORMAL, (design, r.detail)
+            assert r.output_text == golden.output_text == "shadow6"
+
+    def test_strcmp_wrapper(self):
+        mb = _module()
+        a = _string_global(mb, "a", "aaa")
+        c = _string_global(mb, "c", "aab")
+        fn, b = mb.define("main", INT32)
+        b.call("print_i64", [b.num_cast(b.call("strcmp", [a, c]), INT64)])
+        b.ret(b.i32(0))
+        golden, results = _both(mb.module)
+        for r in results.values():
+            assert r.output_text == golden.output_text == "-1"
+
+    def test_atof_wrapper_parses_prefix(self):
+        mb = _module()
+        s = _string_global(mb, "f", "2.5e1junk")
+        fn, b = mb.define("main", INT32)
+        b.call("print_f64", [b.call("atof", [s])])
+        b.ret(b.i32(0))
+        golden, results = _both(mb.module)
+        for r in results.values():
+            assert r.output_text == golden.output_text == "25"
+
+    def test_wrapper_detects_corrupted_source(self):
+        """An overflow that corrupts a string read by external code is
+        caught by the *wrapper's* load check (SDS)."""
+        mb = _module()
+        fn, b = mb.define("main", INT32)
+        buf = b.malloc(INT8, b.i64(8))
+        # The victim is a different size than the overflow source, so the
+        # app→replica chunk spacing differs and the corruption cannot land
+        # pairwise-identically (mixed-size heaps break the symmetry).
+        msg = b.malloc(INT8, b.i64(64))
+        with b.for_range(b.i64(7)) as i:
+            b.store(b.elem_addr(msg, i), b.i8(65))
+        b.store(b.elem_addr(msg, b.i64(7)), b.i8(0))
+        # Overflow out of buf with offset-varying bytes, far enough to reach
+        # the victim string.
+        with b.for_range(b.i64(160)) as i:
+            byte = b.num_cast(b.add(b.srem(i, b.i64(25)), b.i64(66)), INT8)
+            b.store(b.elem_addr(buf, i), byte)
+        b.store(b.elem_addr(msg, b.i64(7)), b.i8(0))
+        b.call("print_str", [msg])
+        b.ret(b.i32(0))
+        verify_module(mb.module)
+        r = DpmrCompiler(design="sds").compile(mb.module).run()
+        assert r.status is ExitStatus.DPMR_DETECTED
+
+
+class TestMemcpyWrapper:
+    @pytest.mark.parametrize("design", DESIGNS)
+    def test_copies_data_and_replica(self, design):
+        mb = _module()
+        fn, b = mb.define("main", INT32)
+        src = b.malloc(INT64, b.i64(4))
+        dst = b.malloc(INT64, b.i64(4))
+        with b.for_range(b.i64(4)) as i:
+            b.store(b.elem_addr(src, i), b.mul(i, b.i64(11)))
+        b.call("memcpy", [dst, src, b.i64(32)])
+        total = b.alloca(INT64)
+        b.store(total, b.i64(0))
+        with b.for_range(b.i64(4)) as i:
+            b.store(total, b.add(b.load(total), b.load(b.elem_addr(dst, i))))
+        b.call("print_i64", [b.load(total)])
+        b.ret(b.i32(0))
+        verify_module(mb.module)
+        golden = run_process(mb.module)
+        r = DpmrCompiler(design=design).compile(mb.module).run()
+        assert r.status is ExitStatus.NORMAL, r.detail
+        assert r.output_text == golden.output_text == "66"
+
+    def test_sds_memcpy_copies_shadow_region(self):
+        """Copying an array of pointers must move the shadow pairs too, or
+        later pointer loads through the copy would lose their ROPs."""
+        mb = _module()
+        fn, b = mb.define("main", INT32)
+        vals = b.malloc(INT64, b.i64(2))
+        b.store(b.elem_addr(vals, b.i64(0)), b.i64(123))
+        src = b.malloc(PointerType(INT64), b.i64(2))
+        dst = b.malloc(PointerType(INT64), b.i64(2))
+        p0 = b.elem_addr(vals, b.i64(0))
+        b.store(b.elem_addr(src, b.i64(0)), p0)
+        b.store(b.elem_addr(src, b.i64(1)), p0)
+        b.call("memcpy", [dst, src, b.i64(16)])
+        loaded = b.load(b.elem_addr(dst, b.i64(0)))
+        b.call("print_i64", [b.load(loaded)])
+        b.ret(b.i32(0))
+        verify_module(mb.module)
+        golden = run_process(mb.module)
+        r = DpmrCompiler(design="sds").compile(mb.module).run()
+        assert r.status is ExitStatus.NORMAL, r.detail
+        assert r.output_text == golden.output_text == "123"
+
+
+class TestQsortWrapper:
+    @pytest.mark.parametrize("design", DESIGNS)
+    def test_sorts_and_mirrors(self, design):
+        mb = _module()
+        cmp, cb = mb.define(
+            "cmp_i64", INT32, [PointerType(INT64), PointerType(INT64)], ["a", "b"]
+        )
+        diff = cb.sub(cb.load(cmp.params[0]), cb.load(cmp.params[1]))
+        neg = cb.slt(diff, cb.i64(0))
+        with cb.if_then(neg):
+            cb.ret(cb.i32(-1))
+        pos = cb.sgt(diff, cb.i64(0))
+        with cb.if_then(pos):
+            cb.ret(cb.i32(1))
+        cb.ret(cb.i32(0))
+
+        fn, b = mb.define("main", INT32)
+        arr = b.malloc(INT64, b.i64(6))
+        for i, v in enumerate([30, 10, 50, 20, 60, 40]):
+            b.store(b.elem_addr(arr, b.i64(i)), b.i64(v))
+        b.call("qsort", [arr, b.i64(6), b.i64(8), b.func_addr(cmp)])
+        with b.for_range(b.i64(6)) as i:
+            b.call("print_i64", [b.load(b.elem_addr(arr, i))])
+        b.ret(b.i32(0))
+        verify_module(mb.module)
+        golden = run_process(mb.module)
+        assert golden.output_text == "102030405060"
+        r = DpmrCompiler(design=design).compile(mb.module).run()
+        assert r.status is ExitStatus.NORMAL, (design, r.detail)
+        assert r.output_text == golden.output_text
