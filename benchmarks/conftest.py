@@ -6,7 +6,9 @@ Environment knobs:
 * ``REPRO_BENCH_SCALE`` — workload scale multiplier (default 1);
 * ``REPRO_BENCH_SEEDS`` — runs per experiment (default 1; the paper uses
   several runs per configuration);
-* ``REPRO_BENCH_APPS``  — comma-separated subset of workloads.
+* ``REPRO_BENCH_APPS``  — comma-separated subset of workloads;
+* ``DPMR_JOBS``         — worker processes for the parallel campaign
+  executor (default 1 = serial; results are bit-identical either way).
 
 Each figure/table bench prints its rows and writes them under
 ``benchmarks/results/`` for inclusion in EXPERIMENTS.md.
@@ -28,9 +30,12 @@ from repro.eval import (
     by_variant,
     conditional_coverage_components,
     coverage_components,
+    default_jobs,
     diversity_variants,
+    job_for_harness,
     mean_time_to_detection,
     policy_variants,
+    run_campaign_jobs,
     std_not_all_det_sites,
     stdapp_variant,
 )
@@ -101,16 +106,19 @@ class BenchLab:
     def campaign(
         self, family: str, design: str, kind: str
     ) -> List[ExperimentRecord]:
-        """All fault-injection records for one (family, design, kind)."""
+        """All fault-injection records for one (family, design, kind).
+
+        All apps' experiment tuples go to one executor invocation, so with
+        ``DPMR_JOBS>1`` the worker pool load-balances across apps while the
+        aggregated record order stays identical to the serial per-app loop.
+        """
         key = (family, design, kind)
         if key not in self._campaigns:
-            records: List[ExperimentRecord] = []
             variants = self.variants(family, design)
-            for app in APPS:
-                records.extend(
-                    self.harness(app).run_campaign(variants, kind)
-                )
-            self._campaigns[key] = records
+            jobs = [
+                job_for_harness(self.harness(app), variants, kind) for app in APPS
+            ]
+            self._campaigns[key] = run_campaign_jobs(jobs, default_jobs())
         return self._campaigns[key]
 
     def overheads(self, family: str, design: str) -> Dict[Tuple[str, str], float]:

@@ -1,0 +1,160 @@
+#!/usr/bin/env python
+"""Interpreter & campaign-executor micro-benchmark → ``BENCH_interp.json``.
+
+Measures the two quantities the perf work of this repo is judged on:
+
+* **interpreter throughput** — instructions/second of the mcf analog's
+  golden run (the pure interpreter inner loop, no DPMR transform);
+* **campaign wall-clock** — the full heap-array-resize campaign (all four
+  apps, stdapp + all seven diversity variants under all-loads), serial vs
+  the parallel executor, with a record-level identity check between the two.
+
+Writes ``BENCH_interp.json`` at the repo root so future PRs have a perf
+trajectory to regress against.  The ``seed_baseline`` block is frozen: it
+holds the numbers measured on the pre-fast-path seed tree (PR 1, same
+single-core container) and must not be re-measured.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_interp.py [jobs]
+
+``jobs`` defaults to ``DPMR_JOBS`` or 4.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.apps import WORKLOAD_ORDER, app_factory
+from repro.eval import (
+    diversity_variants,
+    job_for_harness,
+    run_campaign_jobs,
+    stdapp_variant,
+    WorkloadHarness,
+)
+from repro.faultinject import HEAP_ARRAY_RESIZE
+from repro.machine.process import run_process
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_interp.json"
+
+#: Measured on the unmodified seed tree (commit 7b09b5c) on this same
+#: 1-core container, before the interpreter fast path landed.  Frozen.
+SEED_BASELINE = {
+    "interp_mcf_scale6_ips": 700_481,
+    "campaign_resize_diversity_serial_s": 3.0,
+}
+
+INTERP_SCALE = 6
+INTERP_REPS = 3
+
+
+def bench_interpreter() -> dict:
+    module_factory = app_factory("mcf", INTERP_SCALE)
+    best = None
+    instructions = 0
+    for _ in range(INTERP_REPS):
+        module = module_factory()
+        t0 = time.perf_counter()
+        result = run_process(module)
+        dt = time.perf_counter() - t0
+        instructions = result.instructions
+        best = dt if best is None else min(best, dt)
+    return {
+        "workload": "mcf",
+        "scale": INTERP_SCALE,
+        "instructions": instructions,
+        "best_wall_s": round(best, 4),
+        "instructions_per_s": round(instructions / best),
+    }
+
+
+def record_signature(r):
+    return (
+        r.workload,
+        r.variant,
+        r.site,
+        r.run,
+        r.result.status.value,
+        r.result.exit_code,
+        r.result.output_text,
+        r.result.cycles,
+        r.result.instructions,
+        tuple(sorted(r.result.fault_activations.items())),
+    )
+
+
+def bench_campaign(jobs: int) -> dict:
+    variants = [stdapp_variant()] + diversity_variants("sds")
+    harnesses = [WorkloadHarness(a, app_factory(a, 1)) for a in WORKLOAD_ORDER]
+    campaign_jobs = [
+        job_for_harness(h, variants, HEAP_ARRAY_RESIZE) for h in harnesses
+    ]
+
+    t0 = time.perf_counter()
+    serial = run_campaign_jobs(campaign_jobs, processes=1)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = run_campaign_jobs(campaign_jobs, processes=jobs)
+    parallel_s = time.perf_counter() - t0
+
+    identical = [record_signature(r) for r in serial] == [
+        record_signature(r) for r in parallel
+    ]
+    return {
+        "kind": HEAP_ARRAY_RESIZE,
+        "apps": list(WORKLOAD_ORDER),
+        "variants": [v.name for v in variants],
+        "records": len(serial),
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "jobs": jobs,
+        "parallel_identical_to_serial": identical,
+        "speedup_parallel_vs_serial": round(serial_s / parallel_s, 2),
+        "speedup_serial_vs_seed": round(
+            SEED_BASELINE["campaign_resize_diversity_serial_s"] / serial_s, 2
+        ),
+    }
+
+
+def main() -> None:
+    jobs = int(sys.argv[1]) if len(sys.argv) > 1 else int(
+        os.environ.get("DPMR_JOBS", "4") or "4"
+    )
+    interp = bench_interpreter()
+    campaign = bench_campaign(jobs)
+    payload = {
+        "meta": {
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+            "note": (
+                "single-core containers cannot show multiprocess speedup; "
+                "the wall-clock win there comes from the interpreter fast "
+                "path (compare against seed_baseline)"
+            ),
+        },
+        "seed_baseline": SEED_BASELINE,
+        "interp": dict(
+            interp,
+            speedup_vs_seed=round(
+                interp["instructions_per_s"]
+                / SEED_BASELINE["interp_mcf_scale6_ips"],
+                2,
+            ),
+        ),
+        "campaign": campaign,
+    }
+    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    if not campaign["parallel_identical_to_serial"]:
+        sys.exit("FATAL: parallel campaign diverged from serial run")
+
+
+if __name__ == "__main__":
+    main()

@@ -15,6 +15,7 @@ transformed bitcode against DPMR's external code support libraries.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
@@ -47,7 +48,12 @@ class DpmrBuild:
     diversity: DiversityPolicy
 
     def runtime(self) -> DpmrRuntime:
-        return DpmrRuntime(self.design, self.diversity)
+        # Every run gets a fresh copy of the diversity policy: stateful
+        # policies (e.g. the segregated-replica arena ablation) would
+        # otherwise leak allocator state from one run into the next, making
+        # results depend on execution order — which both corrupts repeated
+        # runs and breaks the parallel executor's serial-identity guarantee.
+        return DpmrRuntime(self.design, copy.deepcopy(self.diversity))
 
     def run(
         self,

@@ -1,6 +1,12 @@
 """Experimental framework: variants, experiments, metrics, reports (§3.3–3.6)."""
 
 from .experiment import ExperimentRecord, TIMEOUT_FACTOR, WorkloadHarness
+from .parallel import (
+    CampaignJob,
+    default_jobs,
+    job_for_harness,
+    run_campaign_jobs,
+)
 from .metrics import (
     CoverageComponents,
     by_variant,
@@ -27,9 +33,13 @@ from .variants import (
 )
 
 __all__ = [
+    "CampaignJob",
     "CompiledVariant",
     "CoverageComponents",
     "ExperimentRecord",
+    "default_jobs",
+    "job_for_harness",
+    "run_campaign_jobs",
     "TIMEOUT_FACTOR",
     "Variant",
     "WorkloadHarness",

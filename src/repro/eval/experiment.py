@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from ..faultinject.campaign import Campaign, ProgramFactory
+from ..faultinject.campaign import ProgramFactory
 from ..machine.process import ExitStatus, ProcessResult, run_process
 from .variants import CompiledVariant, Variant
 
@@ -138,29 +138,17 @@ class WorkloadHarness:
         kind: str,
         percent: int = 50,
         max_sites: Optional[int] = None,
+        jobs: Optional[int] = None,
     ) -> List[ExperimentRecord]:
-        """Run every (site, variant, seed) experiment for one fault kind."""
-        campaign = Campaign(self.factory, kind, percent=percent)
-        sites = campaign.sites
-        if max_sites is not None:
-            sites = sites[:max_sites]
-        records: List[ExperimentRecord] = []
-        variants = list(variants)
-        for site in sites:
-            for variant in variants:
-                compiled = variant.compile(campaign.faulty_module(site))
-                for run_no, seed in enumerate(self.seeds):
-                    result = compiled.run(
-                        argv=self.argv, max_cycles=self.timeout, seed=seed
-                    )
-                    records.append(
-                        ExperimentRecord(
-                            workload=self.name,
-                            variant=variant.name,
-                            site=site.site_id,
-                            run=run_no,
-                            result=result,
-                            golden_output=self.golden.output_text,
-                        )
-                    )
-        return records
+        """Run every (site, variant, seed) experiment for one fault kind.
+
+        ``jobs`` selects the worker count for the parallel campaign executor
+        (defaulting to the ``DPMR_JOBS`` environment variable); serial and
+        parallel execution produce identical records in identical order.
+        """
+        from .parallel import job_for_harness, run_campaign_jobs
+
+        job = job_for_harness(
+            self, variants, kind, percent=percent, max_sites=max_sites
+        )
+        return run_campaign_jobs([job], processes=jobs)

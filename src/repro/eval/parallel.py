@@ -1,0 +1,229 @@
+"""Parallel fault-injection campaign executor.
+
+The evaluation re-runs the interpreter once per experiment tuple
+``(workload, variant, site, run)`` — thousands of fully independent
+machine executions.  This module fans those tuples out over a
+``multiprocessing`` worker pool while keeping the results *provably
+bit-identical* to a serial run:
+
+* **Deterministic per-experiment seeding.**  Every experiment's machine RNG
+  is seeded solely from its tuple (the harness seed list); nothing is drawn
+  from shared or order-dependent RNG state.  Workers are forked from the
+  parent, so they also inherit the parent's hash seed and build
+  byte-identical modules.
+* **No shared mutable machine state.**  Each experiment builds a fresh
+  module (via the campaign's program factory), compiles it, and runs it in
+  a fresh :class:`~repro.machine.interpreter.Machine`; the only values that
+  cross process boundaries are immutable work-item indices (parent → worker)
+  and finished :class:`ExperimentRecord` values (worker → parent).
+* **Serial-identical aggregation.**  Results are reassembled in the exact
+  nested order the serial loop produces (job → site → variant → run),
+  whatever order workers finish in.
+
+Workers keep a small LRU cache of compiled variants keyed by
+``(workload, variant, site)``, so a worker DPMR-transforms any given faulty
+module at most once even though work is distributed as individual
+experiment tuples.
+
+The executor is opt-in: ``DPMR_JOBS=N`` in the environment (or an explicit
+``jobs=`` argument) enables it; unset/``1`` runs the same code path
+serially in-process.  Platforms without the ``fork`` start method fall back
+to serial execution — determinism there would require pickling program
+factories and re-deriving the hash seed, which the fork path gets for free.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..faultinject.campaign import Campaign, ProgramFactory
+from ..faultinject.injector import FaultSite, inject
+from .experiment import ExperimentRecord
+from .variants import CompiledVariant, Variant
+
+#: Environment variable selecting the worker count (0/1/unset → serial).
+JOBS_ENV_VAR = "DPMR_JOBS"
+
+#: Compiled variants cached per worker; small, since consecutive work items
+#: share the same (site, variant) and only chunk boundaries ever look back.
+_COMPILED_CACHE_SIZE = 32
+
+
+def default_jobs() -> int:
+    """Worker count from ``DPMR_JOBS`` (defaults to serial execution)."""
+    raw = os.environ.get(JOBS_ENV_VAR, "").strip()
+    if not raw:
+        return 1
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        raise ValueError(f"{JOBS_ENV_VAR} must be an integer, got {raw!r}") from None
+
+
+@dataclass
+class CampaignJob:
+    """One (workload, fault-kind) campaign: everything a worker needs.
+
+    ``sites`` is enumerated once in the parent so every process agrees on
+    site identity and order; workers only re-run the program factory and the
+    injection for their assigned tuples.
+    """
+
+    workload: str
+    factory: ProgramFactory
+    kind: str
+    variants: List[Variant]
+    sites: List[FaultSite]
+    golden_output: str
+    timeout: int
+    argv: Sequence[str] = ()
+    seeds: Sequence[int] = (0,)
+    percent: int = 50
+
+
+def job_for_harness(
+    harness,
+    variants,
+    kind: str,
+    percent: int = 50,
+    max_sites: Optional[int] = None,
+) -> CampaignJob:
+    """Build a :class:`CampaignJob` from a ``WorkloadHarness``."""
+    campaign = Campaign(harness.factory, kind, percent=percent)
+    sites = campaign.sites
+    if max_sites is not None:
+        sites = sites[:max_sites]
+    return CampaignJob(
+        workload=harness.name,
+        factory=harness.factory,
+        kind=kind,
+        variants=list(variants),
+        sites=list(sites),
+        golden_output=harness.golden.output_text,
+        timeout=harness.timeout,
+        argv=harness.argv,
+        seeds=harness.seeds,
+        percent=percent,
+    )
+
+
+# An experiment tuple: (job index, site index, variant index, run index).
+_Item = Tuple[int, int, int, int]
+
+# Worker-side state.  Populated in the parent immediately before the pool is
+# forked (fork inherits it); None in a plain process.
+_WORKER_JOBS: Optional[List[CampaignJob]] = None
+_COMPILED: "OrderedDict[Tuple[int, int, int], CompiledVariant]" = OrderedDict()
+
+
+def _compiled_for(jobs: List[CampaignJob], item: _Item) -> CompiledVariant:
+    """Compile (or fetch) the faulty build for one experiment tuple.
+
+    The cache key is (workload/job, variant, site); within a worker the
+    DPMR transformation for that key runs at most once.
+    """
+    ji, si, vi, _ = item
+    key = (ji, si, vi)
+    compiled = _COMPILED.get(key)
+    if compiled is not None:
+        _COMPILED.move_to_end(key)
+        return compiled
+    job = jobs[ji]
+    faulty = inject(job.factory(), job.sites[si], job.percent)
+    compiled = job.variants[vi].compile(faulty)
+    _COMPILED[key] = compiled
+    if len(_COMPILED) > _COMPILED_CACHE_SIZE:
+        _COMPILED.popitem(last=False)
+    return compiled
+
+
+def _run_item(jobs: List[CampaignJob], item: _Item) -> ExperimentRecord:
+    ji, si, vi, ri = item
+    job = jobs[ji]
+    compiled = _compiled_for(jobs, item)
+    result = compiled.run(
+        argv=job.argv, max_cycles=job.timeout, seed=job.seeds[ri]
+    )
+    return ExperimentRecord(
+        workload=job.workload,
+        variant=job.variants[vi].name,
+        site=job.sites[si].site_id,
+        run=ri,
+        result=result,
+        golden_output=job.golden_output,
+    )
+
+
+def _run_chunk(chunk: List[_Item]) -> List[Tuple[_Item, ExperimentRecord]]:
+    """Worker entry point: execute one chunk of experiment tuples."""
+    jobs = _WORKER_JOBS
+    assert jobs is not None, "worker forked before _WORKER_JOBS was set"
+    return [(item, _run_item(jobs, item)) for item in chunk]
+
+
+def _all_items(jobs: Sequence[CampaignJob]) -> List[_Item]:
+    """Every experiment tuple, in exact serial execution order."""
+    return [
+        (ji, si, vi, ri)
+        for ji, job in enumerate(jobs)
+        for si in range(len(job.sites))
+        for vi in range(len(job.variants))
+        for ri in range(len(job.seeds))
+    ]
+
+
+def _chunked(items: List[_Item], processes: int) -> List[List[_Item]]:
+    """Split work into in-order chunks, ~4 per worker for load balance.
+
+    Keeping tuples in serial order means runs of the same (site, variant)
+    stay adjacent, so the worker-side compiled-variant cache hits for every
+    seed after the first.
+    """
+    if not items:
+        return []
+    n_chunks = max(1, min(len(items), processes * 4))
+    size = -(-len(items) // n_chunks)
+    return [items[i : i + size] for i in range(0, len(items), size)]
+
+
+def run_campaign_jobs(
+    jobs: Sequence[CampaignJob], processes: Optional[int] = None
+) -> List[ExperimentRecord]:
+    """Run every experiment of every job; results in serial order.
+
+    ``processes`` defaults to ``DPMR_JOBS``; values ≤ 1 (or a platform
+    without ``fork``) execute the identical per-item code serially
+    in-process.
+    """
+    global _WORKER_JOBS
+    jobs = list(jobs)
+    if processes is None:
+        processes = default_jobs()
+    items = _all_items(jobs)
+
+    if processes <= 1 or len(items) <= 1 or not _fork_available():
+        _COMPILED.clear()
+        try:
+            return [_run_item(jobs, item) for item in items]
+        finally:
+            _COMPILED.clear()
+
+    ctx = multiprocessing.get_context("fork")
+    results: Dict[_Item, ExperimentRecord] = {}
+    _WORKER_JOBS = jobs
+    try:
+        with ctx.Pool(processes) as pool:
+            for pairs in pool.imap_unordered(_run_chunk, _chunked(items, processes)):
+                for item, record in pairs:
+                    results[item] = record
+    finally:
+        _WORKER_JOBS = None
+    return [results[item] for item in items]
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()

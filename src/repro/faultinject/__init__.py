@@ -10,10 +10,11 @@ from .injector import (
     inject,
     would_definitely_not_manifest,
 )
-from .campaign import Campaign, ProgramFactory
+from .campaign import Campaign, ProgramFactory, campaign_sites
 
 __all__ = [
     "Campaign",
+    "campaign_sites",
     "FAULT_KINDS",
     "FaultSite",
     "HEAP_ARRAY_RESIZE",

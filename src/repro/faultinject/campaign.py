@@ -25,6 +25,27 @@ from .injector import (
 ProgramFactory = Callable[[], Module]
 
 
+def campaign_sites(
+    factory: ProgramFactory,
+    kind: str,
+    percent: int = 50,
+    apply_static_filter: bool = True,
+) -> List[FaultSite]:
+    """Enumerate (and statically filter) the injectable sites of one program.
+
+    Shared by :class:`Campaign` and the parallel campaign executor: sites are
+    enumerated exactly once in the coordinating process, so every worker
+    agrees on site identity and ordering.
+    """
+    module = factory()
+    sites = enumerate_sites(module, kind)
+    if apply_static_filter:
+        sites = [
+            s for s in sites if not would_definitely_not_manifest(module, s, percent)
+        ]
+    return sites
+
+
 @dataclass
 class Campaign:
     """All injectable sites of one fault kind for one program."""
@@ -42,15 +63,12 @@ class Campaign:
     @property
     def sites(self) -> List[FaultSite]:
         if self._sites is None:
-            module = self.factory()
-            sites = enumerate_sites(module, self.kind)
-            if self.apply_static_filter:
-                sites = [
-                    s
-                    for s in sites
-                    if not would_definitely_not_manifest(module, s, self.percent)
-                ]
-            self._sites = sites
+            self._sites = campaign_sites(
+                self.factory,
+                self.kind,
+                percent=self.percent,
+                apply_static_filter=self.apply_static_filter,
+            )
         return self._sites
 
     def pristine_module(self) -> Module:

@@ -91,6 +91,10 @@ class Function:
     def block(self, label: str) -> BasicBlock:
         return self._block_index[label]
 
+    def find_block(self, label: str) -> Optional[BasicBlock]:
+        """Like :meth:`block`, but returns ``None`` for an unknown label."""
+        return self._block_index.get(label)
+
     @property
     def entry(self) -> BasicBlock:
         if not self.blocks:

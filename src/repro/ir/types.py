@@ -298,7 +298,22 @@ def array(t: Type, n: Optional[int] = None) -> ArrayType:
 
 
 def alignof(t: Type) -> int:
-    """Natural alignment of ``t`` in bytes, capped at :data:`MAX_ALIGN`."""
+    """Natural alignment of ``t`` in bytes, capped at :data:`MAX_ALIGN`.
+
+    Memoized on the type instance: layout queries run on every interpreted
+    address computation, so the recursive walk must happen only once per
+    type object.  Types are immutable once built (opaque structs gain a body
+    exactly once, and raise before that), so the cache can never go stale.
+    """
+    try:
+        return t._alignof  # type: ignore[attr-defined]
+    except AttributeError:
+        a = _alignof_uncached(t)
+        t._alignof = a  # type: ignore[attr-defined]
+        return a
+
+
+def _alignof_uncached(t: Type) -> int:
     if isinstance(t, IntType):
         return max(1, min(t.bits // 8, MAX_ALIGN))
     if isinstance(t, FloatType):
@@ -322,8 +337,18 @@ def sizeof(t: Type) -> int:
     """Number of bytes reserved when ``t`` is allocated (with padding).
 
     Matches the paper's ``sizeof()`` symbol: the reserved byte count includes
-    any alignment padding.
+    any alignment padding.  Memoized on the type instance (see
+    :func:`alignof` for why that is safe).
     """
+    try:
+        return t._sizeof  # type: ignore[attr-defined]
+    except AttributeError:
+        s = _sizeof_uncached(t)
+        t._sizeof = s  # type: ignore[attr-defined]
+        return s
+
+
+def _sizeof_uncached(t: Type) -> int:
     if isinstance(t, IntType):
         return max(1, t.bits // 8)
     if isinstance(t, FloatType):
@@ -357,16 +382,25 @@ def _align_up(n: int, a: int) -> int:
 
 
 def field_offset(t: StructType, index: int) -> int:
-    """Byte offset of field ``index`` within struct ``t``."""
-    if index < 0 or index >= len(t.fields):
+    """Byte offset of field ``index`` within struct ``t``.
+
+    All field offsets are computed once per struct instance and memoized,
+    since ``field_addr`` instructions query them on every execution.
+    """
+    try:
+        offsets = t._field_offsets  # type: ignore[attr-defined]
+    except AttributeError:
+        offsets = []
+        off = 0
+        for f in t.fields:
+            off = _align_up(off, alignof(f))
+            offsets.append(off)
+            off += sizeof(f)
+        offsets = tuple(offsets)
+        t._field_offsets = offsets  # type: ignore[attr-defined]
+    if index < 0 or index >= len(offsets):
         raise IndexError(f"field index {index} out of range for {t}")
-    off = 0
-    for i, f in enumerate(t.fields):
-        off = _align_up(off, alignof(f))
-        if i == index:
-            return off
-        off += sizeof(f)
-    raise AssertionError("unreachable")
+    return offsets[index]
 
 
 def contains_pointer_outside_function_types(t: Type) -> bool:

@@ -16,6 +16,7 @@ state:
 
 from __future__ import annotations
 
+import operator
 import random
 import struct
 from typing import Callable, Dict, List, Optional, Sequence
@@ -141,6 +142,9 @@ class Machine:
         self.dpmr_runtime = dpmr_runtime
         self.intrinsics: Dict[str, IntrinsicFn] = {}
         self.stack_top = self.memory.stack.base
+        # Per-block decoded dispatch tables (id(block) → (steps, terminator)),
+        # built lazily on first entry; see _decode_block.
+        self._decoded_blocks: Dict[int, tuple] = {}
         self._globals: Dict[str, int] = {}
         self._func_addrs: Dict[str, int] = {}
         self._addr_funcs: Dict[int, str] = {}
@@ -288,81 +292,55 @@ class Machine:
         return self.call(self.module.functions[name], args)
 
     def _exec_function(self, fn: Function, regs: Dict[str, object]):
-        block = fn.entry
-        memory = self.memory
-        while True:
-            jumped = False
-            for i in block.instructions:
-                self.instructions_executed += 1
-                cost = COSTS.get(type(i), 1)
-                if isinstance(i, ins.BinOp):
-                    cost = _EXPENSIVE_BINOPS.get(i.op, 1)
-                self.charge(cost)
-                if i.fault_site is not None and i.fault_site not in self.fault_activations:
-                    self.fault_activations[i.fault_site] = self.cycles
+        """Fast-path executor: per-opcode handlers from a pre-decoded table.
 
-                kind = type(i)
-                if kind is ins.Load:
-                    addr = self._value(i.pointer, regs)
-                    regs[i.result.name] = memory.read_scalar(addr, i.result.type)
-                elif kind is ins.Store:
-                    addr = self._value(i.pointer, regs)
-                    memory.write_scalar(addr, i.value.type, self._value(i.value, regs))
-                elif kind is ins.BinOp:
-                    regs[i.result.name] = self._binop(i, regs)
-                elif kind is ins.Cmp:
-                    regs[i.result.name] = self._cmp(i, regs)
-                elif kind is ins.FieldAddr:
-                    base = self._value(i.pointer, regs)
-                    st = i.pointer.type.pointee
-                    regs[i.result.name] = base + field_offset(st, i.index)
-                elif kind is ins.ElemAddr:
-                    base = self._value(i.pointer, regs)
-                    elem = i.pointer.type.pointee.element
-                    idx = self._value(i.index, regs)
-                    regs[i.result.name] = base + idx * sizeof(elem)
-                elif kind is ins.Call:
-                    self._do_call(i, regs)
-                elif kind is ins.Branch:
-                    cond = self._value(i.cond, regs)
-                    target = i.then_target if cond else i.else_target
-                    block = fn.block(target)
-                    jumped = True
-                    break
-                elif kind is ins.Jump:
-                    block = fn.block(i.target)
-                    jumped = True
-                    break
-                elif kind is ins.Ret:
-                    return self._value(i.value, regs) if i.value is not None else None
-                elif kind is ins.Alloca:
-                    count = self._value(i.count, regs) if i.count is not None else 1
-                    regs[i.result.name] = self.stack_alloc(
-                        sizeof(i.allocated_type) * count
-                    )
-                elif kind is ins.Malloc:
-                    count = self._value(i.count, regs) if i.count is not None else 1
-                    regs[i.result.name] = self.heap_malloc(
-                        sizeof(i.allocated_type) * count
-                    )
-                elif kind is ins.Free:
-                    self.heap_free(self._value(i.pointer, regs))
-                elif kind is ins.PtrCast:
-                    regs[i.result.name] = self._value(i.pointer, regs)
-                elif kind is ins.PtrToInt:
-                    regs[i.result.name] = self._value(i.pointer, regs)
-                elif kind is ins.IntToPtr:
-                    regs[i.result.name] = self._value(i.value, regs) & ((1 << 64) - 1)
-                elif kind is ins.NumCast:
-                    regs[i.result.name] = self._numcast(i, regs)
-                elif kind is ins.FuncAddr:
-                    regs[i.result.name] = self._func_addrs[i.function_name]
-                elif kind is ins.Unreachable:
-                    raise ExecutionTrap("unreachable", f"in {fn.name}")
-                else:  # pragma: no cover - defensive
-                    raise ExecutionTrap("bad-instruction", type(i).__name__)
-            if not jumped:
+        Each basic block is decoded once per machine into a list of
+        ``(handler, instruction, cost, fault_site)`` steps plus a resolved
+        terminator (see :func:`_decode_block`); the execution loop then
+        performs one dict hit and straight-line bookkeeping per instruction
+        instead of an isinstance chain.
+        """
+        decoded = self._decoded_blocks
+        max_cycles = self.max_cycles
+        activations = self.fault_activations
+        block = fn.entry
+        while True:
+            dec = decoded.get(id(block))
+            if dec is None:
+                dec = decoded[id(block)] = _decode_block(fn, block)
+            steps, term = dec
+            for handler, inst, cost, fault in steps:
+                self.instructions_executed += 1
+                c = self.cycles + cost
+                self.cycles = c
+                if c > max_cycles:
+                    raise Timeout(f"exceeded {max_cycles} cycles")
+                if fault is not None and fault not in activations:
+                    activations[fault] = c
+                handler(self, inst, regs)
+            if term is None:
                 raise ExecutionTrap("fell-off-block", f"{fn.name}/{block.label}")
+            tkind, inst, cost, fault, then_block, else_block = term
+            self.instructions_executed += 1
+            c = self.cycles + cost
+            self.cycles = c
+            if c > max_cycles:
+                raise Timeout(f"exceeded {max_cycles} cycles")
+            if fault is not None and fault not in activations:
+                activations[fault] = c
+            if tkind == _T_BRANCH:
+                cond = self._value(inst.cond, regs)
+                block = then_block if cond else else_block
+                if block is None:
+                    raise KeyError(inst.then_target if cond else inst.else_target)
+            elif tkind == _T_JUMP:
+                block = then_block
+                if block is None:
+                    raise KeyError(inst.target)
+            elif tkind == _T_RET:
+                return self._value(inst.value, regs) if inst.value is not None else None
+            else:
+                raise ExecutionTrap("unreachable", f"in {fn.name}")
 
     # -- operand & op evaluation ---------------------------------------------
 
@@ -385,87 +363,6 @@ class Machine:
             return self._func_addrs[v.name]
         raise ExecutionTrap("bad-operand", repr(v))
 
-    def _binop(self, i: ins.BinOp, regs):
-        a = self._value(i.lhs, regs)
-        b = self._value(i.rhs, regs)
-        op = i.op
-        if op == "add":
-            r = a + b
-        elif op == "sub":
-            r = a - b
-        elif op == "mul":
-            r = a * b
-        elif op == "sdiv":
-            if b == 0:
-                raise ExecutionTrap("divide-by-zero")
-            r = abs(a) // abs(b)
-            if (a < 0) != (b < 0):
-                r = -r
-        elif op == "srem":
-            if b == 0:
-                raise ExecutionTrap("divide-by-zero")
-            q = abs(a) // abs(b)
-            if (a < 0) != (b < 0):
-                q = -q
-            r = a - q * b
-        elif op == "and":
-            r = a & b
-        elif op == "or":
-            r = a | b
-        elif op == "xor":
-            r = a ^ b
-        elif op == "shl":
-            r = a << (b & 63)
-        elif op == "shr":
-            r = a >> (b & 63)
-        elif op == "fadd":
-            r = a + b
-        elif op == "fsub":
-            r = a - b
-        elif op == "fmul":
-            r = a * b
-        elif op == "fdiv":
-            if b == 0.0:
-                r = float("inf") if a > 0 else float("-inf") if a < 0 else float("nan")
-            else:
-                r = a / b
-        else:  # pragma: no cover - verified at construction
-            raise ExecutionTrap("bad-op", op)
-        ty = i.result.type
-        if isinstance(ty, IntType):
-            return wrap_int(int(r), max(ty.bits, 8))
-        if isinstance(ty, FloatType) and ty.bits == 32:
-            return struct.unpack("<f", struct.pack("<f", r))[0]
-        return r
-
-    def _cmp(self, i: ins.Cmp, regs) -> int:
-        a = self._value(i.lhs, regs)
-        b = self._value(i.rhs, regs)
-        op = i.op
-        if op == "eq":
-            return int(a == b)
-        if op == "ne":
-            return int(a != b)
-        if op == "slt":
-            return int(a < b)
-        if op == "sle":
-            return int(a <= b)
-        if op == "sgt":
-            return int(a > b)
-        return int(a >= b)
-
-    def _numcast(self, i: ins.NumCast, regs):
-        v = self._value(i.value, regs)
-        ty = i.result.type
-        if isinstance(ty, IntType):
-            return wrap_int(int(v), max(ty.bits, 8))
-        if isinstance(ty, FloatType):
-            f = float(v)
-            if ty.bits == 32:
-                return struct.unpack("<f", struct.pack("<f", f))[0]
-            return f
-        raise ExecutionTrap("bad-cast", str(ty))
-
     def _do_call(self, i: ins.Call, regs) -> None:
         args = [self._value(a, regs) for a in i.args]
         if i.is_direct:
@@ -478,3 +375,238 @@ class Machine:
             result = self.call_by_address(addr, args)
         if i.result is not None:
             regs[i.result.name] = result if result is not None else 0
+
+
+# -- fast-path dispatch -------------------------------------------------------
+#
+# Each non-terminator opcode gets a module-level handler ``h(machine, inst,
+# regs)``; _decode_block resolves handlers, per-instruction cycle costs,
+# fault-site ids, and branch targets once per (machine, block), so the inner
+# execution loop is a flat iteration over prebound tuples.
+
+_T_BRANCH, _T_JUMP, _T_RET, _T_UNREACHABLE = 0, 1, 2, 3
+
+_F32 = struct.Struct("<f")
+_U64_MASK = (1 << 64) - 1
+
+
+def _arith_result(ty: Type, r):
+    if type(ty) is IntType:
+        return wrap_int(int(r), ty.bits if ty.bits > 8 else 8)
+    if type(ty) is FloatType and ty.bits == 32:
+        return _F32.unpack(_F32.pack(r))[0]
+    return r
+
+
+def _make_binop(op_fn):
+    def handler(m: "Machine", i: ins.BinOp, regs) -> None:
+        r = op_fn(m._value(i.lhs, regs), m._value(i.rhs, regs))
+        regs[i.result.name] = _arith_result(i.result.type, r)
+
+    return handler
+
+
+def _bh_sdiv(m: "Machine", i: ins.BinOp, regs) -> None:
+    a = m._value(i.lhs, regs)
+    b = m._value(i.rhs, regs)
+    if b == 0:
+        raise ExecutionTrap("divide-by-zero")
+    r = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        r = -r
+    regs[i.result.name] = _arith_result(i.result.type, r)
+
+
+def _bh_srem(m: "Machine", i: ins.BinOp, regs) -> None:
+    a = m._value(i.lhs, regs)
+    b = m._value(i.rhs, regs)
+    if b == 0:
+        raise ExecutionTrap("divide-by-zero")
+    q = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        q = -q
+    regs[i.result.name] = _arith_result(i.result.type, a - q * b)
+
+
+def _bh_fdiv(m: "Machine", i: ins.BinOp, regs) -> None:
+    a = m._value(i.lhs, regs)
+    b = m._value(i.rhs, regs)
+    if b == 0.0:
+        r = float("inf") if a > 0 else float("-inf") if a < 0 else float("nan")
+    else:
+        r = a / b
+    regs[i.result.name] = _arith_result(i.result.type, r)
+
+
+_BINOP_HANDLERS = {
+    "add": _make_binop(operator.add),
+    "sub": _make_binop(operator.sub),
+    "mul": _make_binop(operator.mul),
+    "sdiv": _bh_sdiv,
+    "srem": _bh_srem,
+    "and": _make_binop(operator.and_),
+    "or": _make_binop(operator.or_),
+    "xor": _make_binop(operator.xor),
+    "shl": _make_binop(lambda a, b: a << (b & 63)),
+    "shr": _make_binop(lambda a, b: a >> (b & 63)),
+    "fadd": _make_binop(operator.add),
+    "fsub": _make_binop(operator.sub),
+    "fmul": _make_binop(operator.mul),
+    "fdiv": _bh_fdiv,
+}
+
+
+def _make_cmp(op_fn):
+    def handler(m: "Machine", i: ins.Cmp, regs) -> None:
+        regs[i.result.name] = int(op_fn(m._value(i.lhs, regs), m._value(i.rhs, regs)))
+
+    return handler
+
+
+_CMP_HANDLERS = {
+    "eq": _make_cmp(operator.eq),
+    "ne": _make_cmp(operator.ne),
+    "slt": _make_cmp(operator.lt),
+    "sle": _make_cmp(operator.le),
+    "sgt": _make_cmp(operator.gt),
+    "sge": _make_cmp(operator.ge),
+}
+
+
+def _h_load(m: "Machine", i: ins.Load, regs) -> None:
+    addr = m._value(i.pointer, regs)
+    regs[i.result.name] = m.memory.read_scalar(addr, i.result.type)
+
+
+def _h_store(m: "Machine", i: ins.Store, regs) -> None:
+    addr = m._value(i.pointer, regs)
+    m.memory.write_scalar(addr, i.value.type, m._value(i.value, regs))
+
+
+def _h_field_addr(m: "Machine", i: ins.FieldAddr, regs) -> None:
+    base = m._value(i.pointer, regs)
+    regs[i.result.name] = base + field_offset(i.pointer.type.pointee, i.index)
+
+
+def _h_elem_addr(m: "Machine", i: ins.ElemAddr, regs) -> None:
+    base = m._value(i.pointer, regs)
+    idx = m._value(i.index, regs)
+    regs[i.result.name] = base + idx * sizeof(i.pointer.type.pointee.element)
+
+
+def _h_call(m: "Machine", i: ins.Call, regs) -> None:
+    m._do_call(i, regs)
+
+
+def _h_alloca(m: "Machine", i: ins.Alloca, regs) -> None:
+    count = m._value(i.count, regs) if i.count is not None else 1
+    regs[i.result.name] = m.stack_alloc(sizeof(i.allocated_type) * count)
+
+
+def _h_malloc(m: "Machine", i: ins.Malloc, regs) -> None:
+    count = m._value(i.count, regs) if i.count is not None else 1
+    regs[i.result.name] = m.heap_malloc(sizeof(i.allocated_type) * count)
+
+
+def _h_free(m: "Machine", i: ins.Free, regs) -> None:
+    m.heap_free(m._value(i.pointer, regs))
+
+
+def _h_ptrcast(m: "Machine", i, regs) -> None:
+    regs[i.result.name] = m._value(i.pointer, regs)
+
+
+def _h_inttoptr(m: "Machine", i: ins.IntToPtr, regs) -> None:
+    regs[i.result.name] = m._value(i.value, regs) & _U64_MASK
+
+
+def _h_numcast(m: "Machine", i: ins.NumCast, regs) -> None:
+    v = m._value(i.value, regs)
+    ty = i.result.type
+    if type(ty) is IntType:
+        regs[i.result.name] = wrap_int(int(v), ty.bits if ty.bits > 8 else 8)
+    elif type(ty) is FloatType:
+        f = float(v)
+        regs[i.result.name] = _F32.unpack(_F32.pack(f))[0] if ty.bits == 32 else f
+    else:
+        raise ExecutionTrap("bad-cast", str(ty))
+
+
+def _h_funcaddr(m: "Machine", i: ins.FuncAddr, regs) -> None:
+    regs[i.result.name] = m._func_addrs[i.function_name]
+
+
+def _h_bad_instruction(m: "Machine", i, regs) -> None:
+    raise ExecutionTrap("bad-instruction", type(i).__name__)
+
+
+_HANDLERS = {
+    ins.Load: _h_load,
+    ins.Store: _h_store,
+    ins.FieldAddr: _h_field_addr,
+    ins.ElemAddr: _h_elem_addr,
+    ins.Call: _h_call,
+    ins.Alloca: _h_alloca,
+    ins.Malloc: _h_malloc,
+    ins.Free: _h_free,
+    ins.PtrCast: _h_ptrcast,
+    ins.PtrToInt: _h_ptrcast,  # both copy .pointer through unchanged
+    ins.IntToPtr: _h_inttoptr,
+    ins.NumCast: _h_numcast,
+    ins.FuncAddr: _h_funcaddr,
+}
+
+
+def _decode_block(fn: Function, block):
+    """Decode ``block`` into (steps, terminator).
+
+    ``steps`` is a list of ``(handler, inst, cost, fault_site)`` for every
+    instruction up to (not including) the first terminator; ``terminator``
+    is ``(tag, inst, cost, fault_site, then_block, else_block)`` with branch
+    targets pre-resolved to block objects (``None`` for unknown labels, which
+    trap at execution time exactly like the unresolved lookup used to), or
+    ``None`` if the block falls off its end.
+    """
+    steps: list = []
+    for inst in block.instructions:
+        k = type(inst)
+        if k is ins.Branch:
+            return steps, (
+                _T_BRANCH,
+                inst,
+                COSTS.get(k, 1),
+                inst.fault_site,
+                fn.find_block(inst.then_target),
+                fn.find_block(inst.else_target),
+            )
+        if k is ins.Jump:
+            return steps, (
+                _T_JUMP,
+                inst,
+                COSTS.get(k, 1),
+                inst.fault_site,
+                fn.find_block(inst.target),
+                None,
+            )
+        if k is ins.Ret:
+            return steps, (_T_RET, inst, COSTS.get(k, 1), inst.fault_site, None, None)
+        if k is ins.Unreachable:
+            return steps, (
+                _T_UNREACHABLE,
+                inst,
+                COSTS.get(k, 0),
+                inst.fault_site,
+                None,
+                None,
+            )
+        if k is ins.BinOp:
+            handler = _BINOP_HANDLERS[inst.op]
+            cost = _EXPENSIVE_BINOPS.get(inst.op, 1)
+        elif k is ins.Cmp:
+            handler = _CMP_HANDLERS[inst.op]
+            cost = COSTS.get(k, 1)
+        else:
+            handler = _HANDLERS.get(k, _h_bad_instruction)
+            cost = COSTS.get(k, 1)
+        steps.append((handler, inst, cost, inst.fault_site))
+    return steps, None

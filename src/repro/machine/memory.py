@@ -40,6 +40,22 @@ _SCALAR_FORMATS = {
     ("float", 64): "<d",
 }
 
+#: Prebuilt ``struct.Struct`` per (kind, width): scalar loads/stores run on
+#: every interpreted memory access, so the format string must be parsed once
+#: at import, not per access.
+_SCALAR_STRUCTS = {key: struct.Struct(fmt) for key, fmt in _SCALAR_FORMATS.items()}
+
+#: The same prebuilt Structs keyed directly by the (singleton) scalar type
+#: instance, giving a one-dict-lookup fast path in read/write_scalar.
+_STRUCTS_BY_TYPE: Dict[Type, struct.Struct] = {}
+for (_kind, _bits), _s in _SCALAR_STRUCTS.items():
+    _ty = IntType(_bits) if _kind == "int" else FloatType(_bits)
+    _STRUCTS_BY_TYPE[_ty] = _s
+del _kind, _bits, _s, _ty
+
+_U64 = struct.Struct("<Q")
+_U64_MASK = (1 << 64) - 1
+
 
 class MemoryTrap(Exception):
     """A hardware-style memory fault (natural detection by crash, §3.6)."""
@@ -57,6 +73,9 @@ class Segment:
         self.name = name
         self.base = base
         self.size = size
+        # Plain attribute (not a property): segment_for runs on every memory
+        # access and the bound is fixed for the segment's lifetime.
+        self.end = base + size
         if fill_seed is None:
             self.data = bytearray(size)
         else:
@@ -64,11 +83,23 @@ class Segment:
             # differs between addresses, which is what lets DPMR's replica
             # comparison catch them (the app object and its replica hold
             # different junk).
-            self.data = bytearray(random.Random(fill_seed ^ base).randbytes(size))
+            self.data = bytearray(_garbage_bytes(fill_seed ^ base, size))
 
-    @property
-    def end(self) -> int:
-        return self.base + self.size
+
+#: Memoized garbage fills.  The fill is a pure function of (seed, size), and
+#: every Machine of a campaign rebuilds identical multi-megabyte segments, so
+#: generating the bytes once and copying them beats re-running the PRNG by
+#: orders of magnitude.  Keyed by the already-XORed seed; bounded in practice
+#: by the handful of (seed, segment-size) configurations a process uses.
+_GARBAGE_CACHE: Dict[Tuple[int, int], bytes] = {}
+
+
+def _garbage_bytes(seed: int, size: int) -> bytes:
+    key = (seed, size)
+    data = _GARBAGE_CACHE.get(key)
+    if data is None:
+        data = _GARBAGE_CACHE[key] = random.Random(seed).randbytes(size)
+    return data
 
     def contains(self, address: int, length: int = 1) -> bool:
         return self.base <= address and address + length <= self.end
@@ -92,11 +123,16 @@ class Memory:
     # -- raw byte access --------------------------------------------------
 
     def segment_for(self, address: int, length: int = 1) -> Segment:
+        # Heap first: it absorbs the overwhelming majority of accesses in the
+        # paper's workloads.  Segments are disjoint (guard gaps between them)
+        # and none overlaps the null page, so probe order cannot change which
+        # segment — if any — matches.
+        hi = address + length
+        for seg in (self.heap, self.stack, self.globals):
+            if seg.base <= address and hi <= seg.end:
+                return seg
         if 0 <= address < NULL_PAGE_SIZE:
             raise MemoryTrap("null-dereference", address)
-        for seg in self._segments:
-            if seg.contains(address, length):
-                return seg
         raise MemoryTrap("segmentation-fault", address, "(unmapped)")
 
     def read_bytes(self, address: int, length: int) -> bytes:
@@ -127,29 +163,42 @@ class Memory:
     # -- typed scalar access ----------------------------------------------
 
     def read_scalar(self, address: int, ty: Type):
+        # Pointer check first: PointerType hashes recursively, so it must
+        # never reach the dict lookup on the hot path.  unpack_from reads
+        # straight out of the segment bytearray without a bytes copy.
         if isinstance(ty, PointerType):
-            raw = self.read_bytes(address, 8)
-            return struct.unpack("<Q", raw)[0]
-        fmt = self._format_for(ty)
-        raw = self.read_bytes(address, struct.calcsize(fmt))
-        return struct.unpack(fmt, raw)[0]
+            seg = self.segment_for(address, 8)
+            return _U64.unpack_from(seg.data, address - seg.base)[0]
+        s = _STRUCTS_BY_TYPE.get(ty)
+        if s is None:
+            raise TypeError(f"not a loadable scalar type: {ty}")
+        seg = self.segment_for(address, s.size)
+        return s.unpack_from(seg.data, address - seg.base)[0]
 
     def write_scalar(self, address: int, ty: Type, value) -> None:
         if isinstance(ty, PointerType):
-            self.write_bytes(address, struct.pack("<Q", value & ((1 << 64) - 1)))
+            seg = self.segment_for(address, 8)
+            _U64.pack_into(seg.data, address - seg.base, value & _U64_MASK)
             return
-        fmt = self._format_for(ty)
-        if isinstance(ty, IntType):
+        s = _STRUCTS_BY_TYPE.get(ty)
+        if s is None:
+            raise TypeError(f"not a loadable scalar type: {ty}")
+        if type(ty) is IntType:
             value = wrap_int(int(value), max(ty.bits, 8))
-        self.write_bytes(address, struct.pack(fmt, value))
+        seg = self.segment_for(address, s.size)
+        s.pack_into(seg.data, address - seg.base, value)
 
     @staticmethod
     def _format_for(ty: Type) -> str:
-        if isinstance(ty, IntType):
-            return _SCALAR_FORMATS[("int", ty.bits)]
-        if isinstance(ty, FloatType):
-            return _SCALAR_FORMATS[("float", ty.bits)]
-        raise TypeError(f"not a loadable scalar type: {ty}")
+        return Memory._struct_for(ty).format
+
+    @staticmethod
+    def _struct_for(ty: Type) -> struct.Struct:
+        """The prebuilt Struct for a scalar (non-pointer) type."""
+        s = _STRUCTS_BY_TYPE.get(ty)
+        if s is None:
+            raise TypeError(f"not a loadable scalar type: {ty}")
+        return s
 
     # -- C-string helpers ---------------------------------------------------
 

@@ -1,0 +1,106 @@
+"""Determinism of the parallel campaign executor (eval/parallel.py).
+
+A campaign run with ``DPMR_JOBS=4`` must be *byte-identical* to the serial
+run: same records in the same order, and therefore identical
+coverage/conditional-coverage/latency metrics.  This is the executor's core
+guarantee — per-experiment RNG seeding and no shared mutable machine state —
+so the whole evaluation can fan out without changing a single number.
+"""
+
+import os
+from unittest import mock
+
+import pytest
+
+from repro.apps import app_factory
+from repro.eval import (
+    WorkloadHarness,
+    coverage_components,
+    default_jobs,
+    diversity_variants,
+    job_for_harness,
+    mean_time_to_detection,
+    run_campaign_jobs,
+    stdapp_variant,
+)
+from repro.faultinject import HEAP_ARRAY_RESIZE
+
+
+def record_signature(r):
+    """Every measured field of one experiment, as a comparable value."""
+    return (
+        r.workload,
+        r.variant,
+        r.site,
+        r.run,
+        r.golden_output,
+        r.result.status,
+        r.result.exit_code,
+        r.result.output_text,
+        r.result.cycles,
+        r.result.instructions,
+        tuple(sorted(r.result.fault_activations.items())),
+        r.result.detail,
+    )
+
+
+@pytest.fixture(scope="module")
+def harness():
+    # Two seeds so per-experiment seeding (not just per-site) is exercised.
+    return WorkloadHarness("mcf", app_factory("mcf", 1), seeds=(0, 1))
+
+
+@pytest.fixture(scope="module")
+def variants():
+    # stdapp + all seven diversity variants; includes rearrange-heap, whose
+    # dummy-allocation count comes from the per-machine RNG.
+    return [stdapp_variant()] + diversity_variants("sds")
+
+
+class TestParallelDeterminism:
+    def test_parallel_records_byte_identical_to_serial(self, harness, variants):
+        serial = harness.run_campaign(variants, HEAP_ARRAY_RESIZE, jobs=1)
+        parallel = harness.run_campaign(variants, HEAP_ARRAY_RESIZE, jobs=4)
+        assert len(serial) == len(parallel) > 0
+        assert [record_signature(r) for r in serial] == [
+            record_signature(r) for r in parallel
+        ]
+
+    def test_parallel_metrics_identical_to_serial(self, harness, variants):
+        serial = harness.run_campaign(variants, HEAP_ARRAY_RESIZE, jobs=1)
+        parallel = harness.run_campaign(variants, HEAP_ARRAY_RESIZE, jobs=4)
+        for name in {v.name for v in variants}:
+            s_recs = [r for r in serial if r.variant == name]
+            p_recs = [r for r in parallel if r.variant == name]
+            assert coverage_components(s_recs) == coverage_components(p_recs)
+            assert mean_time_to_detection(s_recs) == mean_time_to_detection(p_recs)
+
+    def test_multi_job_aggregation_matches_concatenated_serial(self, variants):
+        """Cross-workload fan-out preserves the per-app serial ordering."""
+        apps = ("mcf", "equake")
+        harnesses = [WorkloadHarness(a, app_factory(a, 1)) for a in apps]
+        few = variants[:3]
+        jobs = [job_for_harness(h, few, HEAP_ARRAY_RESIZE) for h in harnesses]
+        combined = run_campaign_jobs(jobs, processes=4)
+        expected = []
+        for h in harnesses:
+            expected.extend(h.run_campaign(few, HEAP_ARRAY_RESIZE, jobs=1))
+        assert [record_signature(r) for r in combined] == [
+            record_signature(r) for r in expected
+        ]
+
+
+class TestJobsEnvVar:
+    def test_default_is_serial(self):
+        with mock.patch.dict(os.environ):
+            os.environ.pop("DPMR_JOBS", None)
+            assert default_jobs() == 1
+
+    def test_env_opt_in(self):
+        with mock.patch.dict(os.environ, {"DPMR_JOBS": "4"}):
+            assert default_jobs() == 4
+
+    def test_garbage_rejected(self):
+        with mock.patch.dict(os.environ, {"DPMR_JOBS": "many"}):
+            with pytest.raises(ValueError):
+                default_jobs()
