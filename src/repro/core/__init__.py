@@ -14,6 +14,7 @@ from .diversity import (
     ZeroBeforeFree,
     standard_diversity_suite,
 )
+from .incremental import IncrementalDpmrCompiler, TransformCacheStats
 from .mds import MdsTransform
 from .pipeline import DpmrBuild, DpmrCompiler
 from .plan import FULL_REPLICATION, ReplicationPlan
@@ -45,7 +46,9 @@ __all__ = [
     "DpmrRuntime",
     "DpmrTransformError",
     "FULL_REPLICATION",
+    "IncrementalDpmrCompiler",
     "MdsTransform",
+    "TransformCacheStats",
     "NSOP_FIELD",
     "NoDiversity",
     "PadMalloc",

@@ -1,0 +1,224 @@
+"""Incremental DPMR recompilation for fault-injection campaigns.
+
+The paper's evaluation (§3.5) rebuilds and re-transforms the whole benchmark
+once per injected fault, even though consecutive builds differ in exactly
+one function.  :class:`IncrementalDpmrCompiler` removes that redundancy with
+a content-addressed, function-granular transform cache:
+
+1. the *pristine* module is transformed once per variant configuration,
+   recording the comparison policy's compile-time state at every function
+   boundary (the static load-checking policy draws one random number per
+   load site, in module order — the snapshots let a single function be
+   re-transformed with exactly the per-site decisions a full rebuild would
+   make);
+2. a faulty build re-transforms *only* the functions whose content hash
+   differs from the pristine build (for campaign clones this is exactly the
+   function containing the injected fault — every other function is the
+   same object and is recognized by identity), and splices them into a
+   copy-on-write clone of the cached transformed module;
+3. re-transformed functions are memoized under
+   ``(function name, content hash)`` — the variant configuration is fixed
+   per compiler instance — so repeated compiles of the same faulty function
+   run the translator at most once.
+
+The result is **bit-identical** to a full rebuild: output functions are
+declared with fresh register/label counters exactly as the full pass
+declares them, function/global dict ordering (which fixes machine address
+assignment) is preserved by in-place replacement, and the `main` stub is
+regenerated whenever `main` itself changes.  What is *not* re-run per build
+is whole-module verification — the pristine build is verified once on both
+sides, and each incremental build verifies only the re-transformed
+functions (verification cannot change emitted code, only raise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.module import Function, Module
+from ..ir.printer import function_fingerprint
+from ..ir.verifier import verify_function, verify_module
+from .aug_types import ReplicationDesign
+from .mds import MdsTransform
+from .pipeline import DpmrBuild, DpmrCompiler
+from .sds import SdsTransform
+from .transform import ENTRY_FUNCTION
+
+
+@dataclass
+class TransformCacheStats:
+    """Aggregate hit/miss counters of one incremental compiler."""
+
+    hits: int = 0
+    misses: int = 0
+    full_rebuilds: int = 0  # structure-mismatch fallbacks (never in campaigns)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+#: Replacement set for one re-transformed source function: the output
+#: functions to splice, as (output name, function) pairs.
+_Replacement = List[Tuple[str, Function]]
+
+
+class IncrementalDpmrCompiler:
+    """Compiles fault-injected clones of one pristine module incrementally.
+
+    Drop-in alternative to :meth:`DpmrCompiler.compile` for the campaign
+    loop: ``compile(faulty)`` returns a :class:`DpmrBuild` whose module is
+    byte-identical to ``DpmrCompiler.compile(faulty).module``, built in
+    O(changed functions) instead of O(program).  Modules handed to
+    :meth:`compile` must be derived from the pristine module (e.g. via
+    ``Module.clone``); anything structurally incompatible (different
+    function/global sets or signatures) falls back to a full rebuild.
+    """
+
+    def __init__(self, compiler: DpmrCompiler, pristine: Module):
+        if compiler.optimize or compiler.plan is not None:
+            raise ValueError(
+                "incremental recompilation supports neither the post-DPMR "
+                "optimize stage nor module-bound replication plans; use "
+                "DpmrCompiler.compile directly"
+            )
+        self.compiler = compiler
+        self.pristine = pristine
+        self.stats = TransformCacheStats()
+        cls = (
+            SdsTransform
+            if compiler.design is ReplicationDesign.SDS
+            else MdsTransform
+        )
+        if compiler.verify:
+            verify_module(pristine)
+        self._tx = cls(pristine, policy=compiler.policy, plan=None)
+        # Base build: one full transform, with a policy-state snapshot taken
+        # immediately before each function (module order = rebuild order).
+        self._pre_states: Dict[str, object] = {}
+        out = self._tx.begin_module()
+        for fn in pristine.defined_functions():
+            self._pre_states[fn.name] = compiler.policy.compile_state()
+            self._tx.translate_function(fn)
+        self._tx._generate_main_stub(out)
+        if compiler.verify:
+            verify_module(out)
+        self.base_module = out
+        self._pristine_fp: Dict[str, str] = {}
+        self._memo: Dict[Tuple[str, str], _Replacement] = {}
+
+    # -- public API -----------------------------------------------------
+
+    def compile(self, module: Module) -> DpmrBuild:
+        """Transform ``module``, reusing every cached unchanged function."""
+        changed = self._changed_functions(module)
+        if changed is None:
+            self.stats.full_rebuilds += 1
+            return self.compiler.compile(module)
+        out = self.base_module.clone(mutable_functions=())
+        hits = sum(1 for fn in module.defined_functions()) - len(changed)
+        misses = 0
+        for name, fingerprint in changed.items():
+            replacement = self._memo.get((name, fingerprint))
+            if replacement is not None:
+                hits += 1
+            else:
+                misses += 1
+                replacement = self._retransform(module, out, name)
+                self._memo[(name, fingerprint)] = replacement
+            for out_name, out_fn in replacement:
+                if out_name in out.functions:
+                    out.functions[out_name] = out_fn  # in place: keeps order
+                else:  # pragma: no cover - declarations always pre-exist
+                    out.add_function(out_fn)
+        self.stats.hits += hits
+        self.stats.misses += misses
+        return DpmrBuild(
+            out,
+            self.compiler.design,
+            self.compiler.policy,
+            self.compiler.diversity,
+            cache_hits=hits,
+            cache_misses=misses,
+        )
+
+    # -- internals ------------------------------------------------------
+
+    def _fingerprint_pristine(self, name: str) -> str:
+        fp = self._pristine_fp.get(name)
+        if fp is None:
+            fp = self._pristine_fp[name] = function_fingerprint(
+                self.pristine.functions[name]
+            )
+        return fp
+
+    def _changed_functions(self, module: Module) -> Optional[Dict[str, str]]:
+        """Map of changed defined functions → content hash.
+
+        ``None`` means the module is not a per-function edit of the pristine
+        module and needs a full rebuild.  Functions shared by identity with
+        the pristine module (the common case for campaign clones) are
+        recognized without hashing.
+        """
+        pristine = self.pristine
+        if module.functions.keys() != pristine.functions.keys():
+            return None
+        if module.globals.keys() != pristine.globals.keys():
+            return None
+        for name, g in module.globals.items():
+            pg = pristine.globals[name]
+            if g is pg:
+                continue
+            if g.value_type != pg.value_type or g.initializer is not pg.initializer:
+                return None
+        changed: Dict[str, str] = {}
+        for name, fn in module.functions.items():
+            pfn = pristine.functions[name]
+            if fn is pfn:
+                continue
+            if fn.is_external != pfn.is_external or fn.type != pfn.type:
+                return None
+            if fn.is_external:
+                continue
+            fp = function_fingerprint(fn)
+            if fp != self._fingerprint_pristine(name):
+                changed[name] = fp
+        return changed
+
+    def _retransform(
+        self, module: Module, out: Module, name: str
+    ) -> _Replacement:
+        """Re-translate source function ``name`` exactly as a full rebuild
+        of ``module`` would, splicing into ``out``."""
+        tx = self._tx
+        src_fn = module.functions[name]
+        if self.compiler.verify:
+            verify_function(src_fn, module)
+        tx.src = module
+        tx.out_module = out
+        try:
+            self.compiler.policy.restore_compile_state(self._pre_states[name])
+            out_name = tx.out_name(name)
+            out_fn = tx.fresh_declaration(src_fn)
+            out.functions[out_name] = out_fn
+            tx._translator_class()(tx, src_fn, out_fn).translate()
+            replacement: _Replacement = [(out_name, out_fn)]
+            if name == ENTRY_FUNCTION and ENTRY_FUNCTION in out.functions:
+                # The entry stub is derived from main's signature; rebuild it
+                # so a rebuilt mainAug and its stub stay consistent.  The
+                # stub is the last function in the base module, so delete +
+                # re-append preserves dict order.
+                del out.functions[ENTRY_FUNCTION]
+                tx._generate_main_stub(out)
+                replacement.append(
+                    (ENTRY_FUNCTION, out.functions[ENTRY_FUNCTION])
+                )
+            if self.compiler.verify:
+                for _, fn in replacement:
+                    verify_function(fn, out)
+            return replacement
+        finally:
+            tx.src = self.pristine
+            tx.out_module = self.base_module

@@ -40,12 +40,21 @@ def _coerce_design(design: Union[str, ReplicationDesign]) -> ReplicationDesign:
 
 @dataclass
 class DpmrBuild:
-    """A transformed module plus its run-time configuration."""
+    """A transformed module plus its run-time configuration.
+
+    ``cache_hits``/``cache_misses`` report the function-level transform
+    cache's behaviour for this build: hits are functions spliced from the
+    cached pristine transform (or the content-addressed memo), misses are
+    functions that had to be re-translated.  Both stay 0 for builds produced
+    by a plain (non-incremental) :meth:`DpmrCompiler.compile`.
+    """
 
     module: Module
     design: ReplicationDesign
     policy: ComparisonPolicy
     diversity: DiversityPolicy
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def runtime(self) -> DpmrRuntime:
         # Every run gets a fresh copy of the diversity policy: stateful
@@ -114,3 +123,10 @@ class DpmrCompiler:
         if self.verify:
             verify_module(out)
         return DpmrBuild(out, self.design, self.policy, self.diversity)
+
+    def incremental(self, pristine: Module) -> "IncrementalDpmrCompiler":
+        """An incremental recompiler caching this configuration's transform
+        of ``pristine`` (see :mod:`repro.core.incremental`)."""
+        from .incremental import IncrementalDpmrCompiler
+
+        return IncrementalDpmrCompiler(self, pristine)

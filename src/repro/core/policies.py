@@ -53,6 +53,20 @@ class ComparisonPolicy:
     ) -> None:
         raise NotImplementedError
 
+    # -- incremental recompilation hooks --------------------------------
+    #
+    # A policy that consumes compile-time state per load site (only the
+    # static policy today) exposes it here so the incremental build cache
+    # can snapshot the state at each function boundary and replay exactly
+    # the per-site decisions a full-module rebuild would make.
+
+    def compile_state(self):
+        """Opaque snapshot of per-site compile-time state (None if stateless)."""
+        return None
+
+    def restore_compile_state(self, state) -> None:
+        """Restore a snapshot taken by :meth:`compile_state`."""
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"<policy {self.name}>"
 
@@ -84,6 +98,12 @@ class StaticLoadCheckingPolicy(ComparisonPolicy):
     def reset(self) -> None:
         """Re-seed site selection (used to make rebuilds deterministic)."""
         self._rng = random.Random(self.seed)
+
+    def compile_state(self):
+        return self._rng.getstate()
+
+    def restore_compile_state(self, state) -> None:
+        self._rng.setstate(state)
 
     def emit_load_check(self, tx, loaded, replica_ptr) -> None:
         if self._rng.random() < self.fraction:

@@ -104,6 +104,19 @@ class BaseTransform:
     # -- driver ------------------------------------------------------------
 
     def run(self) -> Module:
+        out = self.begin_module()
+        for fn in self.src.defined_functions():
+            self.translate_function(fn)
+        self._generate_main_stub(out)
+        return out
+
+    def begin_module(self) -> Module:
+        """Module-level setup: globals, declarations, runtime externals.
+
+        Split out of :meth:`run` so the incremental recompiler can drive
+        function translation itself (snapshotting policy state between
+        functions).
+        """
         out = Module(f"{self.src.name}.{self.design.value}")
         self.out_module = out
         if isinstance(self.policy, StaticLoadCheckingPolicy):
@@ -112,14 +125,26 @@ class BaseTransform:
         self._declare_runtime_externals(out)
         self._transform_globals(out)
         self._declare_functions(out)
-        translator_cls = self._translator_class()
-        for fn in self.src.defined_functions():
-            translator = translator_cls(
-                self, fn, out.functions[self._fn_name_map[fn.name]]
-            )
-            translator.translate()
-        self._generate_main_stub(out)
         return out
+
+    def translate_function(self, fn: Function) -> Function:
+        """Translate one defined source function into its declared slot."""
+        out_fn = self.out_module.functions[self._fn_name_map[fn.name]]
+        self._translator_class()(self, fn, out_fn).translate()
+        return out_fn
+
+    def out_name(self, src_name: str) -> str:
+        """Output-module name of a source function (wrapper/rename aware)."""
+        return self._fn_name_map[src_name]
+
+    def fresh_declaration(self, fn: Function) -> Function:
+        """A new, empty output function declared exactly as
+        :meth:`_declare_functions` would declare ``fn`` — fresh
+        register/label counters included, so re-translating into it yields
+        byte-identical code to a full-module rebuild."""
+        name = RENAMED_ENTRY if fn.name == ENTRY_FUNCTION else fn.name
+        aug = self.maps.aug.aug_function_type(fn.type)
+        return Function(name, aug, param_names=self._param_names(fn))
 
     def _translator_class(self):
         raise NotImplementedError

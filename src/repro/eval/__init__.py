@@ -3,8 +3,12 @@
 from .experiment import ExperimentRecord, TIMEOUT_FACTOR, WorkloadHarness
 from .parallel import (
     CampaignJob,
+    JobBuildState,
     default_jobs,
+    effective_workers,
+    incremental_default,
     job_for_harness,
+    prepare_build_states,
     run_campaign_jobs,
 )
 from .metrics import (
@@ -37,8 +41,12 @@ __all__ = [
     "CompiledVariant",
     "CoverageComponents",
     "ExperimentRecord",
+    "JobBuildState",
     "default_jobs",
+    "effective_workers",
+    "incremental_default",
     "job_for_harness",
+    "prepare_build_states",
     "run_campaign_jobs",
     "TIMEOUT_FACTOR",
     "Variant",

@@ -139,16 +139,21 @@ class WorkloadHarness:
         percent: int = 50,
         max_sites: Optional[int] = None,
         jobs: Optional[int] = None,
+        incremental: Optional[bool] = None,
     ) -> List[ExperimentRecord]:
         """Run every (site, variant, seed) experiment for one fault kind.
 
         ``jobs`` selects the worker count for the parallel campaign executor
         (defaulting to the ``DPMR_JOBS`` environment variable); serial and
         parallel execution produce identical records in identical order.
+        ``incremental`` selects the incremental build path — pristine module
+        snapshot plus function-level transform cache — which defaults to on
+        (``DPMR_INCREMENTAL=0`` disables it) and also produces identical
+        records.
         """
         from .parallel import job_for_harness, run_campaign_jobs
 
         job = job_for_harness(
             self, variants, kind, percent=percent, max_sites=max_sites
         )
-        return run_campaign_jobs([job], processes=jobs)
+        return run_campaign_jobs([job], processes=jobs, incremental=incremental)

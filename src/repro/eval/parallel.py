@@ -1,4 +1,4 @@
-"""Parallel fault-injection campaign executor.
+"""Parallel fault-injection campaign executor with incremental builds.
 
 The evaluation re-runs the interpreter once per experiment tuple
 ``(workload, variant, site, run)`` — thousands of fully independent
@@ -11,25 +11,38 @@ bit-identical* to a serial run:
   from shared or order-dependent RNG state.  Workers are forked from the
   parent, so they also inherit the parent's hash seed and build
   byte-identical modules.
-* **No shared mutable machine state.**  Each experiment builds a fresh
-  module (via the campaign's program factory), compiles it, and runs it in
-  a fresh :class:`~repro.machine.interpreter.Machine`; the only values that
-  cross process boundaries are immutable work-item indices (parent → worker)
-  and finished :class:`ExperimentRecord` values (worker → parent).
+* **No shared mutable machine state.**  Each experiment runs in a fresh
+  :class:`~repro.machine.interpreter.Machine`; the only values that cross
+  process boundaries are immutable work-item indices (parent → worker) and
+  finished :class:`ExperimentRecord` values (worker → parent).
 * **Serial-identical aggregation.**  Results are reassembled in the exact
   nested order the serial loop produces (job → site → variant → run),
   whatever order workers finish in.
 
+Experiment builds go through the **incremental recompilation layer**
+(:mod:`repro.core.incremental`) by default: per job the program factory runs
+once, producing a pristine snapshot, and each DPMR variant transforms that
+snapshot once up front.  A faulty build is then a copy-on-write module clone
+plus a re-transform of the single function containing the fault.  The
+pristine snapshots and per-variant transform caches are prepared in the
+coordinating process *before* the pool forks, so workers share them
+(copy-on-write pages) rather than rebuilding them; records are bit-identical
+to the full-rebuild path (set ``DPMR_INCREMENTAL=0`` or pass
+``incremental=False`` to use it).
+
 Workers keep a small LRU cache of compiled variants keyed by
-``(workload, variant, site)``, so a worker DPMR-transforms any given faulty
-module at most once even though work is distributed as individual
-experiment tuples.
+``(workload, variant, site)``, so a worker compiles any given faulty module
+at most once even though work is distributed as individual experiment
+tuples.
 
 The executor is opt-in: ``DPMR_JOBS=N`` in the environment (or an explicit
 ``jobs=`` argument) enables it; unset/``1`` runs the same code path
-serially in-process.  Platforms without the ``fork`` start method fall back
-to serial execution — determinism there would require pickling program
-factories and re-deriving the hash seed, which the fork path gets for free.
+serially in-process.  A minimum-work-per-worker heuristic shrinks (or
+drops to serial) the worker pool when a campaign is too small to amortize
+fork/IPC cost, and the pool never exceeds the machine's CPU count.
+Platforms without the ``fork`` start method fall back to serial execution —
+determinism there would require pickling program factories and re-deriving
+the hash seed, which the fork path gets for free.
 """
 
 from __future__ import annotations
@@ -37,20 +50,35 @@ from __future__ import annotations
 import multiprocessing
 import os
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..core.incremental import IncrementalDpmrCompiler
 from ..faultinject.campaign import Campaign, ProgramFactory
 from ..faultinject.injector import FaultSite, inject
+from ..ir.module import Module
 from .experiment import ExperimentRecord
 from .variants import CompiledVariant, Variant
 
 #: Environment variable selecting the worker count (0/1/unset → serial).
 JOBS_ENV_VAR = "DPMR_JOBS"
 
+#: Environment variable disabling the incremental build path (default on).
+INCREMENTAL_ENV_VAR = "DPMR_INCREMENTAL"
+
 #: Compiled variants cached per worker; small, since consecutive work items
 #: share the same (site, variant) and only chunk boundaries ever look back.
 _COMPILED_CACHE_SIZE = 32
+
+#: Finished builds retained on a job's :class:`JobBuildState` (one entry per
+#: (site, variant)); sized to hold a whole typical job so repeated campaign
+#: runs never recompile.
+_STATE_CACHE_SIZE = 256
+
+#: Forking a worker is only worth it if it gets at least this many
+#: experiment tuples; below that, fork + import + IPC overhead dominates
+#: (visible as parallel_s > serial_s on small campaigns).
+MIN_ITEMS_PER_WORKER = 16
 
 
 def default_jobs() -> int:
@@ -64,13 +92,36 @@ def default_jobs() -> int:
         raise ValueError(f"{JOBS_ENV_VAR} must be an integer, got {raw!r}") from None
 
 
+def incremental_default() -> bool:
+    """Whether the incremental build path is enabled (``DPMR_INCREMENTAL``)."""
+    raw = os.environ.get(INCREMENTAL_ENV_VAR, "").strip().lower()
+    return raw not in ("0", "false", "off", "no")
+
+
+def effective_workers(n_items: int, processes: int) -> int:
+    """Worker count actually used for ``n_items`` experiment tuples.
+
+    Caps the requested ``processes`` at (a) the machine's CPU count — extra
+    workers on fewer cores only add fork and scheduling overhead — and
+    (b) one worker per :data:`MIN_ITEMS_PER_WORKER` tuples, so tiny
+    campaigns fall back to fewer workers or plain serial execution instead
+    of paying fork cost they cannot amortize.
+    """
+    cap = os.cpu_count() or 1
+    by_work = n_items // MIN_ITEMS_PER_WORKER
+    return max(1, min(processes, cap, by_work))
+
+
 @dataclass
 class CampaignJob:
     """One (workload, fault-kind) campaign: everything a worker needs.
 
     ``sites`` is enumerated once in the parent so every process agrees on
-    site identity and order; workers only re-run the program factory and the
-    injection for their assigned tuples.
+    site identity and order.  ``pristine``, when provided (it is whenever
+    the job comes from :func:`job_for_harness`), is the already-built
+    pristine snapshot the sites were enumerated on; the incremental build
+    path derives every faulty module from it instead of re-running the
+    factory.
     """
 
     workload: str
@@ -83,6 +134,24 @@ class CampaignJob:
     argv: Sequence[str] = ()
     seeds: Sequence[int] = (0,)
     percent: int = 50
+    pristine: Optional[Module] = field(default=None, repr=False)
+    _state: Optional["JobBuildState"] = field(default=None, repr=False)
+
+    def build_state(self) -> "JobBuildState":
+        """This job's incremental build state, constructed once and cached.
+
+        Holds the pristine snapshot plus one base transform (function-level
+        cache) per DPMR variant — the only full-program build work of the
+        whole campaign.  Cached on the job so repeated campaign runs and
+        forked workers reuse the warm caches.
+        """
+        if self._state is None:
+            pristine = self.pristine if self.pristine is not None else self.factory()
+            self._state = JobBuildState(
+                pristine=pristine,
+                compilers=[v.incremental_compiler(pristine) for v in self.variants],
+            )
+        return self._state
 
 
 def job_for_harness(
@@ -108,7 +177,38 @@ def job_for_harness(
         argv=harness.argv,
         seeds=harness.seeds,
         percent=percent,
+        pristine=campaign.pristine,
     )
+
+
+@dataclass
+class JobBuildState:
+    """Per-job incremental build state shared by coordinator and workers.
+
+    One pristine snapshot plus one function-level transform cache per DPMR
+    variant (``None`` entries are non-DPMR variants).  Prepared in the
+    coordinating process before the pool forks, so every worker inherits
+    the fully-warmed caches.
+    """
+
+    pristine: Module
+    compilers: List[Optional[IncrementalDpmrCompiler]]
+    #: Finished faulty builds keyed (site index, variant index).  Lives as
+    #: long as the pristine snapshot it was derived from, so repeated
+    #: campaign runs over the same job skip even the per-site clone+inject.
+    compiled: "OrderedDict[Tuple[int, int], CompiledVariant]" = field(
+        default_factory=OrderedDict, repr=False
+    )
+
+
+def prepare_build_states(jobs: Sequence[CampaignJob]) -> List[JobBuildState]:
+    """Build (or fetch) each job's pristine snapshot and transform caches.
+
+    This is the only place the campaign pays full-program build cost: one
+    ``factory()`` (skipped when the job carries its campaign's snapshot)
+    and one whole-module DPMR transform per variant, all cached on the job.
+    """
+    return [job.build_state() for job in jobs]
 
 
 # An experiment tuple: (job index, site index, variant index, run index).
@@ -117,23 +217,50 @@ _Item = Tuple[int, int, int, int]
 # Worker-side state.  Populated in the parent immediately before the pool is
 # forked (fork inherits it); None in a plain process.
 _WORKER_JOBS: Optional[List[CampaignJob]] = None
+_WORKER_STATES: Optional[List[JobBuildState]] = None
 _COMPILED: "OrderedDict[Tuple[int, int, int], CompiledVariant]" = OrderedDict()
 
 
-def _compiled_for(jobs: List[CampaignJob], item: _Item) -> CompiledVariant:
+def _compiled_for(
+    jobs: List[CampaignJob],
+    states: Optional[List[JobBuildState]],
+    item: _Item,
+) -> CompiledVariant:
     """Compile (or fetch) the faulty build for one experiment tuple.
 
     The cache key is (workload/job, variant, site); within a worker the
-    DPMR transformation for that key runs at most once.
+    build for that key runs at most once.  With ``states`` (the incremental
+    path) a build is a copy-on-write clone of the job's pristine snapshot
+    plus a single-function re-transform, and the finished build is kept on
+    the :class:`JobBuildState` so later campaign runs over the same job
+    reuse it outright; without, it is a full factory-rebuild and
+    whole-module transform, memoised only for the current executor call.
     """
     ji, si, vi, _ = item
+    job = jobs[ji]
+    site = job.sites[si]
+    if states is not None:
+        state = states[ji]
+        key = (si, vi)
+        compiled = state.compiled.get(key)
+        if compiled is not None:
+            state.compiled.move_to_end(key)
+            return compiled
+        clone = state.pristine.clone(mutable_functions=(site.function,))
+        faulty = inject(clone, site, job.percent)
+        compiled = job.variants[vi].compile_incremental(
+            state.compilers[vi], faulty
+        )
+        state.compiled[key] = compiled
+        if len(state.compiled) > _STATE_CACHE_SIZE:
+            state.compiled.popitem(last=False)
+        return compiled
     key = (ji, si, vi)
     compiled = _COMPILED.get(key)
     if compiled is not None:
         _COMPILED.move_to_end(key)
         return compiled
-    job = jobs[ji]
-    faulty = inject(job.factory(), job.sites[si], job.percent)
+    faulty = inject(job.factory(), site, job.percent)
     compiled = job.variants[vi].compile(faulty)
     _COMPILED[key] = compiled
     if len(_COMPILED) > _COMPILED_CACHE_SIZE:
@@ -141,10 +268,14 @@ def _compiled_for(jobs: List[CampaignJob], item: _Item) -> CompiledVariant:
     return compiled
 
 
-def _run_item(jobs: List[CampaignJob], item: _Item) -> ExperimentRecord:
+def _run_item(
+    jobs: List[CampaignJob],
+    states: Optional[List[JobBuildState]],
+    item: _Item,
+) -> ExperimentRecord:
     ji, si, vi, ri = item
     job = jobs[ji]
-    compiled = _compiled_for(jobs, item)
+    compiled = _compiled_for(jobs, states, item)
     result = compiled.run(
         argv=job.argv, max_cycles=job.timeout, seed=job.seeds[ri]
     )
@@ -162,7 +293,7 @@ def _run_chunk(chunk: List[_Item]) -> List[Tuple[_Item, ExperimentRecord]]:
     """Worker entry point: execute one chunk of experiment tuples."""
     jobs = _WORKER_JOBS
     assert jobs is not None, "worker forked before _WORKER_JOBS was set"
-    return [(item, _run_item(jobs, item)) for item in chunk]
+    return [(item, _run_item(jobs, _WORKER_STATES, item)) for item in chunk]
 
 
 def _all_items(jobs: Sequence[CampaignJob]) -> List[_Item]:
@@ -191,30 +322,48 @@ def _chunked(items: List[_Item], processes: int) -> List[List[_Item]]:
 
 
 def run_campaign_jobs(
-    jobs: Sequence[CampaignJob], processes: Optional[int] = None
+    jobs: Sequence[CampaignJob],
+    processes: Optional[int] = None,
+    incremental: Optional[bool] = None,
+    build_states: Optional[List[JobBuildState]] = None,
 ) -> List[ExperimentRecord]:
     """Run every experiment of every job; results in serial order.
 
-    ``processes`` defaults to ``DPMR_JOBS``; values ≤ 1 (or a platform
-    without ``fork``) execute the identical per-item code serially
-    in-process.
+    ``processes`` defaults to ``DPMR_JOBS``; the actual worker count is
+    further limited by :func:`effective_workers`, and values ≤ 1 (or a
+    platform without ``fork``) execute the identical per-item code serially
+    in-process.  ``incremental`` selects the incremental build path
+    (default: on unless ``DPMR_INCREMENTAL=0``); ``build_states`` lets a
+    caller pre-build — and afterwards inspect, e.g. for cache-hit-rate
+    reporting — the per-job transform caches.  Records are bit-identical
+    across serial/parallel and incremental/full-rebuild execution.
     """
-    global _WORKER_JOBS
+    global _WORKER_JOBS, _WORKER_STATES
     jobs = list(jobs)
     if processes is None:
         processes = default_jobs()
+    if incremental is None:
+        incremental = incremental_default() or build_states is not None
     items = _all_items(jobs)
+    states: Optional[List[JobBuildState]] = None
+    if incremental and items:
+        states = (
+            build_states if build_states is not None else prepare_build_states(jobs)
+        )
 
+    processes = effective_workers(len(items), processes)
     if processes <= 1 or len(items) <= 1 or not _fork_available():
         _COMPILED.clear()
         try:
-            return [_run_item(jobs, item) for item in items]
+            return [_run_item(jobs, states, item) for item in items]
         finally:
             _COMPILED.clear()
 
     ctx = multiprocessing.get_context("fork")
     results: Dict[_Item, ExperimentRecord] = {}
     _WORKER_JOBS = jobs
+    _WORKER_STATES = states
+    _COMPILED.clear()
     try:
         with ctx.Pool(processes) as pool:
             for pairs in pool.imap_unordered(_run_chunk, _chunked(items, processes)):
@@ -222,6 +371,7 @@ def run_campaign_jobs(
                     results[item] = record
     finally:
         _WORKER_JOBS = None
+        _WORKER_STATES = None
     return [results[item] for item in items]
 
 

@@ -26,6 +26,7 @@ from ..core.diversity import (
     RearrangeHeap,
     ZeroBeforeFree,
 )
+from ..core.incremental import IncrementalDpmrCompiler
 from ..core.pipeline import DpmrBuild, DpmrCompiler
 from ..core.policies import (
     AllLoadsPolicy,
@@ -60,6 +61,15 @@ class CompiledVariant:
             return self._build.run(argv=argv, max_cycles=max_cycles, seed=seed)
         return run_process(self.module, argv=argv, max_cycles=max_cycles, seed=seed)
 
+    @property
+    def cache_hits(self) -> int:
+        """Function-level transform cache hits of this build (0 if no DPMR)."""
+        return self._build.cache_hits if self._build is not None else 0
+
+    @property
+    def cache_misses(self) -> int:
+        return self._build.cache_misses if self._build is not None else 0
+
 
 @dataclass
 class Variant:
@@ -71,15 +81,48 @@ class Variant:
     diversity: Optional[DiversityPolicy] = None
     policy: Optional[ComparisonPolicy] = None
 
-    def compile(self, module: Module) -> CompiledVariant:
+    def compiler(self) -> Optional[DpmrCompiler]:
+        """This variant's DPMR compiler configuration (None without DPMR)."""
         if not self.dpmr:
-            return CompiledVariant(self.name, module, None)
-        compiler = DpmrCompiler(
+            return None
+        return DpmrCompiler(
             design=self.design,
             policy=self.policy if self.policy is not None else AllLoadsPolicy(),
             diversity=self.diversity if self.diversity is not None else NoDiversity(),
         )
+
+    def compile(self, module: Module) -> CompiledVariant:
+        compiler = self.compiler()
+        if compiler is None:
+            return CompiledVariant(self.name, module, None)
         return CompiledVariant(self.name, module, compiler.compile(module))
+
+    # -- incremental campaign builds ------------------------------------
+
+    def incremental_compiler(
+        self, pristine: Module
+    ) -> Optional[IncrementalDpmrCompiler]:
+        """A function-level transform cache for campaign builds derived from
+        ``pristine`` (None for non-DPMR variants, which need no transform)."""
+        compiler = self.compiler()
+        if compiler is None:
+            return None
+        return compiler.incremental(pristine)
+
+    def compile_incremental(
+        self,
+        incremental: Optional[IncrementalDpmrCompiler],
+        module: Module,
+    ) -> CompiledVariant:
+        """Compile ``module`` through the variant's incremental cache.
+
+        Produces builds byte-identical to :meth:`compile`; ``incremental``
+        is the compiler returned by :meth:`incremental_compiler` (None for
+        non-DPMR variants).
+        """
+        if incremental is None:
+            return CompiledVariant(self.name, module, None)
+        return CompiledVariant(self.name, module, incremental.compile(module))
 
 
 def stdapp_variant() -> Variant:

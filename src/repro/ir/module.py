@@ -2,11 +2,27 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Union
+import copy
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
 from .instructions import Instruction, Terminator
 from .types import FunctionType, PointerType, Type
 from .values import FunctionRef, GlobalRef, Register
+
+
+def _clone_instruction(inst: Instruction) -> Instruction:
+    """Structural copy of one instruction.
+
+    Operand values (registers, constants, refs) are immutable once built and
+    are shared; every mutable container attribute (e.g. ``Call.args``) gets a
+    fresh list so in-place rewrites — the fault injector replacing a malloc
+    count, stamping ``fault_site`` — never reach the original.
+    """
+    c = copy.copy(inst)
+    for name, value in vars(c).items():
+        if isinstance(value, list):
+            setattr(c, name, list(value))
+    return c
 
 
 class BasicBlock:
@@ -31,6 +47,13 @@ class BasicBlock:
             raise ValueError(f"block {self.label} is already terminated")
         self.instructions.append(inst)
         return inst
+
+    def clone(self) -> "BasicBlock":
+        """Structural copy: same label, per-instruction copies (see
+        :func:`_clone_instruction` for the sharing contract)."""
+        b = BasicBlock(self.label)
+        b.instructions = [_clone_instruction(i) for i in self.instructions]
+        return b
 
     def __iter__(self) -> Iterator[Instruction]:
         return iter(self.instructions)
@@ -109,6 +132,27 @@ class Function:
         for block in self.blocks:
             yield from block.instructions
 
+    def clone(self) -> "Function":
+        """Structural copy sharing types, params, and operand values.
+
+        The copy has its own block list, block objects, and instruction
+        objects, so mutating it (fault injection, block edits) leaves the
+        original untouched; register-name counters carry over so code built
+        on top of the clone allocates the same fresh names the original
+        would.  Cost is one shallow instruction copy per instruction —
+        orders of magnitude cheaper than re-running a program factory.
+        """
+        fn = Function.__new__(Function)
+        fn.name = self.name
+        fn.type = self.type
+        fn.is_external = self.is_external
+        fn.params = list(self.params)
+        fn._next_reg = self._next_reg
+        fn._next_label = self._next_label
+        fn.blocks = [b.clone() for b in self.blocks]
+        fn._block_index = {b.label: b for b in fn.blocks}
+        return fn
+
     def __repr__(self) -> str:  # pragma: no cover
         kind = "external " if self.is_external else ""
         return f"<{kind}Function {self.name}: {self.type}>"
@@ -172,6 +216,38 @@ class Module:
         for fn in self.functions.values():
             if fn.is_external:
                 yield fn
+
+    def clone(self, mutable_functions: Optional[Iterable[str]] = None) -> "Module":
+        """Structural snapshot of the whole program.
+
+        With ``mutable_functions=None`` every function body is copied — a
+        fully isolated clone that may be mutated freely.  Passing an iterable
+        of function names copies *only those* bodies and shares the remaining
+        :class:`Function` objects with the original (copy-on-write): the
+        campaign fast path, where exactly one function per fault site is ever
+        mutated, clones a whole module in O(changed function).  Shared
+        functions must be treated as frozen by the caller; the interpreter
+        and the DPMR transformation only read IR, so sharing is safe there.
+
+        Globals get fresh :class:`GlobalVariable` wrappers but share their
+        (never-mutated) initializer structure; function/global dict ordering
+        is preserved, which keeps machine address assignment — and therefore
+        execution — identical between a clone and its original.
+        """
+        m = Module(self.name)
+        if mutable_functions is None:
+            m.functions = {name: fn.clone() for name, fn in self.functions.items()}
+        else:
+            mutable = set(mutable_functions)
+            m.functions = {
+                name: (fn.clone() if name in mutable else fn)
+                for name, fn in self.functions.items()
+            }
+        m.globals = {
+            name: GlobalVariable(g.name, g.value_type, g.initializer)
+            for name, g in self.globals.items()
+        }
+        return m
 
     def __repr__(self) -> str:  # pragma: no cover
         return (

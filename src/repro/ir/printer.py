@@ -1,7 +1,13 @@
-"""Textual rendering of IR modules (for examples, tests, and debugging)."""
+"""Textual rendering of IR modules (for examples, tests, and debugging).
+
+The printed form doubles as the IR's canonical content encoding:
+:func:`function_fingerprint` hashes it to content-address functions in the
+incremental-recompilation transform cache.
+"""
 
 from __future__ import annotations
 
+import hashlib
 from typing import List
 
 from . import instructions as inst
@@ -82,6 +88,19 @@ def format_function(fn: Function) -> str:
             lines.append(f"    {format_instruction(i)}")
     lines.append("}")
     return "\n".join(lines)
+
+
+def function_fingerprint(fn: Function) -> str:
+    """Content hash of one function's printed form.
+
+    Covers the signature, block structure, every instruction (including
+    malloc counts and allocated types), and the ``fault_site``/``origin``
+    markers, so any fault injection changes the fingerprint.  Functions
+    produced by the same deterministic program factory collide only when
+    structurally identical, which is exactly the equivalence the
+    function-level DPMR transform cache needs.
+    """
+    return hashlib.sha256(format_function(fn).encode("utf-8")).hexdigest()
 
 
 def format_module(module: Module) -> str:

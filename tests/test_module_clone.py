@@ -1,0 +1,128 @@
+"""Structural module cloning (ir/module.py) — the campaign snapshot primitive.
+
+``Module.clone()`` lets a campaign build one pristine module per workload and
+derive every faulty build from it, instead of re-running the program factory
+per site.  That is only sound if a clone is (a) structurally identical to its
+original and (b) fully isolated under mutation: injecting a fault into one
+clone must leave the pristine module and every sibling clone untouched —
+including in copy-on-write mode, where unchanged functions are *shared*.
+"""
+
+import pytest
+
+from repro.apps import WORKLOAD_ORDER, app_factory
+from repro.faultinject import HEAP_ARRAY_RESIZE, IMMEDIATE_FREE
+from repro.faultinject.campaign import Campaign
+from repro.faultinject.injector import enumerate_sites, inject
+from repro.ir.printer import format_function, format_module, function_fingerprint
+
+
+@pytest.fixture(scope="module", params=list(WORKLOAD_ORDER))
+def module(request):
+    return app_factory(request.param, 1)()
+
+
+class TestStructuralEquality:
+    def test_clone_prints_identically(self, module):
+        assert format_module(module.clone()) == format_module(module)
+
+    def test_clone_shares_no_ir_objects(self, module):
+        clone = module.clone()
+        for name, fn in module.functions.items():
+            cfn = clone.functions[name]
+            assert cfn is not fn
+            for b, cb in zip(fn.blocks, cfn.blocks):
+                assert cb is not b
+                assert cb.instructions is not b.instructions
+                for i, ci in zip(b.instructions, cb.instructions):
+                    assert ci is not i
+        for name, g in module.globals.items():
+            assert clone.globals[name] is not g
+
+    def test_clone_preserves_function_and_global_order(self, module):
+        clone = module.clone()
+        assert list(clone.functions) == list(module.functions)
+        assert list(clone.globals) == list(module.globals)
+
+    def test_cow_clone_shares_unchanged_functions(self, module):
+        clone = module.clone(mutable_functions=())
+        for name, fn in module.functions.items():
+            assert clone.functions[name] is fn
+
+    def test_cow_clone_deep_copies_only_requested(self, module):
+        some = next(n for n, f in module.functions.items() if not f.is_external)
+        clone = module.clone(mutable_functions=(some,))
+        assert clone.functions[some] is not module.functions[some]
+        for name, fn in module.functions.items():
+            if name != some:
+                assert clone.functions[name] is fn
+
+    def test_fresh_registers_and_labels_continue_from_original(self):
+        # Cloned functions must keep allocating registers/labels from where
+        # the original left off, or later passes could collide names.
+        from repro.ir.types import IntType
+
+        mine = app_factory("art", 1)()
+        for name, fn in mine.functions.items():
+            if fn.is_external:
+                continue
+            cfn = mine.clone().functions[name]
+            assert cfn.new_register(IntType(32)).name == fn.new_register(IntType(32)).name
+            break
+
+
+class TestMutationIsolation:
+    @pytest.mark.parametrize("kind", [HEAP_ARRAY_RESIZE, IMMEDIATE_FREE])
+    def test_injecting_into_clone_leaves_pristine_untouched(self, module, kind):
+        sites = enumerate_sites(module, kind)
+        if not sites:
+            pytest.skip("no sites of this kind")
+        before = format_module(module)
+        inject(module.clone(mutable_functions=(sites[0].function,)), sites[0], 50)
+        assert format_module(module) == before
+
+    @pytest.mark.parametrize("kind", [HEAP_ARRAY_RESIZE, IMMEDIATE_FREE])
+    def test_sibling_clones_are_isolated(self, module, kind):
+        sites = enumerate_sites(module, kind)
+        if len(sites) < 2:
+            pytest.skip("needs two sites")
+        a = inject(module.clone(mutable_functions=(sites[0].function,)), sites[0], 50)
+        fingerprint_a = function_fingerprint(a.functions[sites[0].function])
+        b = inject(module.clone(mutable_functions=(sites[1].function,)), sites[1], 50)
+        # Injecting b's fault must not have touched a (or the pristine).
+        assert function_fingerprint(a.functions[sites[0].function]) == fingerprint_a
+        assert format_function(a.functions[sites[0].function]) != format_function(
+            b.functions[sites[1].function]
+        )
+
+    def test_mutating_clone_globals_is_isolated(self, module):
+        if not module.globals:
+            pytest.skip("no globals")
+        clone = module.clone(mutable_functions=())
+        name = next(iter(clone.globals))
+        clone.globals[name].initializer = b"clobbered"
+        assert module.globals[name].initializer != b"clobbered"
+
+
+class TestCampaignSnapshot:
+    def test_faulty_module_isolation_via_campaign(self):
+        camp = Campaign(app_factory("mcf", 1), HEAP_ARRAY_RESIZE)
+        before = format_module(camp.pristine)
+        built = [camp.faulty_module(s) for s in camp.sites]
+        assert format_module(camp.pristine) == before
+        texts = {format_module(m) for m in built}
+        assert len(texts) == len(built)  # every site yields a distinct module
+
+    def test_campaign_runs_factory_once(self):
+        calls = []
+        base = app_factory("mcf", 1)
+
+        def counting_factory():
+            calls.append(1)
+            return base()
+
+        camp = Campaign(counting_factory, HEAP_ARRAY_RESIZE)
+        assert camp.sites  # site enumeration reuses the pristine snapshot
+        camp.faulty_module(camp.sites[0])
+        camp.pristine_module()
+        assert len(calls) == 1

@@ -18,11 +18,14 @@ from repro.eval import (
     coverage_components,
     default_jobs,
     diversity_variants,
+    effective_workers,
     job_for_harness,
     mean_time_to_detection,
+    prepare_build_states,
     run_campaign_jobs,
     stdapp_variant,
 )
+from repro.eval.parallel import MIN_ITEMS_PER_WORKER
 from repro.faultinject import HEAP_ARRAY_RESIZE
 
 
@@ -104,3 +107,66 @@ class TestJobsEnvVar:
         with mock.patch.dict(os.environ, {"DPMR_JOBS": "many"}):
             with pytest.raises(ValueError):
                 default_jobs()
+
+
+class TestEffectiveWorkers:
+    """The minimum-work-per-worker heuristic (small-campaign fork cost)."""
+
+    def test_small_campaign_falls_back_to_serial(self):
+        # Fewer items than one worker's minimum share: fork cost cannot
+        # amortize, whatever DPMR_JOBS says.
+        assert effective_workers(MIN_ITEMS_PER_WORKER - 1, 4) == 1
+        assert effective_workers(0, 8) == 1
+
+    def test_workers_scale_with_available_work(self):
+        with mock.patch("os.cpu_count", return_value=8):
+            assert effective_workers(MIN_ITEMS_PER_WORKER * 2, 4) == 2
+            assert effective_workers(MIN_ITEMS_PER_WORKER * 4, 4) == 4
+            assert effective_workers(MIN_ITEMS_PER_WORKER * 100, 4) == 4
+
+    def test_workers_capped_by_cpu_count(self):
+        with mock.patch("os.cpu_count", return_value=2):
+            assert effective_workers(MIN_ITEMS_PER_WORKER * 100, 8) == 2
+
+    def test_fork_path_still_byte_identical_when_forced(self, harness, variants):
+        # On small/1-core machines the heuristic would serialize; pretend the
+        # machine is big enough that the fork pool genuinely engages, and
+        # check the executor's core guarantee end to end.
+        serial = harness.run_campaign(variants, HEAP_ARRAY_RESIZE, jobs=1)
+        with mock.patch("os.cpu_count", return_value=4):
+            job = job_for_harness(harness, variants, HEAP_ARRAY_RESIZE)
+            parallel = run_campaign_jobs([job], processes=2)
+        assert [record_signature(r) for r in serial] == [
+            record_signature(r) for r in parallel
+        ]
+
+
+class TestIncrementalThroughExecutor:
+    def test_incremental_and_full_rebuild_identical_via_executor(
+        self, harness, variants
+    ):
+        job = job_for_harness(harness, variants, HEAP_ARRAY_RESIZE)
+        full = run_campaign_jobs([job], processes=1, incremental=False)
+        inc = run_campaign_jobs([job], processes=1, incremental=True)
+        assert [record_signature(r) for r in full] == [
+            record_signature(r) for r in inc
+        ]
+
+    def test_prebuilt_states_reused_and_counted(self, harness, variants):
+        job = job_for_harness(harness, variants, HEAP_ARRAY_RESIZE)
+        states = prepare_build_states([job])
+        run_campaign_jobs([job], processes=1, build_states=states)
+        compilers = [c for c in states[0].compilers if c is not None]
+        assert compilers and all(c.stats.hits > 0 for c in compilers)
+        assert all(c.stats.full_rebuilds == 0 for c in compilers)
+
+    def test_forked_workers_share_coordinator_cache(self, harness, variants):
+        # Workers inherit the coordinator's pristine snapshot and per-variant
+        # transform caches via fork; records must stay byte-identical.
+        job = job_for_harness(harness, variants, HEAP_ARRAY_RESIZE)
+        serial = run_campaign_jobs([job], processes=1, incremental=True)
+        with mock.patch("os.cpu_count", return_value=4):
+            parallel = run_campaign_jobs([job], processes=2, incremental=True)
+        assert [record_signature(r) for r in serial] == [
+            record_signature(r) for r in parallel
+        ]
