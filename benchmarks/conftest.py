@@ -25,17 +25,18 @@ import pytest
 from repro.apps import WORKLOAD_ORDER, app_factory
 from repro.eval import (
     CoverageComponents,
+    ExecConfig,
     ExperimentRecord,
     WorkloadHarness,
     by_variant,
     conditional_coverage_components,
     coverage_components,
-    default_jobs,
     diversity_variants,
     job_for_harness,
+    manifest_section,
     mean_time_to_detection,
     policy_variants,
-    run_campaign_jobs,
+    run,
     std_not_all_det_sites,
     stdapp_variant,
 )
@@ -79,6 +80,8 @@ class BenchLab:
     def __init__(self, scale: int = SCALE, n_seeds: int = N_SEEDS):
         self.scale = scale
         self.seeds = tuple(range(n_seeds))
+        #: execution configuration (DPMR_JOBS, DPMR_TRACE, …) parsed once.
+        self.config = ExecConfig.from_env()
         self._harnesses: Dict[str, WorkloadHarness] = {}
         self._campaigns: Dict[Tuple, List[ExperimentRecord]] = {}
         self._overheads: Dict[Tuple, Dict[Tuple[str, str], float]] = {}
@@ -88,7 +91,10 @@ class BenchLab:
     def harness(self, app: str) -> WorkloadHarness:
         if app not in self._harnesses:
             self._harnesses[app] = WorkloadHarness(
-                app, app_factory(app, self.scale), seeds=self.seeds
+                app,
+                app_factory(app, self.scale),
+                seeds=self.seeds,
+                config=self.config,
             )
         return self._harnesses[app]
 
@@ -118,7 +124,14 @@ class BenchLab:
             jobs = [
                 job_for_harness(self.harness(app), variants, kind) for app in APPS
             ]
-            self._campaigns[key] = run_campaign_jobs(jobs, default_jobs())
+            res = run(jobs, config=self.config)
+            RESULTS_DIR.mkdir(exist_ok=True)
+            res.manifest.write(
+                str(RESULTS_DIR / f"manifest_{family}_{design}_{kind}.json")
+            )
+            print()
+            print(manifest_section(res.manifest))
+            self._campaigns[key] = res.records
         return self._campaigns[key]
 
     def overheads(self, family: str, design: str) -> Dict[Tuple[str, str], float]:

@@ -24,8 +24,17 @@ single-core container) and must not be re-measured.
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_interp.py [jobs]
+    PYTHONPATH=src python benchmarks/perf_interp.py --smoke
 
-``jobs`` defaults to ``DPMR_JOBS`` or 4.
+``jobs`` defaults to ``DPMR_JOBS`` or 4.  ``--smoke`` is the CI
+trace-overhead gate: it asserts structurally that machines without
+observability bind the uninstrumented fast-path executor, A/B-measures the
+disabled-tracer path against a bare machine (must be within 5% — they run
+the identical loop, so this catches anyone re-introducing per-instruction
+checks), and replays a small traced campaign to verify T2D is recomputable
+from the JSONL trace bit-identically.  Absolute throughput is only
+compared against ``seed_baseline`` in the full (non-smoke) run, because
+cross-machine absolute comparisons are meaningless in CI.
 """
 
 from __future__ import annotations
@@ -39,6 +48,7 @@ from pathlib import Path
 
 from repro.apps import WORKLOAD_ORDER, app_factory
 from repro.eval import (
+    ExecConfig,
     diversity_variants,
     job_for_harness,
     run_campaign_jobs,
@@ -81,6 +91,116 @@ def bench_interpreter() -> dict:
     }
 
 
+# -- observability overhead ---------------------------------------------------
+
+#: Disabled-path tolerance: a machine with no tracer/counters runs the
+#: byte-identical pre-observability loop, so any gap beyond noise means a
+#: per-instruction check crept back in.
+TRACE_OVERHEAD_TOLERANCE = 0.05
+
+SMOKE_SCALE = 4
+SMOKE_REPS = 3
+
+
+def _ips(scale: int, reps: int, **run_kwargs) -> float:
+    """Best-of-N golden-run throughput (instructions/second) of mcf."""
+    factory = app_factory("mcf", scale)
+    best = None
+    instructions = 0
+    for _ in range(reps):
+        module = factory()
+        t0 = time.perf_counter()
+        result = run_process(module, **run_kwargs)
+        dt = time.perf_counter() - t0
+        instructions = result.instructions
+        best = dt if best is None else min(best, dt)
+    return instructions / best
+
+
+def bench_obs(scale: int = SMOKE_SCALE, reps: int = SMOKE_REPS) -> dict:
+    """Throughput of the observability paths relative to the bare machine."""
+    from repro.obs import NullTracer
+
+    bare = _ips(scale, reps)
+    null_tracer = _ips(scale, reps, tracer=NullTracer())
+    counters = _ips(scale, reps, counters=True)
+    return {
+        "scale": scale,
+        "bare_ips": round(bare),
+        "null_tracer_ips": round(null_tracer),
+        "counters_ips": round(counters),
+        "null_tracer_overhead_pct": round((bare / null_tracer - 1) * 100, 2),
+        "counters_slowdown_x": round(bare / counters, 2),
+    }
+
+
+def smoke() -> None:
+    """CI gate: fast path intact, null tracer free, trace replay identical."""
+    from repro.machine.interpreter import Machine
+    from repro.obs import NullTracer, t2d_by_run
+
+    # 1. Structural: no observability → the uninstrumented executor, no
+    #    counter dict; a NullTracer must not change that.
+    module = app_factory("mcf", 1)()
+    m = Machine(module)
+    assert m._exec.__func__ is Machine._exec_function, (
+        "default Machine no longer binds the uninstrumented fast path"
+    )
+    assert m.tracer is None and m.counters is None
+    m_null = Machine(app_factory("mcf", 1)(), tracer=NullTracer())
+    assert m_null._exec.__func__ is Machine._exec_function, (
+        "NullTracer must keep the uninstrumented fast path"
+    )
+    m_obs = Machine(app_factory("mcf", 1)(), counters=True)
+    assert m_obs._exec.__func__ is Machine._exec_function_instrumented
+    print("smoke: structural fast-path checks OK")
+
+    # 2. A/B throughput: bare vs NullTracer run the identical loop, so the
+    #    gap is pure noise — gate it at TRACE_OVERHEAD_TOLERANCE.
+    obs = bench_obs()
+    overhead = obs["null_tracer_overhead_pct"] / 100.0
+    print(
+        f"smoke: bare {obs['bare_ips']:,} ips, "
+        f"null-tracer {obs['null_tracer_ips']:,} ips "
+        f"({obs['null_tracer_overhead_pct']:+.2f}%)"
+    )
+    if overhead > TRACE_OVERHEAD_TOLERANCE:
+        sys.exit(
+            f"FATAL: disabled-tracer path is {overhead:.1%} slower than the "
+            f"bare machine (tolerance {TRACE_OVERHEAD_TOLERANCE:.0%})"
+        )
+
+    # 3. End-to-end: a small traced campaign whose T2D must be recomputable
+    #    from the JSONL trace alone, bit-identically.
+    import tempfile
+
+    from repro.eval import ExecConfig, WorkloadHarness, diversity_variants, run
+
+    harness = WorkloadHarness("mcf", app_factory("mcf", 1))
+    variants = [v for v in diversity_variants("sds") if v.name in
+                ("no-diversity", "rearrange-heap")]
+    with tempfile.TemporaryDirectory() as td:
+        trace = os.path.join(td, "smoke.jsonl")
+        res = run(
+            harness,
+            variants,
+            kind=HEAP_ARRAY_RESIZE,
+            config=ExecConfig(jobs=1, trace_path=trace),
+        )
+        replayed = t2d_by_run(trace)
+        for r in res.records:
+            rid = f"{r.workload}/{r.variant}/{r.site}/{r.run}"
+            assert replayed[rid] == r.t2d, (
+                f"trace-replayed T2D diverged for {rid}: "
+                f"{replayed[rid]} != {r.t2d}"
+            )
+    print(
+        f"smoke: T2D replayed bit-identically from trace for "
+        f"{len(res.records)} records"
+    )
+    print("smoke: OK")
+
+
 def record_signature(r):
     return (
         r.workload,
@@ -107,7 +227,8 @@ def _timed_campaign(campaign_jobs, processes, incremental):
     for _ in range(CAMPAIGN_REPS):
         t0 = time.perf_counter()
         records = run_campaign_jobs(
-            campaign_jobs, processes=processes, incremental=incremental
+            campaign_jobs,
+            config=ExecConfig(jobs=processes, incremental=incremental),
         )
         dt = time.perf_counter() - t0
         best = dt if best is None else min(best, dt)
@@ -150,10 +271,14 @@ def bench_campaign(jobs: int) -> dict:
 
 
 def main() -> None:
+    if "--smoke" in sys.argv[1:]:
+        smoke()
+        return
     jobs = int(sys.argv[1]) if len(sys.argv) > 1 else int(
         os.environ.get("DPMR_JOBS", "4") or "4"
     )
     interp = bench_interpreter()
+    obs = bench_obs()
     campaign = bench_campaign(jobs)
     previous = json.loads(OUT_PATH.read_text()) if OUT_PATH.exists() else {}
     payload = {
@@ -175,6 +300,7 @@ def main() -> None:
                 2,
             ),
         ),
+        "obs": obs,
         "campaign": campaign,
     }
     # Preserve the build-path section maintained by benchmarks/perf_build.py.
@@ -186,6 +312,12 @@ def main() -> None:
         sys.exit("FATAL: parallel campaign diverged from serial run")
     if not campaign["incremental_identical_to_full_rebuild"]:
         sys.exit("FATAL: incremental campaign diverged from full rebuild")
+    if obs["null_tracer_overhead_pct"] > TRACE_OVERHEAD_TOLERANCE * 100:
+        sys.exit(
+            "FATAL: disabled-tracer path exceeds the "
+            f"{TRACE_OVERHEAD_TOLERANCE:.0%} overhead budget "
+            f"({obs['null_tracer_overhead_pct']:+.2f}%)"
+        )
 
 
 if __name__ == "__main__":

@@ -22,18 +22,25 @@ Public API layers
     Variant builds, experiment runner, and the paper's metrics (§3.5–3.6).
 ``repro.apps``
     Analog benchmark workloads (art, bzip2, equake, mcf).
+``repro.obs``
+    Structured observability: tracing, counters, run manifests.
 """
 
 __version__ = "1.0.0"
 
 # Top-level convenience re-exports of the primary user-facing API.
 from .core.pipeline import DpmrBuild, DpmrCompiler  # noqa: E402
+from .eval.api import CampaignResult, run  # noqa: E402
+from .eval.config import ExecConfig  # noqa: E402
 from .machine.process import ExitStatus, ProcessResult, run_process  # noqa: E402
 
 __all__ = [
+    "CampaignResult",
     "DpmrBuild",
     "DpmrCompiler",
+    "ExecConfig",
     "ExitStatus",
     "ProcessResult",
+    "run",
     "run_process",
 ]

@@ -69,6 +69,9 @@ class DpmrBuild:
         argv: Sequence[str] = (),
         max_cycles: int = DEFAULT_MAX_CYCLES,
         seed: int = 0,
+        tracer=None,
+        counters: bool = False,
+        trace_meta=None,
     ) -> ProcessResult:
         return run_process(
             self.module,
@@ -76,6 +79,9 @@ class DpmrBuild:
             max_cycles=max_cycles,
             seed=seed,
             dpmr_runtime=self.runtime(),
+            tracer=tracer,
+            counters=counters,
+            trace_meta=trace_meta,
         )
 
     @property

@@ -52,10 +52,28 @@ class DpmrRuntime:
     # -- replica heap behaviour -------------------------------------------------
 
     def replica_malloc(self, machine: Machine, size: int) -> int:
-        return self.diversity.replica_malloc(machine, size)
+        address = self.diversity.replica_malloc(machine, size)
+        if machine.counters is not None:
+            self._observe_replica(machine, "malloc", address, size)
+        return address
 
     def replica_free(self, machine: Machine, address: int) -> None:
         self.diversity.replica_free(machine, address)
+        if machine.counters is not None:
+            self._observe_replica(machine, "free", address, 0)
+
+    @staticmethod
+    def _observe_replica(machine: Machine, op: str, address: int, size: int) -> None:
+        """Replica-heap counters + sync trace event (observability on)."""
+        from ..obs import counters as oc
+
+        oc.bump(
+            machine.counters,
+            oc.REPLICA_MALLOC if op == "malloc" else oc.REPLICA_FREE,
+        )
+        tr = machine.tracer
+        if tr is not None and tr.wants("replica"):
+            tr.replica_sync(op, address, size, machine.cycles)
 
     # -- argv replication (Fig. 3.1) ------------------------------------------------
 

@@ -1,5 +1,15 @@
-"""Experimental framework: variants, experiments, metrics, reports (§3.3–3.6)."""
+"""Experimental framework: variants, experiments, metrics, reports (§3.3–3.6).
 
+The primary entry point is :func:`run` — a single facade over clean
+(overhead) runs, single-harness fault campaigns, and prepared multi-job
+campaigns — which always returns a :class:`CampaignResult` (records plus
+run manifest).  Execution knobs live on :class:`ExecConfig`
+(``DPMR_JOBS``, ``DPMR_INCREMENTAL``, ``DPMR_TRACE``, …), parsed from the
+environment in exactly one place (:mod:`repro.eval.config`).
+"""
+
+from .api import CampaignResult, run
+from .config import DEFAULT_TIMEOUT_FACTOR, ExecConfig
 from .experiment import ExperimentRecord, TIMEOUT_FACTOR, WorkloadHarness
 from .parallel import (
     CampaignJob,
@@ -10,9 +20,11 @@ from .parallel import (
     job_for_harness,
     prepare_build_states,
     run_campaign_jobs,
+    run_campaign_jobs_with_manifest,
 )
 from .metrics import (
     CoverageComponents,
+    aggregate_counters,
     by_variant,
     by_workload,
     conditional_coverage_components,
@@ -24,8 +36,10 @@ from .metrics import (
 )
 from .report import (
     conditional_coverage_table,
+    counter_table,
     coverage_table,
     latency_table,
+    manifest_section,
     overhead_table,
 )
 from .variants import (
@@ -38,31 +52,39 @@ from .variants import (
 
 __all__ = [
     "CampaignJob",
+    "CampaignResult",
     "CompiledVariant",
     "CoverageComponents",
+    "DEFAULT_TIMEOUT_FACTOR",
+    "ExecConfig",
     "ExperimentRecord",
     "JobBuildState",
-    "default_jobs",
-    "effective_workers",
-    "incremental_default",
-    "job_for_harness",
-    "prepare_build_states",
-    "run_campaign_jobs",
     "TIMEOUT_FACTOR",
     "Variant",
     "WorkloadHarness",
+    "aggregate_counters",
     "by_variant",
     "by_workload",
     "conditional_coverage_components",
     "conditional_coverage_table",
+    "counter_table",
     "coverage",
     "coverage_components",
     "coverage_table",
+    "default_jobs",
     "diversity_variants",
+    "effective_workers",
+    "incremental_default",
+    "job_for_harness",
     "latency_table",
+    "manifest_section",
     "mean_time_to_detection",
     "overhead_table",
     "policy_variants",
+    "prepare_build_states",
+    "run",
+    "run_campaign_jobs",
+    "run_campaign_jobs_with_manifest",
     "std_not_all_det_sites",
     "stdapp_variant",
     "successful",

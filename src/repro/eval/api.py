@@ -1,0 +1,144 @@
+"""The unified run/campaign entry point.
+
+One function — :func:`run` — fronts the three execution shapes of the
+evaluation (clean overhead runs, one harness campaign, a multi-job
+campaign) and always returns the same thing: a :class:`CampaignResult`
+holding the experiment records *and* the run manifest, so every invocation
+is observable and auditable the same way::
+
+    from repro.eval import ExecConfig, WorkloadHarness, run
+
+    res = run(harness, variants, kind="heap-array-resize",
+              config=ExecConfig(jobs=8, trace_path="campaign.jsonl"))
+    res.records      # bit-identical to the serial per-call API
+    res.manifest     # worker decisions, cache stats, counter totals
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Union
+
+from ..obs.counters import total_counters
+from ..obs.manifest import RunManifest
+from ..obs.tracer import real_tracer
+from .config import ExecConfig
+from .experiment import ExperimentRecord, WorkloadHarness
+from .parallel import CampaignJob, job_for_harness, run_campaign_jobs_with_manifest
+from .variants import Variant
+
+
+@dataclass
+class CampaignResult:
+    """Uniform result of :func:`run`: records plus their run manifest."""
+
+    records: List[ExperimentRecord]
+    manifest: RunManifest
+
+    def __iter__(self) -> Iterator[ExperimentRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def run(
+    target: Union[WorkloadHarness, Sequence[CampaignJob]],
+    variants: Optional[Iterable[Variant]] = None,
+    kind: Optional[str] = None,
+    *,
+    config: Optional[ExecConfig] = None,
+    percent: int = 50,
+    max_sites: Optional[int] = None,
+    tracer=None,
+) -> CampaignResult:
+    """Run clean experiments or a fault campaign; always records + manifest.
+
+    Dispatch is by arguments:
+
+    * ``run(harness, variants)`` — clean (non-fault-injection) runs of each
+      variant, one per harness seed (the overhead experiments);
+    * ``run(harness, variants, kind=...)`` — one fault campaign over the
+      harness (every site × variant × seed of that fault kind);
+    * ``run(jobs)`` — a prepared multi-job campaign
+      (:class:`~repro.eval.parallel.CampaignJob` list).
+
+    ``config`` defaults to the harness's configuration (itself defaulting
+    to the environment); ``tracer`` overrides the config's trace file, e.g.
+    with a :class:`~repro.obs.CollectingTracer`.
+    """
+    if isinstance(target, WorkloadHarness):
+        if kind is not None:
+            if variants is None:
+                raise TypeError("run(harness, ..., kind=...) requires variants")
+            cfg = config if config is not None else target.config
+            job = job_for_harness(
+                target, variants, kind, percent=percent, max_sites=max_sites
+            )
+            records, manifest = run_campaign_jobs_with_manifest(
+                [job], config=cfg, tracer=tracer
+            )
+            return CampaignResult(records, manifest)
+        if variants is None:
+            raise TypeError("run(harness) requires variants (or kind= for a campaign)")
+        return _run_clean(target, list(variants), config=config, tracer=tracer)
+    if kind is not None or variants is not None:
+        raise TypeError("run(jobs) takes no variants/kind — they live on the jobs")
+    records, manifest = run_campaign_jobs_with_manifest(
+        list(target), config=config, tracer=tracer
+    )
+    return CampaignResult(records, manifest)
+
+
+def _run_clean(
+    harness: WorkloadHarness,
+    variants: List[Variant],
+    config: Optional[ExecConfig],
+    tracer=None,
+) -> CampaignResult:
+    """Clean runs of every (variant, seed), with the same manifest shape."""
+    cfg = config if config is not None else harness.config
+    if cfg is None:
+        cfg = ExecConfig.from_env()
+    own_tracer = tracer is None
+    if own_tracer:
+        tracer = cfg.make_tracer()
+    tracer = real_tracer(tracer)
+    counters = cfg.counters or tracer is not None
+
+    manifest = RunManifest(
+        mode="clean",
+        requested_jobs=cfg.jobs,
+        effective_jobs=1,
+        worker_reason="clean runs execute serially",
+        incremental=False,
+        trace_path=cfg.trace_path if (own_tracer and tracer is not None) else None,
+        counters_enabled=counters,
+        timeout_factor=cfg.timeout_factor,
+        n_jobs=1,
+        n_items=len(variants) * len(harness.seeds),
+    )
+    started = time.monotonic()
+    records: List[ExperimentRecord] = []
+    try:
+        for variant in variants:
+            for seed in harness.seeds:
+                records.append(
+                    harness.run_clean(
+                        variant, seed=seed, tracer=tracer, counters=counters
+                    )
+                )
+    finally:
+        if own_tracer and tracer is not None:
+            tracer.close()
+    manifest.wall_s = time.monotonic() - started
+    manifest.n_records = len(records)
+    for r in records:
+        s = r.result.status.value
+        manifest.status_counts[s] = manifest.status_counts.get(s, 0) + 1
+    manifest.counter_totals = total_counters(r.result.counters for r in records)
+    out_path = cfg.effective_manifest_path()
+    if out_path is not None:
+        manifest.write(out_path)
+    return CampaignResult(records, manifest)

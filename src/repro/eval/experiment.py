@@ -10,15 +10,19 @@ DPMR detection ``Ddet``, and time-to-detection ``T2D``.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..faultinject.campaign import ProgramFactory
 from ..machine.process import ExitStatus, ProcessResult, run_process
+from .config import DEFAULT_TIMEOUT_FACTOR, ExecConfig, merge_deprecated
 from .variants import CompiledVariant, Variant
 
 #: timeout multiplier over golden running time (the paper uses ~20x).
-TIMEOUT_FACTOR = 20
+#: Kept as a module alias; the configurable knob is
+#: ``ExecConfig.timeout_factor`` / ``DPMR_TIMEOUT_FACTOR``.
+TIMEOUT_FACTOR = DEFAULT_TIMEOUT_FACTOR
 
 
 @dataclass
@@ -95,8 +99,12 @@ class WorkloadHarness:
     factory: ProgramFactory
     argv: Sequence[str] = ()
     seeds: Sequence[int] = (0,)
+    #: execution configuration; None defaults to the environment's.
+    config: Optional[ExecConfig] = None
 
     def __post_init__(self) -> None:
+        if self.config is None:
+            self.config = ExecConfig.from_env()
         golden = run_process(self.factory(), argv=self.argv)
         if golden.status is not ExitStatus.NORMAL or golden.exit_code != 0:
             raise RuntimeError(
@@ -104,13 +112,36 @@ class WorkloadHarness:
                 f"{golden.detail} exit={golden.exit_code}"
             )
         self.golden = golden
-        self.timeout = max(golden.cycles * TIMEOUT_FACTOR, 100_000)
+        self.timeout = max(golden.cycles * self.config.timeout_factor, 100_000)
 
     # -- non-fault-injection runs (overhead) ------------------------------
 
-    def run_clean(self, variant: Variant, seed: int = 0) -> ExperimentRecord:
+    def run_clean(
+        self,
+        variant: Variant,
+        seed: int = 0,
+        tracer=None,
+        counters: bool = False,
+    ) -> ExperimentRecord:
         compiled = variant.compile(self.factory())
-        result = compiled.run(argv=self.argv, max_cycles=self.timeout * 3, seed=seed)
+        trace_meta = None
+        if tracer is not None:
+            trace_meta = {
+                "run_id": f"{self.name}/{variant.name}/clean/{seed}",
+                "workload": self.name,
+                "variant": variant.name,
+                "site": None,
+                "run": seed,
+                "golden_output": self.golden.output_text,
+            }
+        result = compiled.run(
+            argv=self.argv,
+            max_cycles=self.timeout * 3,
+            seed=seed,
+            tracer=tracer,
+            counters=counters,
+            trace_meta=trace_meta,
+        )
         return ExperimentRecord(
             workload=self.name,
             variant=variant.name,
@@ -140,20 +171,34 @@ class WorkloadHarness:
         max_sites: Optional[int] = None,
         jobs: Optional[int] = None,
         incremental: Optional[bool] = None,
+        config: Optional[ExecConfig] = None,
     ) -> List[ExperimentRecord]:
         """Run every (site, variant, seed) experiment for one fault kind.
 
-        ``jobs`` selects the worker count for the parallel campaign executor
-        (defaulting to the ``DPMR_JOBS`` environment variable); serial and
-        parallel execution produce identical records in identical order.
-        ``incremental`` selects the incremental build path — pristine module
-        snapshot plus function-level transform cache — which defaults to on
-        (``DPMR_INCREMENTAL=0`` disables it) and also produces identical
-        records.
+        Execution is governed by ``config`` (worker count, incremental
+        builds, tracing/counters; defaults to the harness's configuration);
+        serial and parallel execution produce identical records in identical
+        order, as do incremental and full-rebuild builds.  ``jobs`` and
+        ``incremental`` are deprecated aliases for the matching
+        :class:`ExecConfig` fields.  Use :func:`repro.eval.run` to also get
+        the run manifest.
         """
-        from .parallel import job_for_harness, run_campaign_jobs
+        from .parallel import job_for_harness, run_campaign_jobs_with_manifest
 
+        if jobs is not None or incremental is not None:
+            warnings.warn(
+                "run_campaign(jobs=, incremental=) is deprecated; "
+                "pass config=ExecConfig(...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        cfg = merge_deprecated(
+            config if config is not None else self.config,
+            jobs=jobs,
+            incremental=incremental,
+        )
         job = job_for_harness(
             self, variants, kind, percent=percent, max_sites=max_sites
         )
-        return run_campaign_jobs([job], processes=jobs, incremental=incremental)
+        records, _ = run_campaign_jobs_with_manifest([job], config=cfg)
+        return records

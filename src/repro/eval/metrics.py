@@ -88,6 +88,18 @@ def mean_time_to_detection(records: Iterable[ExperimentRecord]) -> Optional[floa
     return sum(values) / len(values)
 
 
+def aggregate_counters(records: Iterable[ExperimentRecord]) -> Dict[str, int]:
+    """Campaign-level machine counter totals (empty when observability off).
+
+    Sums the per-run ``ProcessResult.counters`` dicts (see
+    :mod:`repro.obs.counters` for key semantics); records executed without
+    observability contribute nothing.
+    """
+    from ..obs.counters import total_counters
+
+    return total_counters(r.result.counters for r in records)
+
+
 def by_variant(
     records: Iterable[ExperimentRecord],
 ) -> Dict[str, List[ExperimentRecord]]:

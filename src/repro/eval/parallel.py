@@ -47,8 +47,11 @@ the hash seed, which the fork path gets for free.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
+import time
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -57,14 +60,17 @@ from ..core.incremental import IncrementalDpmrCompiler
 from ..faultinject.campaign import Campaign, ProgramFactory
 from ..faultinject.injector import FaultSite, inject
 from ..ir.module import Module
+from ..obs.manifest import JobManifest, RunManifest
+from .config import (
+    INCREMENTAL_ENV_VAR,
+    JOBS_ENV_VAR,
+    ExecConfig,
+    merge_deprecated,
+)
 from .experiment import ExperimentRecord
 from .variants import CompiledVariant, Variant
 
-#: Environment variable selecting the worker count (0/1/unset → serial).
-JOBS_ENV_VAR = "DPMR_JOBS"
-
-#: Environment variable disabling the incremental build path (default on).
-INCREMENTAL_ENV_VAR = "DPMR_INCREMENTAL"
+logger = logging.getLogger("repro.eval.parallel")
 
 #: Compiled variants cached per worker; small, since consecutive work items
 #: share the same (site, variant) and only chunk boundaries ever look back.
@@ -83,19 +89,12 @@ MIN_ITEMS_PER_WORKER = 16
 
 def default_jobs() -> int:
     """Worker count from ``DPMR_JOBS`` (defaults to serial execution)."""
-    raw = os.environ.get(JOBS_ENV_VAR, "").strip()
-    if not raw:
-        return 1
-    try:
-        return max(1, int(raw))
-    except ValueError:
-        raise ValueError(f"{JOBS_ENV_VAR} must be an integer, got {raw!r}") from None
+    return ExecConfig.from_env().jobs
 
 
 def incremental_default() -> bool:
     """Whether the incremental build path is enabled (``DPMR_INCREMENTAL``)."""
-    raw = os.environ.get(INCREMENTAL_ENV_VAR, "").strip().lower()
-    return raw not in ("0", "false", "off", "no")
+    return ExecConfig.from_env().incremental
 
 
 def effective_workers(n_items: int, processes: int) -> int:
@@ -218,6 +217,8 @@ _Item = Tuple[int, int, int, int]
 # forked (fork inherits it); None in a plain process.
 _WORKER_JOBS: Optional[List[CampaignJob]] = None
 _WORKER_STATES: Optional[List[JobBuildState]] = None
+_WORKER_TRACER = None  # file-backed tracer shared with workers (fork-aware)
+_WORKER_COUNTERS = False
 _COMPILED: "OrderedDict[Tuple[int, int, int], CompiledVariant]" = OrderedDict()
 
 
@@ -272,17 +273,36 @@ def _run_item(
     jobs: List[CampaignJob],
     states: Optional[List[JobBuildState]],
     item: _Item,
+    tracer=None,
+    counters: bool = False,
 ) -> ExperimentRecord:
     ji, si, vi, ri = item
     job = jobs[ji]
+    variant = job.variants[vi].name
+    site = job.sites[si].site_id
     compiled = _compiled_for(jobs, states, item)
+    trace_meta = None
+    if tracer is not None:
+        trace_meta = {
+            "run_id": f"{job.workload}/{variant}/{site}/{ri}",
+            "workload": job.workload,
+            "variant": variant,
+            "site": site,
+            "run": ri,
+            "golden_output": job.golden_output,
+        }
     result = compiled.run(
-        argv=job.argv, max_cycles=job.timeout, seed=job.seeds[ri]
+        argv=job.argv,
+        max_cycles=job.timeout,
+        seed=job.seeds[ri],
+        tracer=tracer,
+        counters=counters,
+        trace_meta=trace_meta,
     )
     return ExperimentRecord(
         workload=job.workload,
-        variant=job.variants[vi].name,
-        site=job.sites[si].site_id,
+        variant=variant,
+        site=site,
         run=ri,
         result=result,
         golden_output=job.golden_output,
@@ -293,7 +313,19 @@ def _run_chunk(chunk: List[_Item]) -> List[Tuple[_Item, ExperimentRecord]]:
     """Worker entry point: execute one chunk of experiment tuples."""
     jobs = _WORKER_JOBS
     assert jobs is not None, "worker forked before _WORKER_JOBS was set"
-    return [(item, _run_item(jobs, _WORKER_STATES, item)) for item in chunk]
+    return [
+        (
+            item,
+            _run_item(
+                jobs,
+                _WORKER_STATES,
+                item,
+                tracer=_WORKER_TRACER,
+                counters=_WORKER_COUNTERS,
+            ),
+        )
+        for item in chunk
+    ]
 
 
 def _all_items(jobs: Sequence[CampaignJob]) -> List[_Item]:
@@ -321,29 +353,89 @@ def _chunked(items: List[_Item], processes: int) -> List[List[_Item]]:
     return [items[i : i + size] for i in range(0, len(items), size)]
 
 
-def run_campaign_jobs(
-    jobs: Sequence[CampaignJob],
-    processes: Optional[int] = None,
-    incremental: Optional[bool] = None,
-    build_states: Optional[List[JobBuildState]] = None,
-) -> List[ExperimentRecord]:
-    """Run every experiment of every job; results in serial order.
+def _worker_decision(
+    requested: int, n_items: int
+) -> Tuple[int, str, Optional[str]]:
+    """Decide the worker count: ``(effective, reason, serial_fallback)``.
 
-    ``processes`` defaults to ``DPMR_JOBS``; the actual worker count is
-    further limited by :func:`effective_workers`, and values ≤ 1 (or a
-    platform without ``fork``) execute the identical per-item code serially
-    in-process.  ``incremental`` selects the incremental build path
-    (default: on unless ``DPMR_INCREMENTAL=0``); ``build_states`` lets a
-    caller pre-build — and afterwards inspect, e.g. for cache-hit-rate
-    reporting — the per-job transform caches.  Records are bit-identical
-    across serial/parallel and incremental/full-rebuild execution.
+    ``serial_fallback`` is non-None exactly when parallelism was *requested*
+    (``requested > 1``) but the executor runs serially anyway — the cases
+    that used to be silent.
     """
-    global _WORKER_JOBS, _WORKER_STATES
+    if requested <= 1:
+        return 1, "serial requested (jobs=1)", None
+    if n_items <= 1:
+        return 1, "serial", f"campaign has {n_items} experiment(s)"
+    if not _fork_available():
+        return 1, "serial", "fork start method unavailable on this platform"
+    effective = effective_workers(n_items, requested)
+    cap = os.cpu_count() or 1
+    if effective <= 1:
+        if n_items // MIN_ITEMS_PER_WORKER <= 1:
+            detail = (
+                f"min-work heuristic: {n_items} items cannot amortize fork "
+                f"cost (≥{MIN_ITEMS_PER_WORKER} items/worker required)"
+            )
+        else:
+            detail = f"machine reports {cap} cpu(s)"
+        return 1, "serial", detail
+    reason = (
+        f"min(requested {requested}, cpu {cap}, "
+        f"{n_items} items // {MIN_ITEMS_PER_WORKER}/worker)"
+    )
+    return effective, reason, None
+
+
+def _job_manifests(
+    jobs: Sequence[CampaignJob], states: Optional[List[JobBuildState]]
+) -> List[JobManifest]:
+    out: List[JobManifest] = []
+    for ji, job in enumerate(jobs):
+        jm = JobManifest(
+            workload=job.workload,
+            kind=job.kind,
+            n_sites=len(job.sites),
+            n_variants=len(job.variants),
+            n_seeds=len(job.seeds),
+            sites=[s.site_id for s in job.sites],
+        )
+        if states is not None:
+            state = states[ji]
+            for compiler in state.compilers:
+                if compiler is None:
+                    continue
+                jm.cache_hits += compiler.stats.hits
+                jm.cache_misses += compiler.stats.misses
+                jm.cache_full_rebuilds += compiler.stats.full_rebuilds
+            jm.builds_cached = len(state.compiled)
+        out.append(jm)
+    return out
+
+
+def run_campaign_jobs_with_manifest(
+    jobs: Sequence[CampaignJob],
+    config: Optional[ExecConfig] = None,
+    build_states: Optional[List[JobBuildState]] = None,
+    tracer=None,
+) -> Tuple[List[ExperimentRecord], RunManifest]:
+    """Run every experiment of every job; records in serial order + manifest.
+
+    The manifest captures every executor decision (requested vs. effective
+    worker count and why, serial-fallback reason, incremental cache
+    behaviour per job) plus campaign aggregates (status counts, machine
+    counter totals when observability is on).  ``config`` defaults to
+    :meth:`ExecConfig.from_env`; ``tracer`` overrides the config's trace
+    file (pass a :class:`~repro.obs.CollectingTracer` in tests).  Records
+    stay bit-identical across serial/parallel, incremental/full-rebuild,
+    and observability on/off execution.
+    """
+    global _WORKER_JOBS, _WORKER_STATES, _WORKER_TRACER, _WORKER_COUNTERS
+    from ..obs.counters import total_counters
+    from ..obs.tracer import real_tracer
+
+    config = config if config is not None else ExecConfig.from_env()
     jobs = list(jobs)
-    if processes is None:
-        processes = default_jobs()
-    if incremental is None:
-        incremental = incremental_default() or build_states is not None
+    incremental = config.incremental or build_states is not None
     items = _all_items(jobs)
     states: Optional[List[JobBuildState]] = None
     if incremental and items:
@@ -351,28 +443,107 @@ def run_campaign_jobs(
             build_states if build_states is not None else prepare_build_states(jobs)
         )
 
-    processes = effective_workers(len(items), processes)
-    if processes <= 1 or len(items) <= 1 or not _fork_available():
-        _COMPILED.clear()
-        try:
-            return [_run_item(jobs, states, item) for item in items]
-        finally:
-            _COMPILED.clear()
+    own_tracer = tracer is None
+    if own_tracer:
+        tracer = config.make_tracer()
+    tracer = real_tracer(tracer)
+    counters = config.counters or tracer is not None
 
-    ctx = multiprocessing.get_context("fork")
-    results: Dict[_Item, ExperimentRecord] = {}
-    _WORKER_JOBS = jobs
-    _WORKER_STATES = states
-    _COMPILED.clear()
+    effective, reason, fallback = _worker_decision(config.jobs, len(items))
+    if fallback is not None:
+        logger.warning(
+            "campaign requested %d workers but runs serially: %s",
+            config.jobs,
+            fallback,
+        )
+    manifest = RunManifest(
+        mode="campaign",
+        requested_jobs=config.jobs,
+        effective_jobs=effective,
+        worker_reason=reason,
+        serial_fallback=fallback,
+        incremental=bool(states is not None),
+        trace_path=config.trace_path if (own_tracer and tracer is not None) else None,
+        counters_enabled=counters,
+        timeout_factor=config.timeout_factor,
+        n_jobs=len(jobs),
+        n_items=len(items),
+    )
+    started = time.monotonic()
     try:
-        with ctx.Pool(processes) as pool:
-            for pairs in pool.imap_unordered(_run_chunk, _chunked(items, processes)):
-                for item, record in pairs:
-                    results[item] = record
+        if effective <= 1:
+            _COMPILED.clear()
+            try:
+                records = [
+                    _run_item(jobs, states, item, tracer=tracer, counters=counters)
+                    for item in items
+                ]
+            finally:
+                _COMPILED.clear()
+        else:
+            ctx = multiprocessing.get_context("fork")
+            results: Dict[_Item, ExperimentRecord] = {}
+            _WORKER_JOBS = jobs
+            _WORKER_STATES = states
+            _WORKER_TRACER = tracer
+            _WORKER_COUNTERS = counters
+            _COMPILED.clear()
+            try:
+                with ctx.Pool(effective) as pool:
+                    for pairs in pool.imap_unordered(
+                        _run_chunk, _chunked(items, effective)
+                    ):
+                        for item, record in pairs:
+                            results[item] = record
+            finally:
+                _WORKER_JOBS = None
+                _WORKER_STATES = None
+                _WORKER_TRACER = None
+                _WORKER_COUNTERS = False
+            records = [results[item] for item in items]
     finally:
-        _WORKER_JOBS = None
-        _WORKER_STATES = None
-    return [results[item] for item in items]
+        if own_tracer and tracer is not None:
+            tracer.close()
+
+    manifest.wall_s = time.monotonic() - started
+    manifest.n_records = len(records)
+    manifest.jobs = _job_manifests(jobs, states)
+    for r in records:
+        s = r.result.status.value
+        manifest.status_counts[s] = manifest.status_counts.get(s, 0) + 1
+    manifest.counter_totals = total_counters(r.result.counters for r in records)
+    out_path = config.effective_manifest_path()
+    if out_path is not None:
+        manifest.write(out_path)
+    return records, manifest
+
+
+def run_campaign_jobs(
+    jobs: Sequence[CampaignJob],
+    processes: Optional[int] = None,
+    incremental: Optional[bool] = None,
+    build_states: Optional[List[JobBuildState]] = None,
+    config: Optional[ExecConfig] = None,
+) -> List[ExperimentRecord]:
+    """Run every experiment of every job; results in serial order.
+
+    Thin records-only wrapper over :func:`run_campaign_jobs_with_manifest`.
+    ``processes``/``incremental`` are deprecated aliases for the matching
+    :class:`ExecConfig` fields; pass ``config=`` (or use the
+    :func:`repro.eval.run` facade, which also returns the manifest).
+    """
+    if processes is not None or incremental is not None:
+        warnings.warn(
+            "run_campaign_jobs(processes=, incremental=) is deprecated; "
+            "pass config=ExecConfig(...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    cfg = merge_deprecated(config, jobs=processes, incremental=incremental)
+    records, _ = run_campaign_jobs_with_manifest(
+        jobs, config=cfg, build_states=build_states
+    )
+    return records
 
 
 def _fork_available() -> bool:

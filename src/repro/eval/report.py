@@ -75,6 +75,78 @@ def overhead_table(
     return "\n".join(lines)
 
 
+def counter_table(
+    totals: Mapping[str, int],
+    title: str = "machine counters",
+) -> str:
+    """Render campaign-level machine counter totals, grouped by prefix.
+
+    ``totals`` is the dict produced by
+    :func:`repro.eval.metrics.aggregate_counters` (or a manifest's
+    ``counter_totals``); an empty dict renders a one-line placeholder so
+    reports stay stable when observability is off.
+    """
+    lines = [title, "=" * len(title)]
+    if not totals:
+        lines.append("(observability disabled: no counters recorded)")
+        return "\n".join(lines)
+    width = max(len(k) for k in totals)
+    prev_group = None
+    for key in sorted(totals):
+        group = key.split(".", 1)[0]
+        if prev_group is not None and group != prev_group:
+            lines.append("")
+        prev_group = group
+        lines.append(f"{key:<{width}} {totals[key]:>14,}")
+    return "\n".join(lines)
+
+
+def manifest_section(manifest) -> str:
+    """Render a :class:`~repro.obs.RunManifest` as a report section.
+
+    Shows the executor decisions (worker count and why, serial fallback,
+    incremental builds), per-job cache behaviour, and outcome aggregates —
+    the same data the JSON manifest persists.
+    """
+    lines = ["run manifest", "============"]
+    lines.append(
+        f"mode={manifest.mode} records={manifest.n_records} "
+        f"items={manifest.n_items} wall={manifest.wall_s:.2f}s"
+    )
+    lines.append(
+        f"workers: requested={manifest.requested_jobs} "
+        f"effective={manifest.effective_jobs} ({manifest.worker_reason})"
+    )
+    if manifest.serial_fallback is not None:
+        lines.append(f"serial fallback: {manifest.serial_fallback}")
+    lines.append(
+        f"builds: incremental={'on' if manifest.incremental else 'off'}"
+    )
+    obs_bits = []
+    if manifest.trace_path is not None:
+        obs_bits.append(f"trace={manifest.trace_path}")
+    obs_bits.append(f"counters={'on' if manifest.counters_enabled else 'off'}")
+    if manifest.timeout_factor is not None:
+        obs_bits.append(f"timeout_factor={manifest.timeout_factor}")
+    lines.append("observability: " + " ".join(obs_bits))
+    for jm in manifest.jobs:
+        lines.append(
+            f"  job {jm.workload}/{jm.kind}: sites={jm.n_sites} "
+            f"variants={jm.n_variants} seeds={jm.n_seeds} "
+            f"cache hits={jm.cache_hits} misses={jm.cache_misses} "
+            f"full_rebuilds={jm.cache_full_rebuilds} "
+            f"builds_cached={jm.builds_cached}"
+        )
+    if manifest.status_counts:
+        statuses = " ".join(
+            f"{k}={manifest.status_counts[k]}" for k in sorted(manifest.status_counts)
+        )
+        lines.append(f"statuses: {statuses}")
+    if manifest.path is not None:
+        lines.append(f"persisted: {manifest.path}")
+    return "\n".join(lines)
+
+
 def latency_table(
     title: str,
     rows: Mapping[Tuple[str, str], Optional[float]],

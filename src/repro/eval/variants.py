@@ -56,10 +56,28 @@ class CompiledVariant:
         argv: Sequence[str] = (),
         max_cycles: int = DEFAULT_MAX_CYCLES,
         seed: int = 0,
+        tracer=None,
+        counters: bool = False,
+        trace_meta=None,
     ) -> ProcessResult:
         if self._build is not None:
-            return self._build.run(argv=argv, max_cycles=max_cycles, seed=seed)
-        return run_process(self.module, argv=argv, max_cycles=max_cycles, seed=seed)
+            return self._build.run(
+                argv=argv,
+                max_cycles=max_cycles,
+                seed=seed,
+                tracer=tracer,
+                counters=counters,
+                trace_meta=trace_meta,
+            )
+        return run_process(
+            self.module,
+            argv=argv,
+            max_cycles=max_cycles,
+            seed=seed,
+            tracer=tracer,
+            counters=counters,
+            trace_meta=trace_meta,
+        )
 
     @property
     def cache_hits(self) -> int:

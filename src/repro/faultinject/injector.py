@@ -47,6 +47,16 @@ class FaultSite:
     def site_id(self) -> str:
         return f"{self.kind}@{self.function}/{self.block}/{self.index}"
 
+    def to_dict(self) -> dict:
+        """Plain-data form for run manifests and trace tooling."""
+        return {
+            "kind": self.kind,
+            "function": self.function,
+            "block": self.block,
+            "index": self.index,
+            "site_id": self.site_id,
+        }
+
     def __str__(self) -> str:  # pragma: no cover
         return self.site_id
 

@@ -56,6 +56,9 @@ class HeapAllocator:
         self.bytes_in_use = 0
         #: cycles charged by the most recent operation (read by the machine)
         self.last_cost = 0
+        #: payload bytes of the most recent malloc/free (for heap-churn
+        #: counters; free(NULL) leaves 0)
+        self.last_payload = 0
 
     # -- chunk header helpers ---------------------------------------------
 
@@ -81,6 +84,7 @@ class HeapAllocator:
             raise HeapError(f"negative allocation size {size}")
         payload = self.round_request(size)
         self.last_cost = MALLOC_BASE_COST + (payload >> MALLOC_BYTE_COST_SHIFT)
+        self.last_payload = payload
         addr = self._take_from_free_list(payload)
         if addr == 0:
             addr = self._bump(payload)
@@ -103,6 +107,9 @@ class HeapAllocator:
                     self.memory.write_scalar(prev + HEADER_SIZE, _U64, nxt)
                 self._write_header(cur, size, MAGIC_ALLOCATED)
                 self.last_cost += steps
+                # Reused chunks keep their original (possibly larger) size;
+                # report what was actually handed out.
+                self.last_payload = size
                 return cur + HEADER_SIZE
             prev = cur
             cur = nxt
@@ -131,6 +138,7 @@ class HeapAllocator:
         header is not a live chunk header, and double frees.
         """
         self.last_cost = FREE_COST
+        self.last_payload = 0
         if address == 0:
             return  # free(NULL) is a no-op, as in C
         if address % ALIGN != 0:
@@ -155,6 +163,7 @@ class HeapAllocator:
         self.free_head = header
         self.live_chunks -= 1
         self.bytes_in_use -= size
+        self.last_payload = size
 
     # -- queries ----------------------------------------------------------------
 

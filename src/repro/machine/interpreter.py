@@ -129,6 +129,8 @@ class Machine:
         max_cycles: int = DEFAULT_MAX_CYCLES,
         seed: int = 0,
         dpmr_runtime=None,
+        tracer=None,
+        counters: bool = False,
     ):
         self.module = module
         self.memory = memory if memory is not None else Memory()
@@ -142,6 +144,18 @@ class Machine:
         self.dpmr_runtime = dpmr_runtime
         self.intrinsics: Dict[str, IntrinsicFn] = {}
         self.stack_top = self.memory.stack.base
+        # Observability (repro.obs): both default off.  Instrumentation is
+        # selected ONCE here — the disabled path binds the original
+        # _exec_function and pays nothing per instruction.
+        from ..obs.tracer import real_tracer
+
+        self.tracer = real_tracer(tracer)
+        self.counters: Optional[Dict[str, int]] = {} if (counters or self.tracer) else None
+        self._exec = (
+            self._exec_function_instrumented
+            if (self.tracer is not None or self.counters is not None)
+            else self._exec_function
+        )
         # Per-block decoded dispatch tables (id(block) → (steps, terminator)),
         # built lazily on first entry; see _decode_block.
         self._decoded_blocks: Dict[int, tuple] = {}
@@ -238,6 +252,8 @@ class Machine:
         except HeapError as exc:
             raise ExecutionTrap("heap-abort", str(exc)) from exc
         self.charge(self.heap.last_cost)
+        if self.counters is not None:
+            self._observe_heap("malloc", addr, self.heap.last_payload)
         return addr
 
     def heap_free(self, addr: int) -> None:
@@ -246,6 +262,23 @@ class Machine:
         except HeapError as exc:
             raise ExecutionTrap("heap-abort", str(exc)) from exc
         self.charge(self.heap.last_cost)
+        if self.counters is not None:
+            self._observe_heap("free", addr, self.heap.last_payload)
+
+    def _observe_heap(self, op: str, addr: int, size: int) -> None:
+        """Heap-churn counters + optional trace event (observability on)."""
+        from ..obs import counters as oc
+
+        c = self.counters
+        if op == "malloc":
+            oc.bump(c, oc.HEAP_ALLOC)
+            oc.bump(c, oc.HEAP_ALLOC_BYTES, size)
+        else:
+            oc.bump(c, oc.HEAP_FREE)
+            oc.bump(c, oc.HEAP_FREE_BYTES, size)
+        tr = self.tracer
+        if tr is not None and tr.wants("heap"):
+            tr.heap_event(op, addr, size, self.cycles)
 
     def stack_alloc(self, size: int) -> int:
         a = (self.stack_top + 7) // 8 * 8
@@ -275,7 +308,7 @@ class Machine:
             p.name: a for p, a in zip(fn.params, args)
         }
         try:
-            return self._exec_function(fn, regs)
+            return self._exec(fn, regs)
         finally:
             self.stack_top = saved_stack
 
@@ -328,6 +361,66 @@ class Machine:
                 raise Timeout(f"exceeded {max_cycles} cycles")
             if fault is not None and fault not in activations:
                 activations[fault] = c
+            if tkind == _T_BRANCH:
+                cond = self._value(inst.cond, regs)
+                block = then_block if cond else else_block
+                if block is None:
+                    raise KeyError(inst.then_target if cond else inst.else_target)
+            elif tkind == _T_JUMP:
+                block = then_block
+                if block is None:
+                    raise KeyError(inst.target)
+            elif tkind == _T_RET:
+                return self._value(inst.value, regs) if inst.value is not None else None
+            else:
+                raise ExecutionTrap("unreachable", f"in {fn.name}")
+
+    def _exec_function_instrumented(self, fn: Function, regs: Dict[str, object]):
+        """Observability twin of :meth:`_exec_function`.
+
+        Selected at construction when a tracer or counters are requested;
+        identical control flow, cycle accounting, and trap behaviour — plus
+        per-opcode-class counters and trace events.  Kept as a separate loop
+        so the disabled path (the method above) stays byte-for-byte the
+        pre-observability fast path.
+        """
+        decoded = self._decoded_blocks
+        max_cycles = self.max_cycles
+        activations = self.fault_activations
+        counters = self.counters
+        tracer = self.tracer
+        block = fn.entry
+        while True:
+            dec = decoded.get(id(block))
+            if dec is None:
+                dec = decoded[id(block)] = _decode_block_instrumented(fn, block, self)
+            steps, term = dec
+            for handler, inst, cost, fault in steps:
+                self.instructions_executed += 1
+                c = self.cycles + cost
+                self.cycles = c
+                if c > max_cycles:
+                    raise Timeout(f"exceeded {max_cycles} cycles")
+                if fault is not None and fault not in activations:
+                    activations[fault] = c
+                    if tracer is not None and tracer.wants("fault"):
+                        tracer.fault_activation(fault, c)
+                handler(self, inst, regs)
+            if term is None:
+                raise ExecutionTrap("fell-off-block", f"{fn.name}/{block.label}")
+            tkind, inst, cost, fault, then_block, else_block = term
+            self.instructions_executed += 1
+            c = self.cycles + cost
+            self.cycles = c
+            if c > max_cycles:
+                raise Timeout(f"exceeded {max_cycles} cycles")
+            if fault is not None and fault not in activations:
+                activations[fault] = c
+                if tracer is not None and tracer.wants("fault"):
+                    tracer.fault_activation(fault, c)
+            if counters is not None:
+                key = _TERMINATOR_KEYS[tkind]
+                counters[key] = counters.get(key, 0) + 1
             if tkind == _T_BRANCH:
                 cond = self._value(inst.cond, regs)
                 block = then_block if cond else else_block
@@ -610,3 +703,76 @@ def _decode_block(fn: Function, block):
             cost = COSTS.get(k, 1)
         steps.append((handler, inst, cost, inst.fault_site))
     return steps, None
+
+
+# -- instrumented dispatch ----------------------------------------------------
+#
+# The instrumented executor reuses _decode_block and wraps each step handler
+# in a counting closure resolved once at decode time (opcode class, DPMR role
+# per repro.obs.counters), so the per-instruction overhead when observability
+# IS enabled stays one or two dict increments — and the disabled path above is
+# untouched.
+
+_TERMINATOR_KEYS = {
+    _T_BRANCH: "op.branch",
+    _T_JUMP: "op.jump",
+    _T_RET: "op.ret",
+    _T_UNREACHABLE: "op.unreachable",
+}
+
+
+def _make_counting_step(handler, key: str, extra: Optional[str]):
+    def step(m: "Machine", inst, regs) -> None:
+        c = m.counters
+        c[key] = c.get(key, 0) + 1
+        if extra is not None:
+            c[extra] = c.get(extra, 0) + 1
+        handler(m, inst, regs)
+
+    return step
+
+
+def _make_compare_step(handler, key: str, result_name: str):
+    from ..obs.counters import COMPARE, COMPARE_FAILED
+
+    def step(m: "Machine", inst, regs) -> None:
+        c = m.counters
+        c[key] = c.get(key, 0) + 1
+        c[COMPARE] = c.get(COMPARE, 0) + 1
+        handler(m, inst, regs)
+        failed = bool(regs[result_name])
+        if failed:
+            c[COMPARE_FAILED] = c.get(COMPARE_FAILED, 0) + 1
+        tr = m.tracer
+        if tr is not None and tr.wants("compare"):
+            tr.dpmr_compare(m.cycles, failed)
+
+    return step
+
+
+def _decode_block_instrumented(fn: Function, block, machine: "Machine"):
+    """Like :func:`_decode_block` but with counting handlers (obs enabled).
+
+    DPMR-role classification (replica loads/stores, detection compares) only
+    applies when the machine runs with a DPMR runtime — the transform's
+    register-naming conventions are meaningless for plain applications.
+    """
+    from ..obs import counters as oc
+
+    steps, term = _decode_block(fn, block)
+    dpmr = machine.dpmr_runtime is not None
+    wrapped: list = []
+    for handler, inst, cost, fault in steps:
+        key = oc.OPCODE_CLASSES.get(type(inst), "op.other")
+        if dpmr and oc.is_dpmr_compare(inst):
+            counting = _make_compare_step(handler, key, inst.result.name)
+        else:
+            extra = None
+            if dpmr:
+                if oc.is_replica_load(inst):
+                    extra = oc.REPLICA_LOAD
+                elif oc.is_replica_store(inst):
+                    extra = oc.REPLICA_STORE
+            counting = _make_counting_step(handler, key, extra)
+        wrapped.append((counting, inst, cost, fault))
+    return wrapped, term

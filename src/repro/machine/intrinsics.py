@@ -227,6 +227,9 @@ def _qsort_run(m: Machine, base: int, nmemb: int, size: int, compare) -> None:
 
 def _dpmr_detect(m: Machine, args: List):
     code = int(args[0]) if args else 0
+    tr = m.tracer
+    if tr is not None and tr.wants("detect"):
+        tr.dpmr_detection(code, m.cycles)
     raise DpmrDetected(code)
 
 

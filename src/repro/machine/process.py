@@ -47,6 +47,9 @@ class ProcessResult:
     instructions: int
     fault_activations: Dict[str, int] = field(default_factory=dict)
     detail: str = ""
+    #: machine counters (repro.obs.counters), present only when the run was
+    #: executed with observability enabled; excluded from record signatures.
+    counters: Optional[Dict[str, int]] = None
 
     @property
     def output_text(self) -> str:
@@ -71,18 +74,45 @@ def run_process(
     seed: int = 0,
     dpmr_runtime=None,
     entry: str = "main",
+    tracer=None,
+    counters: bool = False,
+    trace_meta: Optional[Dict] = None,
 ) -> ProcessResult:
     """Run ``module`` to completion and classify the outcome.
 
     ``argv`` strings are materialized on the heap and passed as
     ``(argc, argv)`` when ``main`` declares parameters (§3.1.1); a
     zero-parameter ``main`` is also accepted.
+
+    ``tracer``/``counters`` enable observability (repro.obs); ``trace_meta``
+    identifies the run in the trace (keys ``run_id``, ``workload``,
+    ``variant``, ``site``, ``run``, ``golden_output``) — run-start/run-end
+    events bracket the execution so the trace alone reproduces the record.
     """
+    from ..obs.tracer import real_tracer
+
     old_limit = sys.getrecursionlimit()
     sys.setrecursionlimit(max(old_limit, 20000))
     machine = Machine(
-        module, max_cycles=max_cycles, seed=seed, dpmr_runtime=dpmr_runtime
+        module,
+        max_cycles=max_cycles,
+        seed=seed,
+        dpmr_runtime=dpmr_runtime,
+        tracer=tracer,
+        counters=counters,
     )
+    tr = real_tracer(tracer)
+    if tr is not None:
+        meta = trace_meta or {}
+        tr.run_start(
+            run_id=meta.get("run_id", entry),
+            workload=meta.get("workload", ""),
+            variant=meta.get("variant", ""),
+            site=meta.get("site"),
+            run=meta.get("run", 0),
+            seed=seed,
+            golden_output=meta.get("golden_output", ""),
+        )
     try:
         args = _build_main_args(machine, module, argv, entry)
         try:
@@ -114,7 +144,7 @@ def run_process(
             code = 0
             status = ExitStatus.CRASH
             detail = "stack overflow (host recursion limit)"
-        return ProcessResult(
+        result = ProcessResult(
             status=status,
             exit_code=code,
             output=machine.output,
@@ -122,7 +152,19 @@ def run_process(
             instructions=machine.instructions_executed,
             fault_activations=dict(machine.fault_activations),
             detail=detail,
+            counters=dict(machine.counters) if machine.counters is not None else None,
         )
+        if tr is not None:
+            tr.run_end(
+                status=status.value,
+                exit_code=code,
+                cycles=machine.cycles,
+                instructions=machine.instructions_executed,
+                output=result.output_text,
+                detail=detail,
+                counters=result.counters,
+            )
+        return result
     finally:
         sys.setrecursionlimit(old_limit)
 

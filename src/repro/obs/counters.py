@@ -1,0 +1,124 @@
+"""Lightweight machine counters: opcode classes and DPMR-specific roles.
+
+Counters are a plain ``dict[str, int]`` living on the machine (and copied
+onto :class:`~repro.machine.process.ProcessResult`): no classes in the hot
+loop, one dict increment per counted occurrence, and *nothing at all* when
+counters are disabled — the interpreter only installs counting handlers
+when a machine is constructed with observability on.
+
+Two classification layers:
+
+* **opcode class** — every executed instruction increments exactly one
+  ``op.<class>`` counter (:data:`OPCODE_CLASSES`);
+* **DPMR role** — instructions *emitted by the DPMR transformation* are
+  recognized at block-decode time by the transform's register-naming
+  conventions (replica registers are ``<name>_r``; transform-internal
+  temporaries use ``dpmr.*`` hints, comparison results specifically
+  ``dpmr.df``) and additionally bump ``dpmr.replica_load``,
+  ``dpmr.replica_store``, ``dpmr.compare`` / ``dpmr.compare_failed``.
+  Role detection only applies to machines running with a DPMR runtime, so
+  a standard application register that happens to end in ``_r`` is never
+  misclassified.
+
+The heap/replica churn counters (``heap.*``, ``dpmr.replica_malloc`` /
+``dpmr.replica_free``) are bumped by the machine's allocator entry points
+and the DPMR runtime rather than by instruction dispatch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from ..ir import instructions as ins
+
+#: instruction type → ``op.<class>`` counter key.
+OPCODE_CLASSES = {
+    ins.Load: "op.load",
+    ins.Store: "op.store",
+    ins.Call: "op.call",
+    ins.BinOp: "op.arith",
+    ins.Cmp: "op.cmp",
+    ins.Alloca: "op.alloca",
+    ins.Malloc: "op.malloc",
+    ins.Free: "op.free",
+    ins.FieldAddr: "op.addr",
+    ins.ElemAddr: "op.addr",
+    ins.PtrCast: "op.cast",
+    ins.PtrToInt: "op.cast",
+    ins.IntToPtr: "op.cast",
+    ins.NumCast: "op.cast",
+    ins.FuncAddr: "op.cast",
+    ins.Branch: "op.branch",
+    ins.Jump: "op.jump",
+    ins.Ret: "op.ret",
+    ins.Unreachable: "op.unreachable",
+}
+
+#: DPMR-role counter keys (see module docstring).
+REPLICA_LOAD = "dpmr.replica_load"
+REPLICA_STORE = "dpmr.replica_store"
+COMPARE = "dpmr.compare"
+COMPARE_FAILED = "dpmr.compare_failed"
+REPLICA_MALLOC = "dpmr.replica_malloc"
+REPLICA_FREE = "dpmr.replica_free"
+
+HEAP_ALLOC = "heap.alloc"
+HEAP_FREE = "heap.free"
+HEAP_ALLOC_BYTES = "heap.alloc_bytes"
+HEAP_FREE_BYTES = "heap.free_bytes"
+
+
+def new_counters() -> Dict[str, int]:
+    """A fresh counter dict (plain dict; missing keys mean zero)."""
+    return {}
+
+
+def bump(counters: Dict[str, int], key: str, by: int = 1) -> None:
+    counters[key] = counters.get(key, 0) + by
+
+
+def _is_dpmr_name(name: str) -> bool:
+    return name.endswith("_r") or name.startswith("dpmr.")
+
+
+def is_replica_load(inst) -> bool:
+    """A load emitted by the transform to read replica (or shadow) memory."""
+    if type(inst) is not ins.Load:
+        return False
+    r = inst.result
+    return r is not None and _is_dpmr_name(r.name)
+
+
+def is_replica_store(inst) -> bool:
+    """A store emitted by the transform into replica (or shadow) memory."""
+    if type(inst) is not ins.Store:
+        return False
+    p = inst.pointer
+    name = getattr(p, "name", None)
+    return name is not None and _is_dpmr_name(name)
+
+
+def is_dpmr_compare(inst) -> bool:
+    """The ``ne`` comparison of a DPMR load check (hint ``dpmr.df``)."""
+    if type(inst) is not ins.Cmp:
+        return False
+    r = inst.result
+    return r is not None and r.name.startswith("dpmr.df")
+
+
+def merge_counters(
+    totals: Dict[str, int], counters: Optional[Dict[str, int]]
+) -> Dict[str, int]:
+    """Accumulate one run's counters into ``totals`` (None is a no-op)."""
+    if counters:
+        for k, v in counters.items():
+            totals[k] = totals.get(k, 0) + v
+    return totals
+
+
+def total_counters(counter_dicts: Iterable[Optional[Dict[str, int]]]) -> Dict[str, int]:
+    """Sum many per-run counter dicts into campaign-level totals."""
+    totals: Dict[str, int] = {}
+    for c in counter_dicts:
+        merge_counters(totals, c)
+    return totals

@@ -1,0 +1,191 @@
+"""Typed trace events emitted by the observability layer.
+
+Every event is a small frozen dataclass with a ``KIND`` tag and a
+``to_dict`` serialization; the JSONL tracer writes one event per line as
+``{"ev": KIND, "run": <run id>, ...}``.  Cycle stamps (``cyc``) use the
+machine's deterministic simulated-cycle clock, so anything the evaluation
+derives from cycles — detection latency (T2D) above all — is recomputable
+from a trace alone (see :mod:`repro.obs.replay`).
+
+Event vocabulary (the schema documented in DESIGN.md §7):
+
+=================  ==========================================================
+kind               meaning
+=================  ==========================================================
+``run-start``      one experiment begins; carries its identity (workload,
+                   variant, site, run/seed) and the golden output so per-run
+                   classification needs nothing outside the trace
+``run-end``        the experiment finished: exit status, exit code, final
+                   cycle/instruction counts, output, optional counters
+``fault``          first execution of an injected instruction (successful
+                   fault injection, §3.6), stamped with its cycle
+``compare``        one DPMR load check ran; ``failed`` is True when the
+                   application and replica values differed
+``detect``         the ``dpmr_detect`` intrinsic fired (detection committed)
+``replica``        replica heap sync: a ``dpmr_replica_malloc``/``free``
+``heap``           application heap churn: one malloc/free with size
+=================  ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+RUN_START = "run-start"
+RUN_END = "run-end"
+FAULT = "fault"
+COMPARE = "compare"
+DETECT = "detect"
+REPLICA = "replica"
+HEAP = "heap"
+
+#: Every event kind, in schema order (``DPMR_TRACE_EVENTS`` validates
+#: against this).
+EVENT_KINDS = (RUN_START, RUN_END, FAULT, COMPARE, DETECT, REPLICA, HEAP)
+
+
+@dataclass(frozen=True)
+class RunStart:
+    """One experiment begins."""
+
+    run_id: str
+    workload: str
+    variant: str
+    site: Optional[str]
+    run: int
+    seed: int
+    golden_output: str
+
+    KIND = RUN_START
+
+    def to_dict(self) -> Dict:
+        return {
+            "ev": self.KIND,
+            "run": self.run_id,
+            "workload": self.workload,
+            "variant": self.variant,
+            "site": self.site,
+            "seq": self.run,
+            "seed": self.seed,
+            "golden": self.golden_output,
+        }
+
+
+@dataclass(frozen=True)
+class RunEnd:
+    """The experiment finished (normally or not)."""
+
+    run_id: str
+    status: str
+    exit_code: int
+    cycles: int
+    instructions: int
+    output: str
+    detail: str = ""
+    counters: Optional[Dict[str, int]] = None
+
+    KIND = RUN_END
+
+    def to_dict(self) -> Dict:
+        d = {
+            "ev": self.KIND,
+            "run": self.run_id,
+            "status": self.status,
+            "exit_code": self.exit_code,
+            "cyc": self.cycles,
+            "instructions": self.instructions,
+            "output": self.output,
+            "detail": self.detail,
+        }
+        if self.counters is not None:
+            d["counters"] = {k: self.counters[k] for k in sorted(self.counters)}
+        return d
+
+
+@dataclass(frozen=True)
+class FaultActivation:
+    """First execution of an instruction carrying a fault-site id."""
+
+    run_id: str
+    site: str
+    cycle: int
+
+    KIND = FAULT
+
+    def to_dict(self) -> Dict:
+        return {"ev": self.KIND, "run": self.run_id, "site": self.site, "cyc": self.cycle}
+
+
+@dataclass(frozen=True)
+class DpmrCompare:
+    """One DPMR state comparison (load check) was performed."""
+
+    run_id: str
+    cycle: int
+    failed: bool
+
+    KIND = COMPARE
+
+    def to_dict(self) -> Dict:
+        return {"ev": self.KIND, "run": self.run_id, "cyc": self.cycle, "failed": self.failed}
+
+
+@dataclass(frozen=True)
+class DpmrDetection:
+    """The ``dpmr_detect`` intrinsic committed a detection."""
+
+    run_id: str
+    code: int
+    cycle: int
+
+    KIND = DETECT
+
+    def to_dict(self) -> Dict:
+        return {"ev": self.KIND, "run": self.run_id, "code": self.code, "cyc": self.cycle}
+
+
+@dataclass(frozen=True)
+class ReplicaSync:
+    """Replica heap kept in sync with the application heap."""
+
+    run_id: str
+    op: str  # "malloc" | "free"
+    address: int
+    size: int  # 0 for frees
+    cycle: int
+
+    KIND = REPLICA
+
+    def to_dict(self) -> Dict:
+        return {
+            "ev": self.KIND,
+            "run": self.run_id,
+            "op": self.op,
+            "addr": self.address,
+            "size": self.size,
+            "cyc": self.cycle,
+        }
+
+
+@dataclass(frozen=True)
+class HeapEvent:
+    """Application heap alloc/free."""
+
+    run_id: str
+    op: str  # "malloc" | "free"
+    address: int
+    size: int
+    cycle: int
+
+    KIND = HEAP
+
+    def to_dict(self) -> Dict:
+        return {
+            "ev": self.KIND,
+            "run": self.run_id,
+            "op": self.op,
+            "addr": self.address,
+            "size": self.size,
+            "cyc": self.cycle,
+        }

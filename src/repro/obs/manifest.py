@@ -1,0 +1,105 @@
+"""Machine-readable run manifests for campaigns and clean runs.
+
+A :class:`RunManifest` is the campaign executor's flight recorder: every
+decision that used to be silent (worker count chosen and *why*, serial
+fallback reason, incremental cache behaviour per job) plus campaign-level
+aggregates (record counts by exit status, machine counter totals).  It is
+returned alongside the records by the :func:`repro.eval.run` facade and —
+when a manifest or trace path is configured — persisted as JSON next to
+the records so a benchmark run is auditable after the fact.
+
+The manifest is deliberately plain data (dicts/lists/scalars only below
+the dataclass surface) so ``to_dict()`` round-trips through JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+#: Manifest schema version; bump on incompatible shape changes.
+MANIFEST_SCHEMA = 1
+
+
+@dataclass
+class JobManifest:
+    """Per-(workload, fault-kind) telemetry of one campaign job."""
+
+    workload: str
+    kind: str
+    n_sites: int
+    n_variants: int
+    n_seeds: int
+    sites: List[str] = field(default_factory=list)
+    #: function-level transform cache behaviour (all-zero when the job ran
+    #: on the full-rebuild path).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_full_rebuilds: int = 0
+    #: finished (site, variant) builds retained on the job's build state.
+    builds_cached: int = 0
+
+
+@dataclass
+class RunManifest:
+    """Everything one executor invocation decided and observed."""
+
+    mode: str  # "campaign" | "clean"
+    schema: int = MANIFEST_SCHEMA
+    # -- executor decisions -------------------------------------------------
+    requested_jobs: int = 1
+    effective_jobs: int = 1
+    worker_reason: str = ""
+    serial_fallback: Optional[str] = None  # set when parallelism was refused
+    incremental: bool = True
+    # -- configuration snapshot --------------------------------------------
+    trace_path: Optional[str] = None
+    counters_enabled: bool = False
+    timeout_factor: Optional[int] = None
+    # -- workload shape -----------------------------------------------------
+    n_jobs: int = 0
+    n_items: int = 0
+    n_records: int = 0
+    jobs: List[JobManifest] = field(default_factory=list)
+    # -- outcome aggregates -------------------------------------------------
+    status_counts: Dict[str, int] = field(default_factory=dict)
+    counter_totals: Dict[str, int] = field(default_factory=dict)
+    wall_s: float = 0.0
+    # -- provenance ---------------------------------------------------------
+    python: str = field(default_factory=platform.python_version)
+    cpu_count: int = field(default_factory=lambda: os.cpu_count() or 1)
+    #: where this manifest was persisted, if anywhere.
+    path: Optional[str] = None
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        d = asdict(self)
+        d["status_counts"] = {k: self.status_counts[k] for k in sorted(self.status_counts)}
+        d["counter_totals"] = {k: self.counter_totals[k] for k in sorted(self.counter_totals)}
+        return d
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=False) + "\n"
+
+    def write(self, path: str) -> str:
+        """Persist as JSON; records and returns the path."""
+        path = os.fspath(path)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+        self.path = path
+        return path
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "RunManifest":
+        jobs = [JobManifest(**j) for j in d.get("jobs", ())]
+        fields = {k: v for k, v in d.items() if k != "jobs"}
+        return cls(jobs=jobs, **fields)
+
+    @classmethod
+    def read(cls, path: str) -> "RunManifest":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))

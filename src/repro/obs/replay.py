@@ -1,0 +1,142 @@
+"""Recompute evaluation quantities from a JSONL trace alone.
+
+The point of the trace schema (DESIGN.md §7) is that detection latency is
+*auditable*: given only ``run-start`` / ``fault`` / ``run-end`` events, the
+per-run classification (SF/CO/Ndet/Ddet) and T2D of §3.6 are recomputable
+bit-identically to what :class:`repro.eval.experiment.ExperimentRecord`
+derives from the in-process :class:`ProcessResult` — the test suite asserts
+exact equality over full fault campaigns.
+
+Events may interleave across runs (parallel workers share one file); every
+event carries its run id, so replay groups by id rather than by bracketing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from . import events as ev
+
+
+def read_events(path: str) -> Iterator[dict]:
+    """Iterate the events of a JSONL trace file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+@dataclass
+class TracedRun:
+    """One experiment reassembled from its trace events."""
+
+    run_id: str
+    workload: str = ""
+    variant: str = ""
+    site: Optional[str] = None
+    run: int = 0
+    seed: int = 0
+    golden_output: str = ""
+    status: Optional[str] = None
+    exit_code: int = 0
+    cycles: int = 0
+    instructions: int = 0
+    output: str = ""
+    detail: str = ""
+    counters: Optional[Dict[str, int]] = None
+    #: site id → cycle of first activation (mirrors ``fault_activations``).
+    activations: Dict[str, int] = field(default_factory=dict)
+    compares: int = 0
+    compare_failures: int = 0
+
+    # -- §3.6 classification, recomputed from trace data alone ------------
+
+    @property
+    def sf(self) -> bool:
+        return self.site is not None and self.site in self.activations
+
+    @property
+    def co(self) -> bool:
+        return (
+            self.status == "normal"
+            and self.exit_code == 0
+            and self.output == self.golden_output
+        )
+
+    @property
+    def ddet(self) -> bool:
+        return self.status == "dpmr-detected"
+
+    @property
+    def ndet(self) -> bool:
+        if self.status in ("crash", "app-error"):
+            return True
+        return self.status == "normal" and self.exit_code != 0
+
+    @property
+    def detection_time(self) -> Optional[int]:
+        if self.ddet or self.ndet:
+            return self.cycles
+        return None
+
+    @property
+    def t2d(self) -> Optional[int]:
+        """Eq. 3.4, from the trace: detection cycle minus activation cycle."""
+        if self.co or not self.sf:
+            return None
+        d = self.detection_time
+        a = self.activations.get(self.site)
+        if d is None or a is None:
+            return None
+        return max(d - a, 0)
+
+
+def runs_from_events(events: Iterable[dict]) -> Dict[str, TracedRun]:
+    """Group a trace's events into per-run :class:`TracedRun` objects."""
+    runs: Dict[str, TracedRun] = {}
+
+    def run(run_id: str) -> TracedRun:
+        if run_id not in runs:
+            runs[run_id] = TracedRun(run_id)
+        return runs[run_id]
+
+    for e in events:
+        kind = e.get("ev")
+        r = run(e.get("run", "?"))
+        if kind == ev.RUN_START:
+            r.workload = e.get("workload", "")
+            r.variant = e.get("variant", "")
+            r.site = e.get("site")
+            r.run = e.get("seq", 0)
+            r.seed = e.get("seed", 0)
+            r.golden_output = e.get("golden", "")
+        elif kind == ev.RUN_END:
+            r.status = e.get("status")
+            r.exit_code = e.get("exit_code", 0)
+            r.cycles = e.get("cyc", 0)
+            r.instructions = e.get("instructions", 0)
+            r.output = e.get("output", "")
+            r.detail = e.get("detail", "")
+            r.counters = e.get("counters")
+        elif kind == ev.FAULT:
+            site = e["site"]
+            if site not in r.activations:
+                r.activations[site] = e["cyc"]
+        elif kind == ev.COMPARE:
+            r.compares += 1
+            if e.get("failed"):
+                r.compare_failures += 1
+    return runs
+
+
+def load_runs(path: str) -> Dict[str, TracedRun]:
+    """Read a JSONL trace file into per-run objects."""
+    return runs_from_events(read_events(path))
+
+
+def t2d_by_run(path: str) -> Dict[str, Optional[int]]:
+    """run id → T2D (cycles), recomputed from the trace alone."""
+    return {rid: r.t2d for rid, r in load_runs(path).items()}

@@ -1,0 +1,213 @@
+"""Tracer protocol, the null implementation, and the JSONL backend.
+
+The machine, DPMR runtime, and campaign executor all talk to a
+:class:`Tracer` — never to a file — so tracing backends are swappable and
+the *disabled* path stays free: a machine constructed without a tracer (or
+with :class:`NullTracer`) executes the exact pre-observability interpreter
+loop; instrumentation is selected once at machine construction, not checked
+per instruction (see ``Machine._exec`` in :mod:`repro.machine.interpreter`).
+
+``JsonlTracer`` writes one event per line (``DPMR_TRACE=path`` enables it
+through :class:`repro.eval.config.ExecConfig`).  It is fork-aware: the
+campaign executor forks workers after the tracer exists, so the tracer
+reopens its file (append mode) whenever it notices a new pid, and flushes
+at every run boundary so a run's events land in one write.  Every line
+carries the run id, so readers never rely on line order across processes;
+for strictly ordered traces run the campaign serially (``jobs=1``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, Optional, Set, TextIO
+
+from . import events as ev
+
+
+class Tracer:
+    """Protocol (and no-op base) for trace backends.
+
+    Subclasses override :meth:`_write` plus, optionally, :meth:`wants` to
+    narrow which event kinds the instrumentation bothers generating —
+    ``wants`` is consulted at *decode* time, so unwanted events cost nothing
+    at execution time.
+    """
+
+    #: False only for the null tracer: lets consumers fast-path it away.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._run: Optional[str] = None
+
+    # -- gating --------------------------------------------------------------
+
+    def wants(self, kind: str) -> bool:
+        return True
+
+    # -- typed event emission -----------------------------------------------
+
+    def run_start(
+        self,
+        run_id: str,
+        workload: str,
+        variant: str,
+        site: Optional[str],
+        run: int,
+        seed: int,
+        golden_output: str = "",
+    ) -> None:
+        self._run = run_id
+        if self.wants(ev.RUN_START):
+            self._write(
+                ev.RunStart(run_id, workload, variant, site, run, seed, golden_output)
+            )
+
+    def run_end(
+        self,
+        status: str,
+        exit_code: int,
+        cycles: int,
+        instructions: int,
+        output: str,
+        detail: str = "",
+        counters: Optional[Dict[str, int]] = None,
+    ) -> None:
+        if self.wants(ev.RUN_END):
+            self._write(
+                ev.RunEnd(
+                    self._run or "?",
+                    status,
+                    exit_code,
+                    cycles,
+                    instructions,
+                    output,
+                    detail,
+                    counters,
+                )
+            )
+        self._run = None
+        self.flush()
+
+    def fault_activation(self, site: str, cycle: int) -> None:
+        self._write(ev.FaultActivation(self._run or "?", site, cycle))
+
+    def dpmr_compare(self, cycle: int, failed: bool) -> None:
+        self._write(ev.DpmrCompare(self._run or "?", cycle, failed))
+
+    def dpmr_detection(self, code: int, cycle: int) -> None:
+        self._write(ev.DpmrDetection(self._run or "?", code, cycle))
+
+    def replica_sync(self, op: str, address: int, size: int, cycle: int) -> None:
+        self._write(ev.ReplicaSync(self._run or "?", op, address, size, cycle))
+
+    def heap_event(self, op: str, address: int, size: int, cycle: int) -> None:
+        self._write(ev.HeapEvent(self._run or "?", op, address, size, cycle))
+
+    # -- backend hooks --------------------------------------------------------
+
+    def _write(self, event) -> None:  # pragma: no cover - abstract-ish
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        self.flush()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class NullTracer(Tracer):
+    """The explicit no-op tracer: never wants anything, never writes.
+
+    A machine given a ``NullTracer`` (or ``tracer=None``) stays on the
+    uninstrumented interpreter fast path — this class exists so callers can
+    pass "a tracer" unconditionally.
+    """
+
+    enabled = False
+
+    def wants(self, kind: str) -> bool:
+        return False
+
+    def _write(self, event) -> None:
+        pass
+
+
+class CollectingTracer(Tracer):
+    """In-memory backend (tests, ad-hoc inspection): events as dicts."""
+
+    def __init__(self, events: Optional[Iterable[str]] = None) -> None:
+        super().__init__()
+        self.events: list = []
+        self._kinds: Optional[Set[str]] = None if events is None else set(events)
+
+    def wants(self, kind: str) -> bool:
+        return self._kinds is None or kind in self._kinds
+
+    def _write(self, event) -> None:
+        self.events.append(event.to_dict())
+
+
+class JsonlTracer(Tracer):
+    """Append-only JSON-lines backend (the ``DPMR_TRACE=path`` tracer)."""
+
+    def __init__(
+        self,
+        path: str,
+        events: Optional[Iterable[str]] = None,
+        flush_every: int = 4096,
+    ) -> None:
+        super().__init__()
+        self.path = os.fspath(path)
+        self._kinds: Optional[Set[str]] = None if events is None else set(events)
+        if self._kinds is not None:
+            unknown = self._kinds - set(ev.EVENT_KINDS)
+            if unknown:
+                raise ValueError(
+                    f"unknown trace event kind(s) {sorted(unknown)}; "
+                    f"valid: {', '.join(ev.EVENT_KINDS)}"
+                )
+        self._flush_every = flush_every
+        self._buf: list = []
+        self._fh: Optional[TextIO] = None
+        self._pid: Optional[int] = None
+
+    def wants(self, kind: str) -> bool:
+        return self._kinds is None or kind in self._kinds
+
+    def _write(self, event) -> None:
+        self._buf.append(json.dumps(event.to_dict(), separators=(",", ":")))
+        if len(self._buf) >= self._flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        if not self._buf:
+            return
+        pid = os.getpid()
+        if self._fh is None or pid != self._pid:
+            # Forked worker (or first write): (re)open in append mode so all
+            # processes of one campaign share the file at line granularity.
+            self._fh = open(self.path, "a", encoding="utf-8")
+            self._pid = pid
+        self._fh.write("\n".join(self._buf) + "\n")
+        self._fh.flush()
+        self._buf.clear()
+
+    def close(self) -> None:
+        self.flush()
+        if self._fh is not None and self._pid == os.getpid():
+            self._fh.close()
+        self._fh = None
+
+
+def real_tracer(tracer: Optional[Tracer]) -> Optional[Tracer]:
+    """Normalize "no tracing": None and disabled tracers both become None."""
+    if tracer is None or not tracer.enabled:
+        return None
+    return tracer

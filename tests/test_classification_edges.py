@@ -1,0 +1,138 @@
+"""ExitStatus classification edges (§3.6, Table 3.2).
+
+Two boundaries that are easy to get off-by-one and that the trace replay
+inherits verbatim:
+
+* a run that finishes using *exactly* its cycle budget is NORMAL — the
+  interpreter raises ``Timeout`` only when ``cycles > max_cycles`` (the
+  harness budget is ``golden_cycles * timeout_factor``, so a variant at
+  exactly the factor is within budget);
+* ``app_error`` is APP_ERROR (natural detection) even when the run already
+  produced byte-exact golden output — detection beats "correct output".
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiment import ExperimentRecord
+from repro.ir import INT32, INT64, VOID, ModuleBuilder, verify_module
+from repro.machine.process import ExitStatus, run_process
+from tests.conftest import build_sum_module
+
+
+def _sum_module_then_app_error(code: int):
+    """Same program (and output) as ``build_sum_module``, then app_error."""
+    mb = ModuleBuilder("sum")
+    mb.declare_external("print_i64", VOID, [INT64])
+    mb.declare_external("app_error", VOID, [INT32])
+    fn, b = mb.define("main", INT32)
+    n = 10
+    arr = b.malloc(INT64, b.i64(n))
+    with b.for_range(b.i64(n)) as i:
+        b.store(b.elem_addr(arr, i), b.mul(i, i))
+    total = b.alloca(INT64)
+    b.store(total, b.i64(0))
+    with b.for_range(b.i64(n)) as i:
+        b.store(total, b.add(b.load(total), b.load(b.elem_addr(arr, i))))
+    b.call("print_i64", [b.load(total)])
+    b.free(arr)
+    b.call("app_error", [b.i32(code)])
+    b.ret(b.i32(0))
+    verify_module(mb.module)
+    return mb.module
+
+
+class TestTimeoutBoundary:
+    def test_exactly_at_budget_is_normal(self):
+        golden = run_process(build_sum_module())
+        assert golden.status is ExitStatus.NORMAL
+        exact = run_process(build_sum_module(), max_cycles=golden.cycles)
+        assert exact.status is ExitStatus.NORMAL
+        assert exact.cycles == golden.cycles
+
+    def test_one_cycle_short_times_out(self):
+        golden = run_process(build_sum_module())
+        short = run_process(build_sum_module(), max_cycles=golden.cycles - 1)
+        assert short.status is ExitStatus.TIMEOUT
+        assert short.exit_code == 0
+
+    def test_boundary_identical_on_instrumented_path(self):
+        # The observability twin loop must place the timeout check at the
+        # same instruction, or traced runs would classify differently.
+        golden = run_process(build_sum_module())
+        exact = run_process(
+            build_sum_module(), max_cycles=golden.cycles, counters=True
+        )
+        short = run_process(
+            build_sum_module(), max_cycles=golden.cycles - 1, counters=True
+        )
+        assert exact.status is ExitStatus.NORMAL
+        assert short.status is ExitStatus.TIMEOUT
+
+    def test_timeout_record_is_neither_co_nor_detected(self):
+        golden = run_process(build_sum_module())
+        short = run_process(build_sum_module(), max_cycles=golden.cycles - 1)
+        rec = ExperimentRecord(
+            workload="sum",
+            variant="stdapp",
+            site=None,
+            run=0,
+            result=short,
+            golden_output=golden.output_text,
+        )
+        assert not rec.co and not rec.ndet and not rec.ddet
+        assert not rec.covered
+        assert rec.detection_time is None
+
+
+class TestAppErrorWithCorrectOutput:
+    def test_app_error_after_golden_output_is_natural_detection(self):
+        golden = run_process(build_sum_module())
+        erred = run_process(_sum_module_then_app_error(9))
+        # The program produced byte-exact golden output before detecting.
+        assert erred.output_text == golden.output_text
+        assert erred.status is ExitStatus.APP_ERROR
+        assert erred.exit_code == 9
+        rec = ExperimentRecord(
+            workload="sum",
+            variant="stdapp",
+            site=None,
+            run=0,
+            result=erred,
+            golden_output=golden.output_text,
+        )
+        # Detection wins: the run is Ndet, not CO, despite matching output.
+        assert rec.ndet and not rec.co and not rec.ddet
+        assert rec.covered
+        assert rec.detection_time == erred.cycles
+
+    def test_nonzero_exit_code_is_natural_detection(self):
+        golden = run_process(build_sum_module())
+        mb = ModuleBuilder("exit1")
+        fn, b = mb.define("main", INT32)
+        b.ret(b.i32(1))
+        verify_module(mb.module)
+        result = run_process(mb.module)
+        assert result.status is ExitStatus.NORMAL and result.exit_code == 1
+        rec = ExperimentRecord(
+            workload="sum",
+            variant="stdapp",
+            site=None,
+            run=0,
+            result=result,
+            golden_output=golden.output_text,
+        )
+        assert rec.ndet and not rec.co
+
+    def test_silent_wrong_output_is_uncovered(self):
+        golden = run_process(build_sum_module(10))
+        other = run_process(build_sum_module(9))  # clean exit, wrong sum
+        rec = ExperimentRecord(
+            workload="sum",
+            variant="stdapp",
+            site=None,
+            run=0,
+            result=other,
+            golden_output=golden.output_text,
+        )
+        assert not rec.co and not rec.ndet and not rec.ddet
+        assert not rec.covered
