@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""Result-store benchmark → ``store`` section of ``BENCH_interp.json``.
+
+Measures what the persistent result store (eval/store.py) buys a repeated
+or resumed campaign:
+
+* **cold campaign time** — every experiment computed and written to a
+  fresh store;
+* **warm campaign time** — the same campaign again: every record served
+  from the store (keying, lookup, and record deserialization only);
+* **identity** — warm records must be bit-identical
+  (``ExperimentRecord.signature``) to the cold run's, and to a run with
+  no store at all.
+
+``--smoke`` runs the identity check alone on a small campaign (both
+fault kinds, exits non-zero on any divergence) so CI can gate on it
+cheaply.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_store.py          # measure + update BENCH
+    PYTHONPATH=src python benchmarks/perf_store.py --smoke  # CI identity gate
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.apps import WORKLOAD_ORDER, app_factory
+from repro.eval import (
+    ExecConfig,
+    WorkloadHarness,
+    diversity_variants,
+    run,
+    stdapp_variant,
+)
+from repro.faultinject import HEAP_ARRAY_RESIZE, IMMEDIATE_FREE
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_interp.json"
+
+REPS = 3
+
+
+def _run_store_cycle(apps, kinds, variants, verbose=False):
+    """One cold + one warm pass per (app, kind); returns timing and any
+    divergence descriptions."""
+    failures = []
+    cold_s = warm_s = bare_s = 0.0
+    n_records = hits = 0
+    for app in apps:
+        harness = WorkloadHarness(app, app_factory(app, 1))
+        for kind in kinds:
+            with tempfile.TemporaryDirectory() as store_dir:
+                cfg = ExecConfig(jobs=1, store_path=store_dir)
+                t0 = time.perf_counter()
+                bare = run(harness, variants, kind=kind, config=ExecConfig(jobs=1))
+                t1 = time.perf_counter()
+                cold = run(harness, variants, kind=kind, config=cfg)
+                t2 = time.perf_counter()
+                warm = run(harness, variants, kind=kind, config=cfg)
+                t3 = time.perf_counter()
+                bare_s += t1 - t0
+                cold_s += t2 - t1
+                warm_s += t3 - t2
+                n_records += len(cold.records)
+                hits += warm.manifest.store_hits
+                for tag, res in (("cold", cold), ("warm", warm)):
+                    if [r.signature() for r in res.records] != [
+                        r.signature() for r in bare.records
+                    ]:
+                        failures.append(f"records ({tag}): {app}/{kind}")
+                if warm.manifest.store_misses:
+                    failures.append(
+                        f"warm misses={warm.manifest.store_misses}: {app}/{kind}"
+                    )
+                if verbose:
+                    print(
+                        f"  {app}/{kind}: {len(cold.records)} records "
+                        f"cold {t2 - t1:.2f}s warm {t3 - t2:.2f}s"
+                    )
+    return {
+        "records": n_records,
+        "store_hits_warm": hits,
+        "no_store_s": round(bare_s, 3),
+        "cold_s": round(cold_s, 3),
+        "warm_s": round(warm_s, 3),
+        "store_write_overhead": round(cold_s / bare_s, 3) if bare_s else 0.0,
+        "speedup_warm_vs_cold": round(cold_s / warm_s, 2) if warm_s else 0.0,
+    }, failures
+
+
+def smoke() -> None:
+    variants = [stdapp_variant()] + diversity_variants("sds")[:3]
+    stats, failures = _run_store_cycle(
+        ("mcf",), (HEAP_ARRAY_RESIZE, IMMEDIATE_FREE), variants
+    )
+    if failures:
+        for f in failures:
+            print(f"DIVERGED: {f}", file=sys.stderr)
+        sys.exit(1)
+    print(
+        f"smoke OK: warm store replayed {stats['store_hits_warm']} records "
+        f"bit-identical to the storeless run "
+        f"({stats['speedup_warm_vs_cold']}x over cold)"
+    )
+
+
+def main() -> None:
+    if "--smoke" in sys.argv[1:]:
+        smoke()
+        return
+    variants = [stdapp_variant()] + diversity_variants("sds")
+    stats, failures = _run_store_cycle(
+        WORKLOAD_ORDER,
+        (HEAP_ARRAY_RESIZE, IMMEDIATE_FREE),
+        variants,
+        verbose=True,
+    )
+    stats["identical_to_no_store"] = not failures
+    payload = json.loads(OUT_PATH.read_text()) if OUT_PATH.exists() else {}
+    payload["store"] = stats
+    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(stats, indent=2))
+    if failures:
+        for f in failures:
+            print(f"DIVERGED: {f}", file=sys.stderr)
+        sys.exit("FATAL: store-served records diverged")
+
+
+if __name__ == "__main__":
+    main()

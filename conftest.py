@@ -1,0 +1,71 @@
+"""Root pytest plugin: reproducible randomized test ordering.
+
+The executor's determinism guarantees are only credible if the test
+suite passes in any order; ``--shuffle-seed`` shuffles the collected
+items with a seeded RNG so an ordering failure is reproducible.  CI runs
+the suite with ``--shuffle-seed=auto`` and, on failure, uploads the run
+manifest this plugin writes (``.pytest-run-manifest.json``: the seed,
+the exact execution order, and every failing test) so the failing order
+can be replayed locally with ``--shuffle-seed=<seed>``.
+
+(pytest-randomly is deliberately not a dependency — the test image is
+offline; this is the minimal subset the repo needs.)
+"""
+
+import json
+import random
+
+MANIFEST_PATH = ".pytest-run-manifest.json"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--shuffle-seed",
+        default=None,
+        help="shuffle collected test order with this integer seed "
+        "('auto' draws one); writes .pytest-run-manifest.json",
+    )
+
+
+def pytest_configure(config):
+    raw = config.getoption("--shuffle-seed")
+    if raw is None:
+        return
+    seed = random.randrange(1, 1 << 32) if raw == "auto" else int(raw)
+    config.pluginmanager.register(_ShufflePlugin(seed), "repro-shuffle")
+
+
+class _ShufflePlugin:
+    def __init__(self, seed):
+        self.seed = seed
+        self.order = []
+        self.failures = []
+
+    def pytest_report_header(self, config):
+        return (
+            f"shuffled test order: seed={self.seed} "
+            f"(reproduce with --shuffle-seed={self.seed})"
+        )
+
+    def pytest_collection_modifyitems(self, config, items):
+        random.Random(self.seed).shuffle(items)
+        self.order = [item.nodeid for item in items]
+
+    def pytest_runtest_logreport(self, report):
+        if report.failed:
+            self.failures.append(
+                {"nodeid": report.nodeid, "when": report.when}
+            )
+
+    def pytest_sessionfinish(self, session, exitstatus):
+        manifest = {
+            "schema": 1,
+            "shuffle_seed": self.seed,
+            "exit_status": int(exitstatus),
+            "n_tests": len(self.order),
+            "failures": self.failures,
+            "order": self.order,
+        }
+        with open(MANIFEST_PATH, "w") as fh:
+            json.dump(manifest, fh, indent=2)
+            fh.write("\n")

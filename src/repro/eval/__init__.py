@@ -42,6 +42,14 @@ from .report import (
     manifest_section,
     overhead_table,
 )
+from .store import (
+    ResultStore,
+    StoreStats,
+    experiment_key,
+    module_fingerprint,
+    variant_fingerprint,
+)
+from .supervise import SupervisionStats, WorkerSupervisor
 from .variants import (
     CompiledVariant,
     Variant,
@@ -59,8 +67,12 @@ __all__ = [
     "ExecConfig",
     "ExperimentRecord",
     "JobBuildState",
+    "ResultStore",
+    "StoreStats",
+    "SupervisionStats",
     "TIMEOUT_FACTOR",
     "Variant",
+    "WorkerSupervisor",
     "WorkloadHarness",
     "aggregate_counters",
     "by_variant",
@@ -74,9 +86,11 @@ __all__ = [
     "default_jobs",
     "diversity_variants",
     "effective_workers",
+    "experiment_key",
     "incremental_default",
     "job_for_harness",
     "latency_table",
+    "module_fingerprint",
     "manifest_section",
     "mean_time_to_detection",
     "overhead_table",
@@ -88,4 +102,5 @@ __all__ = [
     "std_not_all_det_sites",
     "stdapp_variant",
     "successful",
+    "variant_fingerprint",
 ]

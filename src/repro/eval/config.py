@@ -12,6 +12,12 @@ Knobs (all optional):
 ``DPMR_COUNTERS``         ``1``/``true`` enables machine counters sans trace
 ``DPMR_TIMEOUT_FACTOR``   timeout multiple of golden running time (default 20)
 ``DPMR_MANIFEST``         path for the run manifest (default: next to trace)
+``DPMR_STORE``            directory of the persistent result store (off by
+                          default; enables campaign memoization and resume)
+``DPMR_RETRIES``          infrastructure retries per experiment before its
+                          site is quarantined (default 2)
+``DPMR_EXP_TIMEOUT``      per-experiment wall-clock budget in seconds for
+                          supervised workers (default 0 = unlimited)
 ========================  =====================================================
 
 ``ExecConfig`` is frozen: derive variations with :func:`dataclasses.replace`.
@@ -33,6 +39,12 @@ TRACE_EVENTS_ENV_VAR = "DPMR_TRACE_EVENTS"
 COUNTERS_ENV_VAR = "DPMR_COUNTERS"
 TIMEOUT_FACTOR_ENV_VAR = "DPMR_TIMEOUT_FACTOR"
 MANIFEST_ENV_VAR = "DPMR_MANIFEST"
+STORE_ENV_VAR = "DPMR_STORE"
+RETRIES_ENV_VAR = "DPMR_RETRIES"
+EXP_TIMEOUT_ENV_VAR = "DPMR_EXP_TIMEOUT"
+
+#: infrastructure retries per experiment before its site is quarantined.
+DEFAULT_RETRIES = 2
 
 _FALSE_WORDS = ("0", "false", "off", "no")
 _TRUE_WORDS = ("1", "true", "on", "yes")
@@ -46,6 +58,16 @@ def _parse_int(env: Mapping[str, str], var: str, default: int) -> int:
         return int(raw)
     except ValueError:
         raise ValueError(f"{var} must be an integer, got {raw!r}") from None
+
+
+def _parse_float(env: Mapping[str, str], var: str, default: float) -> float:
+    raw = env.get(var, "").strip()
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise ValueError(f"{var} must be a number, got {raw!r}") from None
 
 
 def _parse_flag(env: Mapping[str, str], var: str, default: bool) -> bool:
@@ -83,6 +105,17 @@ class ExecConfig:
     timeout_factor: int = DEFAULT_TIMEOUT_FACTOR
     #: where to persist the run manifest (``None``: next to the trace, if any).
     manifest_path: Optional[str] = None
+    #: directory of the persistent result store (``None`` disables it).
+    store_path: Optional[str] = None
+    #: infrastructure retries per experiment before its site is quarantined.
+    retries: int = DEFAULT_RETRIES
+    #: per-experiment wall-clock budget (seconds) enforced by the worker
+    #: supervisor; 0 disables the budget.  Serial execution cannot preempt
+    #: an experiment, so the budget only applies to supervised workers.
+    exp_timeout_s: float = 0.0
+    #: base of the exponential retry backoff (not environment-exposed;
+    #: tests shrink it, production leaves the default).
+    retry_backoff_s: float = 0.05
 
     @classmethod
     def from_env(cls, env: Optional[Mapping[str, str]] = None) -> "ExecConfig":
@@ -106,6 +139,9 @@ class ExecConfig:
                 env, TIMEOUT_FACTOR_ENV_VAR, DEFAULT_TIMEOUT_FACTOR
             ),
             manifest_path=env.get(MANIFEST_ENV_VAR, "").strip() or None,
+            store_path=env.get(STORE_ENV_VAR, "").strip() or None,
+            retries=max(0, _parse_int(env, RETRIES_ENV_VAR, DEFAULT_RETRIES)),
+            exp_timeout_s=max(0.0, _parse_float(env, EXP_TIMEOUT_ENV_VAR, 0.0)),
         )
 
     # -- derived ------------------------------------------------------------
@@ -127,6 +163,19 @@ class ExecConfig:
 
         events = list(self.trace_events) if self.trace_events is not None else None
         return JsonlTracer(self.trace_path, events=events)
+
+    def make_store(self):
+        """A :class:`~repro.eval.store.ResultStore`, or None without a path.
+
+        Each executor invocation opens its own store handle so hit/miss
+        statistics are per-run; entries on disk are shared across handles
+        and processes.
+        """
+        if self.store_path is None:
+            return None
+        from .store import ResultStore
+
+        return ResultStore(self.store_path)
 
     def effective_manifest_path(self) -> Optional[str]:
         """Where the manifest should be persisted (``None``: keep in memory)."""

@@ -36,6 +36,30 @@ class ExperimentRecord:
     result: ProcessResult
     golden_output: str
 
+    def signature(self) -> tuple:
+        """Every measured field, as one comparable value.
+
+        Two records are *bit-identical* for the executor's determinism and
+        resume guarantees iff their signatures are equal.  Machine counters
+        are deliberately excluded — observability must never change what an
+        experiment measures, and store hits replay records that may have
+        been computed under a different observability configuration.
+        """
+        return (
+            self.workload,
+            self.variant,
+            self.site,
+            self.run,
+            self.golden_output,
+            self.result.status,
+            self.result.exit_code,
+            self.result.output_text,
+            self.result.cycles,
+            self.result.instructions,
+            tuple(sorted(self.result.fault_activations.items())),
+            self.result.detail,
+        )
+
     @property
     def sf(self) -> bool:
         """Successful fault injection: the injected code executed (§3.6)."""

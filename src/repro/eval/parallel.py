@@ -43,6 +43,21 @@ fork/IPC cost, and the pool never exceeds the machine's CPU count.
 Platforms without the ``fork`` start method fall back to serial execution —
 determinism there would require pickling program factories and re-deriving
 the hash seed, which the fork path gets for free.
+
+**Resilience** (``DPMR_STORE`` / ``DPMR_RETRIES`` / ``DPMR_EXP_TIMEOUT``):
+with a store configured, every finished record is persisted under a
+content address (:mod:`repro.eval.store`) and looked up before execution,
+so re-running a campaign skips already-computed tuples and an interrupted
+campaign resumes where it died.  Parallel workers run under a
+:class:`~repro.eval.supervise.WorkerSupervisor` — a SIGKILLed or wedged
+worker is detected, respawned, and its experiment retried with exponential
+backoff; serial execution applies the same bounded-retry policy to
+infrastructure exceptions.  An experiment that keeps failing has its fault
+*site* quarantined: the site's records are excluded from the result, the
+campaign completes, and the run manifest records the quarantine, every
+retry, and all store traffic — degradation is never silent.  All of this
+is bit-transparent: the surviving records are byte-identical to an
+uninterrupted serial run without a store.
 """
 
 from __future__ import annotations
@@ -60,7 +75,7 @@ from ..core.incremental import IncrementalDpmrCompiler
 from ..faultinject.campaign import Campaign, ProgramFactory
 from ..faultinject.injector import FaultSite, inject
 from ..ir.module import Module
-from ..obs.manifest import JobManifest, RunManifest
+from ..obs.manifest import JobManifest, QuarantineRecord, RunManifest
 from .config import (
     INCREMENTAL_ENV_VAR,
     JOBS_ENV_VAR,
@@ -68,6 +83,7 @@ from .config import (
     merge_deprecated,
 )
 from .experiment import ExperimentRecord
+from .supervise import SupervisionStats, WorkerSupervisor
 from .variants import CompiledVariant, Variant
 
 logger = logging.getLogger("repro.eval.parallel")
@@ -213,13 +229,19 @@ def prepare_build_states(jobs: Sequence[CampaignJob]) -> List[JobBuildState]:
 # An experiment tuple: (job index, site index, variant index, run index).
 _Item = Tuple[int, int, int, int]
 
-# Worker-side state.  Populated in the parent immediately before the pool is
+# Worker-side state.  Populated in the parent immediately before workers are
 # forked (fork inherits it); None in a plain process.
 _WORKER_JOBS: Optional[List[CampaignJob]] = None
 _WORKER_STATES: Optional[List[JobBuildState]] = None
 _WORKER_TRACER = None  # file-backed tracer shared with workers (fork-aware)
 _WORKER_COUNTERS = False
 _COMPILED: "OrderedDict[Tuple[int, int, int], CompiledVariant]" = OrderedDict()
+
+#: Test-only chaos hook: a callable invoked with each experiment tuple at
+#: the top of :func:`_run_item` (inherited by forked workers).  The chaos
+#: test-suite uses it to SIGKILL a worker, wedge an experiment, or poison a
+#: site deterministically; production leaves it None.
+_CHAOS_HOOK = None
 
 
 def _compiled_for(
@@ -277,6 +299,9 @@ def _run_item(
     counters: bool = False,
 ) -> ExperimentRecord:
     ji, si, vi, ri = item
+    hook = _CHAOS_HOOK
+    if hook is not None:
+        hook(item)
     job = jobs[ji]
     variant = job.variants[vi].name
     site = job.sites[si].site_id
@@ -309,23 +334,43 @@ def _run_item(
     )
 
 
-def _run_chunk(chunk: List[_Item]) -> List[Tuple[_Item, ExperimentRecord]]:
-    """Worker entry point: execute one chunk of experiment tuples."""
+def _supervised_worker(wid: int, task_conn, result_conn) -> None:
+    """Worker entry point: execute experiment tuples until told to stop.
+
+    Receives one item at a time over its private task pipe (per-item
+    dispatch is what lets the supervisor attribute a crash or hang to a
+    specific experiment) and reports ``(wid, item, ok, payload)`` on its
+    private result pipe; an infrastructure exception is reported as a
+    failure message rather than killing the worker, so the supervisor can
+    decide between retry and quarantine.  ``None`` or EOF on the task
+    pipe means shut down.
+    """
     jobs = _WORKER_JOBS
     assert jobs is not None, "worker forked before _WORKER_JOBS was set"
-    return [
-        (
-            item,
-            _run_item(
+    while True:
+        try:
+            item = task_conn.recv()
+        except (EOFError, OSError):
+            return
+        if item is None:
+            return
+        try:
+            record = _run_item(
                 jobs,
                 _WORKER_STATES,
                 item,
                 tracer=_WORKER_TRACER,
                 counters=_WORKER_COUNTERS,
-            ),
-        )
-        for item in chunk
-    ]
+            )
+        except BaseException as exc:  # noqa: BLE001 — reported, not hidden
+            try:
+                result_conn.send(
+                    (wid, item, False, f"{type(exc).__name__}: {exc}")
+                )
+            except Exception:
+                os._exit(1)
+            continue
+        result_conn.send((wid, item, True, record))
 
 
 def _all_items(jobs: Sequence[CampaignJob]) -> List[_Item]:
@@ -337,20 +382,6 @@ def _all_items(jobs: Sequence[CampaignJob]) -> List[_Item]:
         for vi in range(len(job.variants))
         for ri in range(len(job.seeds))
     ]
-
-
-def _chunked(items: List[_Item], processes: int) -> List[List[_Item]]:
-    """Split work into in-order chunks, ~4 per worker for load balance.
-
-    Keeping tuples in serial order means runs of the same (site, variant)
-    stay adjacent, so the worker-side compiled-variant cache hits for every
-    seed after the first.
-    """
-    if not items:
-        return []
-    n_chunks = max(1, min(len(items), processes * 4))
-    size = -(-len(items) // n_chunks)
-    return [items[i : i + size] for i in range(0, len(items), size)]
 
 
 def _worker_decision(
@@ -412,6 +443,125 @@ def _job_manifests(
     return out
 
 
+def _store_index(
+    jobs: List[CampaignJob],
+    states: Optional[List[JobBuildState]],
+    items: List[_Item],
+    config: ExecConfig,
+    store,
+) -> Tuple[Dict[_Item, ExperimentRecord], Dict[_Item, str], Dict[_Item, Dict]]:
+    """Look up every experiment tuple in the persistent store.
+
+    Returns ``(cached, keys, key_fields)``: records served as hits, the
+    content address of every item, and the human-readable key fields
+    persisted with each entry.  Module fingerprints come from each job's
+    pristine snapshot — by the factory-determinism contract the snapshot's
+    text equals the text of every module a worker would rebuild.
+    """
+    from .store import (
+        exec_fingerprint,
+        experiment_key,
+        module_fingerprint,
+        variant_fingerprint,
+    )
+
+    exec_fp = exec_fingerprint(config)
+    module_shas: List[str] = []
+    for ji, job in enumerate(jobs):
+        if states is not None:
+            pristine = states[ji].pristine
+        elif job.pristine is not None:
+            pristine = job.pristine
+        else:
+            pristine = job.factory()
+        module_shas.append(module_fingerprint(pristine))
+    variant_fps = [[variant_fingerprint(v) for v in job.variants] for job in jobs]
+
+    cached: Dict[_Item, ExperimentRecord] = {}
+    keys: Dict[_Item, str] = {}
+    key_fields: Dict[_Item, Dict] = {}
+    for item in items:
+        ji, si, vi, ri = item
+        job = jobs[ji]
+        fields = {
+            "workload": job.workload,
+            "kind": job.kind,
+            "percent": job.percent,
+            "site": job.sites[si].site_id,
+            "variant_fp": variant_fps[ji][vi],
+            "seed": job.seeds[ri],
+            "run": ri,
+            "argv": list(job.argv),
+            "timeout": job.timeout,
+            "exec_fp": exec_fp,
+            "module_sha": module_shas[ji],
+        }
+        key = experiment_key(**fields)
+        keys[item] = key
+        key_fields[item] = fields
+        record = store.get(key)
+        if record is not None:
+            cached[item] = record
+    return cached, keys, key_fields
+
+
+def _run_serial_supervised(
+    jobs: List[CampaignJob],
+    states: Optional[List[JobBuildState]],
+    misses: List[_Item],
+    config: ExecConfig,
+    tracer,
+    counters: bool,
+    stats: SupervisionStats,
+    on_result,
+) -> Dict[_Item, ExperimentRecord]:
+    """The serial execution path with bounded retry and quarantine.
+
+    Serial execution cannot preempt a wedged experiment (no wall-clock
+    budget applies), but infrastructure exceptions get the same
+    retry-with-backoff and site-quarantine treatment as supervised workers,
+    so a poisoned site degrades the campaign instead of aborting it.
+    """
+    computed: Dict[_Item, ExperimentRecord] = {}
+    for item in misses:
+        site = item[:2]
+        if site in stats.quarantined:
+            continue
+        attempt = 0
+        while True:
+            try:
+                record = _run_item(
+                    jobs, states, item, tracer=tracer, counters=counters
+                )
+            except Exception as exc:
+                attempt += 1
+                reason = f"{type(exc).__name__}: {exc}"
+                if attempt > config.retries:
+                    logger.warning(
+                        "quarantining site %r after %d failed attempt(s): %s",
+                        site,
+                        attempt,
+                        reason,
+                    )
+                    stats.quarantined[site] = (attempt, reason)
+                    break
+                stats.retries += 1
+                logger.warning(
+                    "retrying %r (attempt %d/%d): %s",
+                    item,
+                    attempt + 1,
+                    config.retries + 1,
+                    reason,
+                )
+                time.sleep(config.retry_backoff_s * (2 ** (attempt - 1)))
+                continue
+            computed[item] = record
+            if on_result is not None:
+                on_result(item, record)
+            break
+    return computed
+
+
 def run_campaign_jobs_with_manifest(
     jobs: Sequence[CampaignJob],
     config: Optional[ExecConfig] = None,
@@ -423,11 +573,13 @@ def run_campaign_jobs_with_manifest(
     The manifest captures every executor decision (requested vs. effective
     worker count and why, serial-fallback reason, incremental cache
     behaviour per job) plus campaign aggregates (status counts, machine
-    counter totals when observability is on).  ``config`` defaults to
-    :meth:`ExecConfig.from_env`; ``tracer`` overrides the config's trace
-    file (pass a :class:`~repro.obs.CollectingTracer` in tests).  Records
-    stay bit-identical across serial/parallel, incremental/full-rebuild,
-    and observability on/off execution.
+    counter totals when observability is on) and every resilience event
+    (store hits/misses/corruption, retries, worker restarts, quarantined
+    sites).  ``config`` defaults to :meth:`ExecConfig.from_env`; ``tracer``
+    overrides the config's trace file (pass a
+    :class:`~repro.obs.CollectingTracer` in tests).  Records stay
+    bit-identical across serial/parallel, incremental/full-rebuild,
+    store-cold/store-warm, and observability on/off execution.
     """
     global _WORKER_JOBS, _WORKER_STATES, _WORKER_TRACER, _WORKER_COUNTERS
     from ..obs.counters import total_counters
@@ -449,7 +601,26 @@ def run_campaign_jobs_with_manifest(
     tracer = real_tracer(tracer)
     counters = config.counters or tracer is not None
 
-    effective, reason, fallback = _worker_decision(config.jobs, len(items))
+    # -- persistent store lookup ---------------------------------------
+    store = config.make_store()
+    cached: Dict[_Item, ExperimentRecord] = {}
+    keys: Dict[_Item, str] = {}
+    key_fields: Dict[_Item, Dict] = {}
+    if store is not None and items:
+        cached, keys, key_fields = _store_index(
+            jobs, states, items, config, store
+        )
+    misses = [item for item in items if item not in cached]
+    on_result = None
+    if store is not None:
+        on_result = lambda item, record: store.put(  # noqa: E731
+            keys[item], record, key_fields.get(item)
+        )
+
+    if items and not misses:
+        effective, reason, fallback = 1, "all experiments served from store", None
+    else:
+        effective, reason, fallback = _worker_decision(config.jobs, len(misses))
     if fallback is not None:
         logger.warning(
             "campaign requested %d workers but runs serially: %s",
@@ -469,38 +640,62 @@ def run_campaign_jobs_with_manifest(
         n_jobs=len(jobs),
         n_items=len(items),
     )
+    stats = SupervisionStats()
     started = time.monotonic()
     try:
         if effective <= 1:
             _COMPILED.clear()
             try:
-                records = [
-                    _run_item(jobs, states, item, tracer=tracer, counters=counters)
-                    for item in items
-                ]
+                computed = _run_serial_supervised(
+                    jobs,
+                    states,
+                    misses,
+                    config,
+                    tracer,
+                    counters,
+                    stats,
+                    on_result,
+                )
             finally:
                 _COMPILED.clear()
         else:
             ctx = multiprocessing.get_context("fork")
-            results: Dict[_Item, ExperimentRecord] = {}
             _WORKER_JOBS = jobs
             _WORKER_STATES = states
             _WORKER_TRACER = tracer
             _WORKER_COUNTERS = counters
             _COMPILED.clear()
             try:
-                with ctx.Pool(effective) as pool:
-                    for pairs in pool.imap_unordered(
-                        _run_chunk, _chunked(items, effective)
-                    ):
-                        for item, record in pairs:
-                            results[item] = record
+                supervisor = WorkerSupervisor(
+                    ctx,
+                    _supervised_worker,
+                    effective,
+                    retries=config.retries,
+                    exp_timeout_s=config.exp_timeout_s,
+                    backoff_s=config.retry_backoff_s,
+                    site_of=lambda item: item[:2],
+                    on_result=on_result,
+                )
+                computed = supervisor.run(misses)
+                stats = supervisor.stats
             finally:
                 _WORKER_JOBS = None
                 _WORKER_STATES = None
                 _WORKER_TRACER = None
                 _WORKER_COUNTERS = False
-            records = [results[item] for item in items]
+        records = []
+        for item in items:
+            if item[:2] in stats.quarantined:
+                continue
+            record = cached.get(item)
+            if record is None:
+                record = computed.get(item)
+            if record is None:
+                raise RuntimeError(
+                    f"experiment {item} neither computed nor quarantined "
+                    "(supervisor invariant violated)"
+                )
+            records.append(record)
     finally:
         if own_tracer and tracer is not None:
             tracer.close()
@@ -508,6 +703,25 @@ def run_campaign_jobs_with_manifest(
     manifest.wall_s = time.monotonic() - started
     manifest.n_records = len(records)
     manifest.jobs = _job_manifests(jobs, states)
+    manifest.retries = stats.retries
+    manifest.worker_restarts = stats.worker_restarts
+    manifest.exp_timeouts = stats.exp_timeouts
+    for (ji, si), (attempts, reason_q) in sorted(stats.quarantined.items()):
+        manifest.quarantined.append(
+            QuarantineRecord(
+                workload=jobs[ji].workload,
+                kind=jobs[ji].kind,
+                site=jobs[ji].sites[si].site_id,
+                attempts=attempts,
+                reason=reason_q,
+            )
+        )
+    if store is not None:
+        manifest.store_path = store.root
+        manifest.store_hits = store.stats.hits
+        manifest.store_misses = store.stats.misses
+        manifest.store_writes = store.stats.writes
+        manifest.store_corrupt = store.stats.corrupt
     for r in records:
         s = r.result.status.value
         manifest.status_counts[s] = manifest.status_counts.get(s, 0) + 1

@@ -137,6 +137,23 @@ def manifest_section(manifest) -> str:
             f"full_rebuilds={jm.cache_full_rebuilds} "
             f"builds_cached={jm.builds_cached}"
         )
+    if manifest.store_path is not None:
+        lines.append(
+            f"store: path={manifest.store_path} hits={manifest.store_hits} "
+            f"misses={manifest.store_misses} writes={manifest.store_writes} "
+            f"corrupt={manifest.store_corrupt}"
+        )
+    if manifest.retries or manifest.worker_restarts or manifest.exp_timeouts:
+        lines.append(
+            f"resilience: retries={manifest.retries} "
+            f"worker_restarts={manifest.worker_restarts} "
+            f"exp_timeouts={manifest.exp_timeouts}"
+        )
+    for q in manifest.quarantined:
+        lines.append(
+            f"  quarantined {q.workload}/{q.kind}/{q.site}: "
+            f"attempts={q.attempts} ({q.reason})"
+        )
     if manifest.status_counts:
         statuses = " ".join(
             f"{k}={manifest.status_counts[k]}" for k in sorted(manifest.status_counts)

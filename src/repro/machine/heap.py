@@ -89,7 +89,10 @@ class HeapAllocator:
         if addr == 0:
             addr = self._bump(payload)
         self.live_chunks += 1
-        self.bytes_in_use += payload
+        # A recycled chunk may be larger than the rounded request; account
+        # for what was actually reserved (last_payload) so free()'s debit of
+        # the chunk's true size keeps bytes_in_use balanced.
+        self.bytes_in_use += self.last_payload
         return addr
 
     def _take_from_free_list(self, payload: int) -> int:

@@ -26,7 +26,7 @@ from .counters import (
     total_counters,
 )
 from .events import EVENT_KINDS
-from .manifest import MANIFEST_SCHEMA, JobManifest, RunManifest
+from .manifest import MANIFEST_SCHEMA, JobManifest, QuarantineRecord, RunManifest
 from .replay import TracedRun, load_runs, read_events, runs_from_events, t2d_by_run
 from .tracer import CollectingTracer, JsonlTracer, NullTracer, Tracer, real_tracer
 
@@ -37,6 +37,7 @@ __all__ = [
     "JsonlTracer",
     "MANIFEST_SCHEMA",
     "NullTracer",
+    "QuarantineRecord",
     "OPCODE_CLASSES",
     "RunManifest",
     "TracedRun",

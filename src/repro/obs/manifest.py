@@ -21,7 +21,25 @@ from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
 
 #: Manifest schema version; bump on incompatible shape changes.
-MANIFEST_SCHEMA = 1
+MANIFEST_SCHEMA = 2
+
+
+@dataclass
+class QuarantineRecord:
+    """One fault site excluded from a campaign after exhausting retries.
+
+    Quarantine is the executor's graceful-degradation escape hatch: a site
+    whose experiments keep failing at the *infrastructure* level (worker
+    death, per-experiment timeout, build machinery exceptions) is dropped
+    from the result set instead of killing the whole campaign, and the
+    decision is recorded here so no degradation is ever silent.
+    """
+
+    workload: str
+    kind: str
+    site: str
+    attempts: int
+    reason: str
 
 
 @dataclass
@@ -64,6 +82,22 @@ class RunManifest:
     n_items: int = 0
     n_records: int = 0
     jobs: List[JobManifest] = field(default_factory=list)
+    # -- resilience ---------------------------------------------------------
+    #: persistent result store in use (None: store disabled).
+    store_path: Optional[str] = None
+    store_hits: int = 0
+    store_misses: int = 0
+    store_writes: int = 0
+    #: corrupt/truncated store entries discarded and recomputed.
+    store_corrupt: int = 0
+    #: experiment attempts repeated after an infrastructure failure.
+    retries: int = 0
+    #: supervised workers respawned after dying or being killed.
+    worker_restarts: int = 0
+    #: experiments killed for exceeding the per-experiment wall budget.
+    exp_timeouts: int = 0
+    #: sites excluded after exhausting retries (never silent).
+    quarantined: List[QuarantineRecord] = field(default_factory=list)
     # -- outcome aggregates -------------------------------------------------
     status_counts: Dict[str, int] = field(default_factory=dict)
     counter_totals: Dict[str, int] = field(default_factory=dict)
@@ -96,8 +130,11 @@ class RunManifest:
     @classmethod
     def from_dict(cls, d: Dict) -> "RunManifest":
         jobs = [JobManifest(**j) for j in d.get("jobs", ())]
-        fields = {k: v for k, v in d.items() if k != "jobs"}
-        return cls(jobs=jobs, **fields)
+        quarantined = [QuarantineRecord(**q) for q in d.get("quarantined", ())]
+        fields = {
+            k: v for k, v in d.items() if k not in ("jobs", "quarantined")
+        }
+        return cls(jobs=jobs, quarantined=quarantined, **fields)
 
     @classmethod
     def read(cls, path: str) -> "RunManifest":

@@ -1,0 +1,190 @@
+"""Property tests for the heap allocator's structural invariants.
+
+Hypothesis drives random alloc/free interleavings directly against
+:class:`~repro.machine.heap.HeapAllocator` and checks, after every
+operation, the invariants the fault-injection results rest on: live
+chunks never overlap, the free list stays walkable (correct magics, in
+bounds, acyclic), and the allocator's accounting (``live_chunks``,
+``bytes_in_use``) matches a shadow model.  A final end-to-end test
+checks the ``heap.*`` machine counters balance when a program frees
+everything it allocates.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.ir import INT32, INT64, VOID, ModuleBuilder, PointerType, verify_module
+from repro.machine.heap import (
+    ALIGN,
+    HEADER_SIZE,
+    MAGIC_ALLOCATED,
+    MAGIC_FREED,
+    MIN_PAYLOAD,
+    HeapAllocator,
+    HeapError,
+)
+from repro.machine.memory import Memory
+from repro.machine.process import ExitStatus, run_process
+
+import pytest
+
+_U64 = PointerType(VOID)
+
+
+def build_balanced_module(n: int = 16):
+    """A program that frees every heap allocation it makes."""
+    mb = ModuleBuilder("balanced")
+    mb.declare_external("print_i64", VOID, [INT64])
+    _, b = mb.define("main", INT32)
+    arr = b.malloc(INT64, b.i64(n))
+    with b.for_range(b.i64(n)) as i:
+        b.store(b.elem_addr(arr, i), b.mul(i, i))
+    total = b.alloca(INT64)
+    b.store(total, b.i64(0))
+    with b.for_range(b.i64(n)) as i:
+        b.store(total, b.add(b.load(total), b.load(b.elem_addr(arr, i))))
+    b.call("print_i64", [b.load(total)])
+    b.free(arr)
+    b.ret(b.i32(0))
+    verify_module(mb.module)
+    return mb.module
+
+
+def walk_free_list(heap):
+    """Return [(header_addr, size)] of the free list, asserting integrity:
+    every node carries the freed magic, lies inside the allocated region,
+    and the chain terminates without revisiting a node."""
+    nodes = []
+    seen = set()
+    cur = heap.free_head
+    while cur != 0:
+        assert cur not in seen, "free list cycle"
+        seen.add(cur)
+        assert heap.base <= cur and cur + HEADER_SIZE <= heap.top
+        size, magic = heap._read_header(cur)
+        assert magic == MAGIC_FREED
+        assert 0 < size
+        assert cur + HEADER_SIZE + size <= heap.top
+        nodes.append((cur, size))
+        cur = heap.memory.read_scalar(cur + HEADER_SIZE, _U64)
+    return nodes
+
+
+def check_invariants(heap, live):
+    """``live`` is the shadow model: payload address -> payload size."""
+    assert heap.live_chunks == len(live)
+    assert heap.bytes_in_use == sum(live.values())
+    for addr, size in live.items():
+        assert heap.is_live_chunk(addr)
+        assert heap.payload_size(addr) == size
+    free_nodes = walk_free_list(heap)
+    # No chunk — live or free, header included — overlaps any other.
+    chunks = [(addr - HEADER_SIZE, addr + size) for addr, size in live.items()]
+    chunks += [(hdr, hdr + HEADER_SIZE + size) for hdr, size in free_nodes]
+    chunks.sort()
+    for (_, end), (start, _) in zip(chunks, chunks[1:]):
+        assert end <= start, "overlapping chunks"
+    if chunks:
+        assert chunks[0][0] >= heap.base
+        assert chunks[-1][1] <= heap.top
+
+
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("malloc"), st.integers(min_value=0, max_value=256)),
+        st.tuples(st.just("free"), st.integers(min_value=0, max_value=1 << 30)),
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+
+@given(ops=OPS)
+def test_random_alloc_free_preserves_invariants(ops):
+    heap = HeapAllocator(Memory())
+    live = {}
+    for kind, val in ops:
+        if kind == "malloc":
+            addr = heap.malloc(val)
+            assert addr % ALIGN == 0
+            size = heap.payload_size(addr)
+            # Rounded up, never down; a recycled chunk may be larger.
+            assert size >= heap.round_request(val) >= max(val, MIN_PAYLOAD)
+            live[addr] = size
+        elif live:
+            victim = sorted(live)[val % len(live)]
+            heap.free(victim)
+            assert not heap.is_live_chunk(victim)
+            del live[victim]
+        check_invariants(heap, live)
+
+
+@given(ops=OPS)
+def test_freeing_everything_drains_the_heap(ops):
+    heap = HeapAllocator(Memory())
+    live = {}
+    for kind, val in ops:
+        if kind == "malloc":
+            addr = heap.malloc(val)
+            live[addr] = heap.payload_size(addr)
+        elif live:
+            victim = sorted(live)[val % len(live)]
+            heap.free(victim)
+            del live[victim]
+    for addr in sorted(live):
+        heap.free(addr)
+    assert heap.live_chunks == 0
+    assert heap.bytes_in_use == 0
+    # Everything ever carved out of the bump region is now on the free list.
+    free_bytes = sum(HEADER_SIZE + size for _, size in walk_free_list(heap))
+    assert free_bytes == heap.top - heap.base
+
+
+@given(sizes=st.lists(st.integers(0, 256), min_size=1, max_size=20))
+def test_recycled_chunks_come_from_the_free_list(sizes):
+    """LIFO first-fit: freeing then reallocating the same size reuses the
+    freed chunk instead of growing the bump pointer."""
+    heap = HeapAllocator(Memory())
+    addrs = [heap.malloc(s) for s in sizes]
+    top = heap.top
+    for addr in reversed(addrs):
+        heap.free(addr)
+    again = [heap.malloc(s) for s in sizes]
+    assert heap.top == top, "reallocation should not grow the heap"
+    assert sorted(again) == sorted(addrs)
+    check_invariants(heap, {a: heap.payload_size(a) for a in again})
+
+
+def test_double_free_is_detected():
+    heap = HeapAllocator(Memory())
+    addr = heap.malloc(40)
+    heap.free(addr)
+    with pytest.raises(HeapError, match="double free"):
+        heap.free(addr)
+
+
+def test_misaligned_and_foreign_frees_are_detected():
+    heap = HeapAllocator(Memory())
+    addr = heap.malloc(40)
+    with pytest.raises(HeapError, match="misaligned"):
+        heap.free(addr + 1)
+    with pytest.raises(HeapError, match="non-heap"):
+        heap.free(0x10)  # null page / out of segment
+    heap.free(addr)  # the original pointer is still freeable
+
+
+def test_free_null_is_a_noop():
+    heap = HeapAllocator(Memory())
+    heap.free(0)
+    assert heap.live_chunks == 0
+    assert heap.bytes_in_use == 0
+
+
+def test_heap_counters_balance_when_everything_is_freed():
+    """End-to-end: a program that frees every allocation must report
+    balanced ``heap.*`` byte and operation counters."""
+    result = run_process(build_balanced_module(16), counters=True)
+    assert result.status is ExitStatus.NORMAL
+    c = result.counters
+    assert c["heap.alloc"] >= 1
+    assert c["heap.alloc"] == c["heap.free"]
+    assert c["heap.alloc_bytes"] == c["heap.free_bytes"] > 0
