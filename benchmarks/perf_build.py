@@ -29,6 +29,7 @@ Usage::
 
 from __future__ import annotations
 
+import gc
 import json
 import sys
 import time
@@ -98,9 +99,16 @@ def bench_build_paths() -> dict:
         f()  # warm caches (imports, memo for warm_pass)
         best = None
         for _ in range(REPS):
-            t0 = time.perf_counter()
-            f()
-            dt = time.perf_counter() - t0
+            # GC off during the timed region: a collector pass landing
+            # mid-run skews best-of-N on this noisy container.
+            gc.disable()
+            try:
+                t0 = time.perf_counter()
+                f()
+                dt = time.perf_counter() - t0
+            finally:
+                gc.enable()
+            gc.collect()
             best = dt if best is None else min(best, dt)
         return best
 

@@ -24,6 +24,7 @@ Usage::
 
 from __future__ import annotations
 
+import gc
 import json
 import sys
 import tempfile
@@ -56,13 +57,20 @@ def _run_store_cycle(apps, kinds, variants, verbose=False):
         for kind in kinds:
             with tempfile.TemporaryDirectory() as store_dir:
                 cfg = ExecConfig(jobs=1, store_path=store_dir)
-                t0 = time.perf_counter()
-                bare = run(harness, variants, kind=kind, config=ExecConfig(jobs=1))
-                t1 = time.perf_counter()
-                cold = run(harness, variants, kind=kind, config=cfg)
-                t2 = time.perf_counter()
-                warm = run(harness, variants, kind=kind, config=cfg)
-                t3 = time.perf_counter()
+                # GC off during the timed region: a collector pass landing
+                # mid-run skews the cold/warm comparison.
+                gc.disable()
+                try:
+                    t0 = time.perf_counter()
+                    bare = run(harness, variants, kind=kind, config=ExecConfig(jobs=1))
+                    t1 = time.perf_counter()
+                    cold = run(harness, variants, kind=kind, config=cfg)
+                    t2 = time.perf_counter()
+                    warm = run(harness, variants, kind=kind, config=cfg)
+                    t3 = time.perf_counter()
+                finally:
+                    gc.enable()
+                gc.collect()
                 bare_s += t1 - t0
                 cold_s += t2 - t1
                 warm_s += t3 - t2

@@ -19,7 +19,10 @@ a content-addressed, function-granular transform cache:
 3. re-transformed functions are memoized under
    ``(function name, content hash)`` — the variant configuration is fixed
    per compiler instance — so repeated compiles of the same faulty function
-   run the translator at most once.
+   run the translator at most once.  The key is built with
+   :func:`repro.machine.compile.content_cache_key`, the same
+   content-addressing discipline the compiled execution tier uses for its
+   generated-code cache.
 
 The result is **bit-identical** to a full rebuild: output functions are
 declared with fresh register/label counters exactly as the full pass
@@ -39,6 +42,7 @@ from typing import Dict, List, Optional, Tuple
 from ..ir.module import Function, Module
 from ..ir.printer import function_fingerprint
 from ..ir.verifier import verify_function, verify_module
+from ..machine.compile import content_cache_key
 from .aug_types import ReplicationDesign
 from .mds import MdsTransform
 from .pipeline import DpmrBuild, DpmrCompiler
@@ -121,13 +125,14 @@ class IncrementalDpmrCompiler:
         hits = sum(1 for fn in module.defined_functions()) - len(changed)
         misses = 0
         for name, fingerprint in changed.items():
-            replacement = self._memo.get((name, fingerprint))
+            memo_key = content_cache_key(name, fingerprint)
+            replacement = self._memo.get(memo_key)
             if replacement is not None:
                 hits += 1
             else:
                 misses += 1
                 replacement = self._retransform(module, out, name)
-                self._memo[(name, fingerprint)] = replacement
+                self._memo[memo_key] = replacement
             for out_name, out_fn in replacement:
                 if out_name in out.functions:
                     out.functions[out_name] = out_fn  # in place: keeps order

@@ -72,6 +72,7 @@ class DpmrBuild:
         tracer=None,
         counters: bool = False,
         trace_meta=None,
+        compiled: bool = False,
     ) -> ProcessResult:
         return run_process(
             self.module,
@@ -82,6 +83,7 @@ class DpmrBuild:
             tracer=tracer,
             counters=counters,
             trace_meta=trace_meta,
+            compiled=compiled,
         )
 
     @property

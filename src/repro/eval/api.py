@@ -106,6 +106,8 @@ def _run_clean(
         tracer = cfg.make_tracer()
     tracer = real_tracer(tracer)
     counters = cfg.counters or tracer is not None
+    # Observability forces the instrumented interpreter (see parallel.py).
+    use_compiled = cfg.compiled and not counters
 
     manifest = RunManifest(
         mode="clean",
@@ -115,10 +117,14 @@ def _run_clean(
         incremental=False,
         trace_path=cfg.trace_path if (own_tracer and tracer is not None) else None,
         counters_enabled=counters,
+        engine="compiled" if use_compiled else "interp",
         timeout_factor=cfg.timeout_factor,
         n_jobs=1,
         n_items=len(variants) * len(harness.seeds),
     )
+    from ..machine.compile import codegen_stats
+
+    cg_before = codegen_stats()
     started = time.monotonic()
     records: List[ExperimentRecord] = []
     try:
@@ -126,13 +132,20 @@ def _run_clean(
             for seed in harness.seeds:
                 records.append(
                     harness.run_clean(
-                        variant, seed=seed, tracer=tracer, counters=counters
+                        variant,
+                        seed=seed,
+                        tracer=tracer,
+                        counters=counters,
+                        compiled=use_compiled,
                     )
                 )
     finally:
         if own_tracer and tracer is not None:
             tracer.close()
     manifest.wall_s = time.monotonic() - started
+    cg_after = codegen_stats()
+    manifest.codegen_hits = cg_after["hits"] - cg_before["hits"]
+    manifest.codegen_misses = cg_after["misses"] - cg_before["misses"]
     manifest.n_records = len(records)
     for r in records:
         s = r.result.status.value

@@ -18,6 +18,9 @@ Knobs (all optional):
                           site is quarantined (default 2)
 ``DPMR_EXP_TIMEOUT``      per-experiment wall-clock budget in seconds for
                           supervised workers (default 0 = unlimited)
+``DPMR_COMPILE``          ``1``/``true`` selects the compiled execution tier
+                          (bit-identical records; ignored when observability
+                          forces the instrumented interpreter)
 ========================  =====================================================
 
 ``ExecConfig`` is frozen: derive variations with :func:`dataclasses.replace`.
@@ -42,6 +45,7 @@ MANIFEST_ENV_VAR = "DPMR_MANIFEST"
 STORE_ENV_VAR = "DPMR_STORE"
 RETRIES_ENV_VAR = "DPMR_RETRIES"
 EXP_TIMEOUT_ENV_VAR = "DPMR_EXP_TIMEOUT"
+COMPILE_ENV_VAR = "DPMR_COMPILE"
 
 #: infrastructure retries per experiment before its site is quarantined.
 DEFAULT_RETRIES = 2
@@ -116,6 +120,11 @@ class ExecConfig:
     #: base of the exponential retry backoff (not environment-exposed;
     #: tests shrink it, production leaves the default).
     retry_backoff_s: float = 0.05
+    #: compiled execution tier (repro.machine.compile).  Bit-transparent:
+    #: records are signature-identical to the interpreter, so this knob is
+    #: deliberately excluded from store fingerprints.  Whenever a run needs
+    #: tracing or counters it falls back to the instrumented interpreter.
+    compiled: bool = False
 
     @classmethod
     def from_env(cls, env: Optional[Mapping[str, str]] = None) -> "ExecConfig":
@@ -142,6 +151,7 @@ class ExecConfig:
             store_path=env.get(STORE_ENV_VAR, "").strip() or None,
             retries=max(0, _parse_int(env, RETRIES_ENV_VAR, DEFAULT_RETRIES)),
             exp_timeout_s=max(0.0, _parse_float(env, EXP_TIMEOUT_ENV_VAR, 0.0)),
+            compiled=_parse_flag(env, COMPILE_ENV_VAR, False),
         )
 
     # -- derived ------------------------------------------------------------

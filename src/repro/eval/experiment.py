@@ -146,8 +146,9 @@ class WorkloadHarness:
         seed: int = 0,
         tracer=None,
         counters: bool = False,
+        compiled: bool = False,
     ) -> ExperimentRecord:
-        compiled = variant.compile(self.factory())
+        build = variant.compile(self.factory())
         trace_meta = None
         if tracer is not None:
             trace_meta = {
@@ -158,13 +159,14 @@ class WorkloadHarness:
                 "run": seed,
                 "golden_output": self.golden.output_text,
             }
-        result = compiled.run(
+        result = build.run(
             argv=self.argv,
             max_cycles=self.timeout * 3,
             seed=seed,
             tracer=tracer,
             counters=counters,
             trace_meta=trace_meta,
+            compiled=compiled,
         )
         return ExperimentRecord(
             workload=self.name,

@@ -235,6 +235,7 @@ _WORKER_JOBS: Optional[List[CampaignJob]] = None
 _WORKER_STATES: Optional[List[JobBuildState]] = None
 _WORKER_TRACER = None  # file-backed tracer shared with workers (fork-aware)
 _WORKER_COUNTERS = False
+_WORKER_USE_COMPILED = False  # compiled execution tier (DPMR_COMPILE)
 _COMPILED: "OrderedDict[Tuple[int, int, int], CompiledVariant]" = OrderedDict()
 
 #: Test-only chaos hook: a callable invoked with each experiment tuple at
@@ -297,6 +298,7 @@ def _run_item(
     item: _Item,
     tracer=None,
     counters: bool = False,
+    use_compiled: bool = False,
 ) -> ExperimentRecord:
     ji, si, vi, ri = item
     hook = _CHAOS_HOOK
@@ -323,6 +325,7 @@ def _run_item(
         tracer=tracer,
         counters=counters,
         trace_meta=trace_meta,
+        compiled=use_compiled,
     )
     return ExperimentRecord(
         workload=job.workload,
@@ -361,6 +364,7 @@ def _supervised_worker(wid: int, task_conn, result_conn) -> None:
                 item,
                 tracer=_WORKER_TRACER,
                 counters=_WORKER_COUNTERS,
+                use_compiled=_WORKER_USE_COMPILED,
             )
         except BaseException as exc:  # noqa: BLE001 — reported, not hidden
             try:
@@ -512,6 +516,7 @@ def _run_serial_supervised(
     config: ExecConfig,
     tracer,
     counters: bool,
+    use_compiled: bool,
     stats: SupervisionStats,
     on_result,
 ) -> Dict[_Item, ExperimentRecord]:
@@ -531,7 +536,12 @@ def _run_serial_supervised(
         while True:
             try:
                 record = _run_item(
-                    jobs, states, item, tracer=tracer, counters=counters
+                    jobs,
+                    states,
+                    item,
+                    tracer=tracer,
+                    counters=counters,
+                    use_compiled=use_compiled,
                 )
             except Exception as exc:
                 attempt += 1
@@ -582,6 +592,8 @@ def run_campaign_jobs_with_manifest(
     store-cold/store-warm, and observability on/off execution.
     """
     global _WORKER_JOBS, _WORKER_STATES, _WORKER_TRACER, _WORKER_COUNTERS
+    global _WORKER_USE_COMPILED
+    from ..machine.compile import codegen_stats
     from ..obs.counters import total_counters
     from ..obs.tracer import real_tracer
 
@@ -600,6 +612,9 @@ def run_campaign_jobs_with_manifest(
         tracer = config.make_tracer()
     tracer = real_tracer(tracer)
     counters = config.counters or tracer is not None
+    # Observability forces the instrumented interpreter; the compiled tier
+    # only engages on bare runs (records are bit-identical either way).
+    use_compiled = config.compiled and not counters
 
     # -- persistent store lookup ---------------------------------------
     store = config.make_store()
@@ -636,11 +651,17 @@ def run_campaign_jobs_with_manifest(
         incremental=bool(states is not None),
         trace_path=config.trace_path if (own_tracer and tracer is not None) else None,
         counters_enabled=counters,
+        engine="compiled" if use_compiled else "interp",
         timeout_factor=config.timeout_factor,
         n_jobs=len(jobs),
         n_items=len(items),
     )
     stats = SupervisionStats()
+    # Coordinator-process snapshot: forked workers' codegen stats do not
+    # cross the process boundary, so the deltas below cover serial runs and
+    # the coordinator's share of parallel ones (still enough to show the
+    # content-addressed cache working across a campaign).
+    cg_before = codegen_stats()
     started = time.monotonic()
     try:
         if effective <= 1:
@@ -653,6 +674,7 @@ def run_campaign_jobs_with_manifest(
                     config,
                     tracer,
                     counters,
+                    use_compiled,
                     stats,
                     on_result,
                 )
@@ -664,6 +686,7 @@ def run_campaign_jobs_with_manifest(
             _WORKER_STATES = states
             _WORKER_TRACER = tracer
             _WORKER_COUNTERS = counters
+            _WORKER_USE_COMPILED = use_compiled
             _COMPILED.clear()
             try:
                 supervisor = WorkerSupervisor(
@@ -683,6 +706,7 @@ def run_campaign_jobs_with_manifest(
                 _WORKER_STATES = None
                 _WORKER_TRACER = None
                 _WORKER_COUNTERS = False
+                _WORKER_USE_COMPILED = False
         records = []
         for item in items:
             if item[:2] in stats.quarantined:
@@ -701,6 +725,9 @@ def run_campaign_jobs_with_manifest(
             tracer.close()
 
     manifest.wall_s = time.monotonic() - started
+    cg_after = codegen_stats()
+    manifest.codegen_hits = cg_after["hits"] - cg_before["hits"]
+    manifest.codegen_misses = cg_after["misses"] - cg_before["misses"]
     manifest.n_records = len(records)
     manifest.jobs = _job_manifests(jobs, states)
     manifest.retries = stats.retries

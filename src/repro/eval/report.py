@@ -122,6 +122,14 @@ def manifest_section(manifest) -> str:
     lines.append(
         f"builds: incremental={'on' if manifest.incremental else 'off'}"
     )
+    engine = getattr(manifest, "engine", "interp")
+    if engine == "compiled":
+        lines.append(
+            f"engine: compiled (codegen hits={manifest.codegen_hits} "
+            f"misses={manifest.codegen_misses})"
+        )
+    else:
+        lines.append(f"engine: {engine}")
     obs_bits = []
     if manifest.trace_path is not None:
         obs_bits.append(f"trace={manifest.trace_path}")

@@ -79,8 +79,9 @@ def exec_fingerprint(config: ExecConfig) -> str:
     """Hash of the result-affecting :class:`ExecConfig` fields.
 
     Only ``timeout_factor`` can change what a record *contains*; worker
-    count, incremental builds, tracing, and the resilience knobs are all
-    proven bit-transparent and excluded so their variation never misses.
+    count, incremental builds, tracing, the compiled execution tier
+    (``DPMR_COMPILE``), and the resilience knobs are all proven
+    bit-transparent and excluded so their variation never misses.
     """
     payload = json.dumps(
         {"timeout_factor": config.timeout_factor}, sort_keys=True

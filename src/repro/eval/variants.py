@@ -59,6 +59,7 @@ class CompiledVariant:
         tracer=None,
         counters: bool = False,
         trace_meta=None,
+        compiled: bool = False,
     ) -> ProcessResult:
         if self._build is not None:
             return self._build.run(
@@ -68,6 +69,7 @@ class CompiledVariant:
                 tracer=tracer,
                 counters=counters,
                 trace_meta=trace_meta,
+                compiled=compiled,
             )
         return run_process(
             self.module,
@@ -77,6 +79,7 @@ class CompiledVariant:
             tracer=tracer,
             counters=counters,
             trace_meta=trace_meta,
+            compiled=compiled,
         )
 
     @property

@@ -132,6 +132,40 @@ class Function:
         for block in self.blocks:
             yield from block.instructions
 
+    def reachable_blocks(self) -> List[BasicBlock]:
+        """Blocks reachable from the entry, in ``blocks`` order.
+
+        Codegen-facing metadata mirroring the machine's decode rules
+        exactly: a block ends at its *first* terminator (dead instructions
+        after it contribute nothing), and a branch/jump label that does not
+        resolve simply has no successor edge (executing it traps; it never
+        makes anything reachable).
+        """
+        from .instructions import Branch, Jump, Ret, Unreachable
+
+        def successors(block: BasicBlock) -> List[str]:
+            for inst in block.instructions:
+                k = type(inst)
+                if k is Branch:
+                    return [inst.then_target, inst.else_target]
+                if k is Jump:
+                    return [inst.target]
+                if k is Ret or k is Unreachable:
+                    return []
+            return []
+
+        if not self.blocks:
+            return []
+        seen = {self.blocks[0].label}
+        work = [self.blocks[0]]
+        while work:
+            for label in successors(work.pop()):
+                target = self._block_index.get(label)
+                if target is not None and target.label not in seen:
+                    seen.add(target.label)
+                    work.append(target)
+        return [b for b in self.blocks if b.label in seen]
+
     def clone(self) -> "Function":
         """Structural copy sharing types, params, and operand values.
 

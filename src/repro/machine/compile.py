@@ -1,0 +1,225 @@
+"""Compiled execution tier: codegen caching and program binding.
+
+:func:`compiled_program_for` turns a :class:`~repro.ir.module.Module` into
+a :class:`CompiledProgram` — one specialized Python callable per internal
+function (see :mod:`repro.machine.codegen`) sharing a single exec
+namespace so direct calls are plain global lookups.
+
+Caching is content-addressed with the same key discipline as
+``IncrementalDpmrCompiler`` (which imports :func:`content_cache_key` from
+here): a code object is cached under ``(function name, sha256 of the
+generated source)``.  The generated source embeds every context-dependent
+fold (global/function addresses, the callee table), so the key subsumes
+the variant fingerprint — two variants whose transform produced the same
+function text share one code object, and a warm campaign compiles each
+faulty function exactly once.  A second, cheaper level memoizes the code
+object directly on the ``Function`` (keyed by a digest of the module
+context): ``Module.clone`` shares untouched functions by identity, so
+campaign clones skip even source generation.
+
+Fallback rules (the interpreter is always the reference engine):
+
+* a function the generator rejects (or whose generation raises) gets no
+  compiled body; callers reach it through a shim that re-enters
+  ``Machine.call``, which interprets it;
+* a machine whose memory geometry gives globals different addresses than
+  the default layout refuses the compiled program entirely (checked by
+  ``Machine.__init__`` against ``global_layout``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import weakref
+from typing import Callable, Dict, Optional, Tuple
+
+from ..ir.module import Function, Module
+from ..ir.types import FloatType, IntType, VOID_PTR
+from .codegen import CodegenUnsupported, ProgramContext, generate_function_source, sanitize
+from .interpreter import (
+    FUNC_ADDR_BASE,
+    FUNC_ADDR_STRIDE,
+    ExecutionTrap,
+    Timeout,
+    compute_global_layout,
+)
+from .memory import _SCALAR_STRUCTS, _U64, DEFAULT_GLOBALS_SIZE, GLOBALS_BASE
+
+import struct as _struct
+
+_F32 = _struct.Struct("<f")
+
+
+def content_cache_key(name: str, content_hash: str) -> Tuple[str, str]:
+    """The shared cache key shape: ``(unit name, content digest)``.
+
+    Used both by the codegen code cache below and by
+    ``IncrementalDpmrCompiler``'s per-function transform memo, so every
+    content-addressed cache in the pipeline keys the same way.
+    """
+    return (name, content_hash)
+
+
+#: Codegen cache behaviour for the current process.  "hits" counts code
+#: objects served from either cache level; "misses" counts fresh
+#: generations (including generations that concluded "unsupported").
+CODEGEN_STATS: Dict[str, int] = {"hits": 0, "misses": 0}
+
+
+def codegen_stats() -> Dict[str, int]:
+    """A snapshot of :data:`CODEGEN_STATS` (safe to diff across calls)."""
+    return dict(CODEGEN_STATS)
+
+
+def reset_codegen_stats() -> None:
+    CODEGEN_STATS["hits"] = 0
+    CODEGEN_STATS["misses"] = 0
+
+
+#: content-addressed code objects: content_cache_key(...) → code object.
+_CODE_CACHE: Dict[Tuple[str, str], object] = {}
+
+
+def _bto(m, costs) -> None:
+    """Batch-timeout replay: the batch accounting proved this batch crosses
+    ``max_cycles``, so re-run the interpreter's exact per-instruction
+    bookkeeping until the crossing instruction raises.  Always raises."""
+    c = m.cycles
+    mx = m.max_cycles
+    for cost in costs:
+        m.instructions_executed += 1
+        c += cost
+        m.cycles = c
+        if c > mx:
+            raise Timeout(f"exceeded {mx} cycles")
+    raise AssertionError("batch flagged as crossing but no step crossed")
+
+
+def _f32(r):
+    """The interpreter's float32 round-trip (``_arith_result``)."""
+    return _F32.unpack(_F32.pack(r))[0]
+
+
+def _fdiv(a, b):
+    """Bit-exact twin of the interpreter's ``_bh_fdiv`` core."""
+    if b == 0.0:
+        return float("inf") if a > 0 else float("-inf") if a < 0 else float("nan")
+    return a / b
+
+
+def _base_namespace() -> Dict[str, object]:
+    ns: Dict[str, object] = {
+        "ExecutionTrap": ExecutionTrap,
+        "_bto": _bto,
+        "_f32": _f32,
+        "_fdiv": _fdiv,
+        "_PTR": VOID_PTR,
+    }
+    # The same prebuilt Structs the memory system uses, pre-bound to their
+    # unpack_from/pack_into methods ("b" covers int1 and int8; "<Q" is the
+    # raw-pointer format).
+    for (kind, bits), s in _SCALAR_STRUCTS.items():
+        suffix = s.format.lstrip("<")
+        ns[f"_up_{suffix}"] = s.unpack_from
+        ns[f"_pk_{suffix}"] = s.pack_into
+        ty = IntType(bits) if kind == "int" else FloatType(bits)
+        ns[f"_T{'i' if kind == 'int' else 'f'}{bits}"] = ty
+    ns["_up_Q"] = _U64.unpack_from
+    ns["_pk_Q"] = _U64.pack_into
+    return ns
+
+
+BASE_NS = _base_namespace()
+
+
+def _interp_shim(fn: Function) -> Callable:
+    """Callable standing in for a function codegen could not lower: re-enter
+    the machine, whose compiled dispatch misses and interprets it."""
+
+    def shim(m, *args):
+        return m.call(fn, list(args))
+
+    return shim
+
+
+class CompiledProgram:
+    """Everything a Machine needs to run a module on the compiled tier."""
+
+    def __init__(self, module: Module):
+        self.global_layout = compute_global_layout(
+            module, GLOBALS_BASE, GLOBALS_BASE + DEFAULT_GLOBALS_SIZE
+        )
+        func_addrs = {
+            name: FUNC_ADDR_BASE + i * FUNC_ADDR_STRIDE
+            for i, name in enumerate(module.functions)
+        }
+        fn_info: Dict[str, Tuple[str, int, bool]] = {}
+        for i, (name, fn) in enumerate(module.functions.items()):
+            fn_info[name] = (f"_f{i}_{sanitize(name)[:40]}", len(fn.params), fn.is_external)
+        ctx = ProgramContext(self.global_layout, func_addrs, fn_info)
+        ctx_key = self._context_digest(ctx)
+
+        ns = dict(BASE_NS)
+        #: IR function name → compiled callable; misses interpret.
+        self.functions: Dict[str, Callable] = {}
+        for name, fn in module.functions.items():
+            if fn.is_external:
+                continue
+            pyname = fn_info[name][0]
+            code = _code_for(fn, ctx, ctx_key, pyname)
+            if code is None:
+                ns[pyname] = _interp_shim(fn)
+                continue
+            exec(code, ns)
+            self.functions[name] = ns[pyname]
+
+    @staticmethod
+    def _context_digest(ctx: ProgramContext) -> str:
+        h = hashlib.sha256()
+        for name, info in ctx.fn_info.items():
+            h.update(f"{name}\x00{info}\x00".encode())
+        for name, addr in ctx.global_layout.items():
+            h.update(f"{name}\x01{addr}\x00".encode())
+        return h.hexdigest()
+
+
+def _code_for(fn: Function, ctx: ProgramContext, ctx_key: str, pyname: str):
+    """Code object for ``fn`` (or None if uncompilable), through both cache
+    levels: the on-Function memo, then the content-addressed code cache."""
+    memo = getattr(fn, "_cg_cache", None)
+    if memo is not None and memo[0] == ctx_key:
+        CODEGEN_STATS["hits"] += 1
+        return memo[1]
+    try:
+        src = generate_function_source(fn, ctx, pyname)
+    except Exception:
+        # CodegenUnsupported, or anything layout/operand-shaped the
+        # generator tripped over at fold time: interpret this function.
+        CODEGEN_STATS["misses"] += 1
+        fn._cg_cache = (ctx_key, None)
+        return None
+    key = content_cache_key(fn.name, hashlib.sha256(src.encode()).hexdigest())
+    code = _CODE_CACHE.get(key)
+    if code is None:
+        CODEGEN_STATS["misses"] += 1
+        code = compile(src, f"<dpmr-codegen:{fn.name}>", "exec")
+        _CODE_CACHE[key] = code
+    else:
+        CODEGEN_STATS["hits"] += 1
+    fn._cg_cache = (ctx_key, code)
+    return code
+
+
+#: module → CompiledProgram, weak on the module so campaign clones are
+#: collectable (CompiledProgram must hold no strong module reference).
+_PROGRAMS: "weakref.WeakKeyDictionary[Module, CompiledProgram]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def compiled_program_for(module: Module) -> CompiledProgram:
+    program = _PROGRAMS.get(module)
+    if program is None:
+        program = CompiledProgram(module)
+        _PROGRAMS[module] = program
+    return program

@@ -91,6 +91,26 @@ class ProgramExit(Exception):
         super().__init__(f"exit({code})")
 
 
+def compute_global_layout(module: Module, base: int, end: int) -> Dict[str, int]:
+    """Address assignment for a module's globals in ``[base, end)``.
+
+    Factored out of the machine so the compiled tier can fold the exact
+    addresses the machine will assign (and the machine can cross-check a
+    compiled program against its actual memory geometry at bind time).
+    """
+    layout: Dict[str, int] = {}
+    cursor = base
+    for g in module.globals.values():
+        a = max(alignof(g.value_type), 8)
+        cursor = (cursor + a - 1) // a * a
+        size = sizeof(g.value_type)
+        if cursor + size > end:
+            raise ExecutionTrap("globals-overflow", g.name)
+        layout[g.name] = cursor
+        cursor += size
+    return layout
+
+
 #: Per-instruction cycle costs.
 COSTS = {
     ins.Alloca: 2,
@@ -131,6 +151,7 @@ class Machine:
         dpmr_runtime=None,
         tracer=None,
         counters: bool = False,
+        compiled: bool = False,
     ):
         self.module = module
         self.memory = memory if memory is not None else Memory()
@@ -169,6 +190,20 @@ class Machine:
         register_default_intrinsics(self)
         if dpmr_runtime is not None:
             dpmr_runtime.attach(self)
+        # Compiled tier (repro.machine.compile): opt-in, and only when no
+        # observability is requested — tracing/counters keep the
+        # instrumented interpreter so observation semantics are untouched.
+        # The interpreter above remains the reference engine.
+        if compiled and self.tracer is None and self.counters is None:
+            from .compile import compiled_program_for
+
+            try:
+                program = compiled_program_for(module)
+            except Exception:
+                program = None  # uncompilable module: interpret everything
+            if program is not None and program.global_layout == self._globals:
+                self._compiled_fns = program.functions
+                self._exec = self._exec_function_compiled
 
     # -- setup -------------------------------------------------------------
 
@@ -179,15 +214,9 @@ class Machine:
             self._addr_funcs[addr] = name
 
     def _layout_globals(self) -> None:
-        cursor = self.memory.globals.base
-        for g in self.module.globals.values():
-            a = max(alignof(g.value_type), 8)
-            cursor = (cursor + a - 1) // a * a
-            size = sizeof(g.value_type)
-            if cursor + size > self.memory.globals.end:
-                raise ExecutionTrap("globals-overflow", g.name)
-            self._globals[g.name] = cursor
-            cursor += size
+        self._globals = compute_global_layout(
+            self.module, self.memory.globals.base, self.memory.globals.end
+        )
         for g in self.module.globals.values():
             self._init_global(g)
 
@@ -375,6 +404,18 @@ class Machine:
             else:
                 raise ExecutionTrap("unreachable", f"in {fn.name}")
 
+    def _exec_function_compiled(self, fn: Function, regs: Dict[str, object]):
+        """Compiled-tier dispatch: hand off to the generated specialized
+        function, or interpret this one function if codegen declined it
+        (its callees still dispatch back through here)."""
+        f = self._compiled_fns.get(fn.name)
+        if f is None:
+            return self._exec_function(fn, regs)
+        params = fn.params
+        if params:
+            return f(self, *[regs[p.name] for p in params])
+        return f(self)
+
     def _exec_function_instrumented(self, fn: Function, regs: Dict[str, object]):
         """Observability twin of :meth:`_exec_function`.
 
@@ -394,7 +435,7 @@ class Machine:
             dec = decoded.get(id(block))
             if dec is None:
                 dec = decoded[id(block)] = _decode_block_instrumented(fn, block, self)
-            steps, term = dec
+            steps, term, agg = dec
             for handler, inst, cost, fault in steps:
                 self.instructions_executed += 1
                 c = self.cycles + cost
@@ -406,6 +447,12 @@ class Machine:
                     if tracer is not None and tracer.wants("fault"):
                         tracer.fault_activation(fault, c)
                 handler(self, inst, regs)
+            # Opcode-class counts pre-aggregated at decode time: one bump
+            # per (block, class) instead of per instruction.  A block cut
+            # short by a trap/timeout contributes nothing — counters are
+            # diagnostics, deliberately excluded from record signatures.
+            for key, n in agg:
+                counters[key] = counters.get(key, 0) + n
             if term is None:
                 raise ExecutionTrap("fell-off-block", f"{fn.name}/{block.label}")
             tkind, inst, cost, fault, then_block, else_block = term
@@ -721,17 +768,6 @@ _TERMINATOR_KEYS = {
 }
 
 
-def _make_counting_step(handler, key: str, extra: Optional[str]):
-    def step(m: "Machine", inst, regs) -> None:
-        c = m.counters
-        c[key] = c.get(key, 0) + 1
-        if extra is not None:
-            c[extra] = c.get(extra, 0) + 1
-        handler(m, inst, regs)
-
-    return step
-
-
 def _make_compare_step(handler, key: str, result_name: str):
     from ..obs.counters import COMPARE, COMPARE_FAILED
 
@@ -751,7 +787,14 @@ def _make_compare_step(handler, key: str, result_name: str):
 
 
 def _decode_block_instrumented(fn: Function, block, machine: "Machine"):
-    """Like :func:`_decode_block` but with counting handlers (obs enabled).
+    """Like :func:`_decode_block` but returns ``(steps, term, agg)``.
+
+    Opcode-class (and replica-role) counts are pre-aggregated here into
+    ``agg`` — a tuple of ``(counter key, count)`` pairs the execution loop
+    applies once per block entry — so ordinary instructions keep their raw
+    handlers instead of per-instruction counting closures.  Only DPMR
+    detection compares still wrap: they observe their result value and may
+    emit a trace event, which cannot be aggregated.
 
     DPMR-role classification (replica loads/stores, detection compares) only
     applies when the machine runs with a DPMR runtime — the transform's
@@ -761,18 +804,20 @@ def _decode_block_instrumented(fn: Function, block, machine: "Machine"):
 
     steps, term = _decode_block(fn, block)
     dpmr = machine.dpmr_runtime is not None
+    agg: Dict[str, int] = {}
     wrapped: list = []
     for handler, inst, cost, fault in steps:
         key = oc.OPCODE_CLASSES.get(type(inst), "op.other")
         if dpmr and oc.is_dpmr_compare(inst):
-            counting = _make_compare_step(handler, key, inst.result.name)
-        else:
-            extra = None
-            if dpmr:
-                if oc.is_replica_load(inst):
-                    extra = oc.REPLICA_LOAD
-                elif oc.is_replica_store(inst):
-                    extra = oc.REPLICA_STORE
-            counting = _make_counting_step(handler, key, extra)
-        wrapped.append((counting, inst, cost, fault))
-    return wrapped, term
+            wrapped.append(
+                (_make_compare_step(handler, key, inst.result.name), inst, cost, fault)
+            )
+            continue
+        agg[key] = agg.get(key, 0) + 1
+        if dpmr:
+            if oc.is_replica_load(inst):
+                agg[oc.REPLICA_LOAD] = agg.get(oc.REPLICA_LOAD, 0) + 1
+            elif oc.is_replica_store(inst):
+                agg[oc.REPLICA_STORE] = agg.get(oc.REPLICA_STORE, 0) + 1
+        wrapped.append((handler, inst, cost, fault))
+    return wrapped, term, tuple(agg.items())

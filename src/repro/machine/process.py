@@ -77,6 +77,7 @@ def run_process(
     tracer=None,
     counters: bool = False,
     trace_meta: Optional[Dict] = None,
+    compiled: bool = False,
 ) -> ProcessResult:
     """Run ``module`` to completion and classify the outcome.
 
@@ -88,6 +89,9 @@ def run_process(
     identifies the run in the trace (keys ``run_id``, ``workload``,
     ``variant``, ``site``, ``run``, ``golden_output``) — run-start/run-end
     events bracket the execution so the trace alone reproduces the record.
+
+    ``compiled`` selects the compiled execution tier (bit-identical records;
+    ignored whenever observability forces the instrumented interpreter).
     """
     from ..obs.tracer import real_tracer
 
@@ -100,6 +104,7 @@ def run_process(
         dpmr_runtime=dpmr_runtime,
         tracer=tracer,
         counters=counters,
+        compiled=compiled,
     )
     tr = real_tracer(tracer)
     if tr is not None:

@@ -21,7 +21,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
 
 #: Manifest schema version; bump on incompatible shape changes.
-MANIFEST_SCHEMA = 2
+MANIFEST_SCHEMA = 3
 
 
 @dataclass
@@ -76,6 +76,14 @@ class RunManifest:
     # -- configuration snapshot --------------------------------------------
     trace_path: Optional[str] = None
     counters_enabled: bool = False
+    #: execution engine chosen for bare runs: "interp" (reference
+    #: interpreter) or "compiled" (repro.machine.compile); observability
+    #: always forces the instrumented interpreter regardless.
+    engine: str = "interp"
+    #: IR→Python codegen cache behaviour (coordinator process view; both
+    #: stay 0 under the interpreter engine).
+    codegen_hits: int = 0
+    codegen_misses: int = 0
     timeout_factor: Optional[int] = None
     # -- workload shape -----------------------------------------------------
     n_jobs: int = 0

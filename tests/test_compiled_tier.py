@@ -1,0 +1,291 @@
+"""The compiled execution tier (repro.machine.compile / codegen).
+
+The tier's contract is *bit-transparency*: a compiled run produces a
+record signature-identical to the reference interpreter — same status,
+exit code, output, cycle count, instruction count, fault activations, and
+detail — across every variant configuration and both fault kinds, for
+normal exits, crashes, detections, and timeouts alike.  These tests pin
+that contract plus the tier's selection rules (observability always wins),
+its fallbacks (uncompilable functions, non-default memory geometry), the
+content-addressed code cache, and the eval-layer surface (``DPMR_COMPILE``,
+manifest engine/codegen fields, store-fingerprint transparency).
+"""
+
+import pytest
+
+from repro.apps import app_factory
+from repro.eval.api import run
+from repro.eval.config import ExecConfig
+from repro.eval.experiment import WorkloadHarness
+from repro.eval.store import exec_fingerprint
+from repro.eval.variants import Variant, diversity_variants, policy_variants
+from repro.ir import INT32, INT64, VOID, ModuleBuilder
+from repro.machine.compile import (
+    CODEGEN_STATS,
+    codegen_stats,
+    compiled_program_for,
+    content_cache_key,
+)
+from repro.machine.interpreter import Machine
+from repro.machine.memory import Memory
+from repro.machine.process import ExitStatus, run_process
+from repro.obs.manifest import MANIFEST_SCHEMA, RunManifest
+from repro.obs.tracer import CollectingTracer
+
+
+def _signature(result):
+    return (
+        result.status,
+        result.exit_code,
+        result.output_text,
+        result.cycles,
+        result.instructions,
+        tuple(sorted(result.fault_activations.items())),
+        result.detail,
+    )
+
+
+def _tiny_module():
+    mb = ModuleBuilder("tiny")
+    mb.declare_external("print_i64", VOID, [INT64])
+    _, b = mb.define("main", INT32)
+    acc = b.alloca(INT64)
+    b.store(acc, b.i64(0))
+    with b.for_range(b.i64(10)) as i:
+        b.store(acc, b.add(b.load(acc), b.mul(i, i)))
+    b.call("print_i64", [b.load(acc)])
+    b.ret(b.i32(0))
+    return mb.module
+
+
+# -- engine selection ----------------------------------------------------
+
+
+def test_compiled_machine_binds_compiled_exec():
+    module = _tiny_module()
+    plain = Machine(module)
+    assert plain._exec.__func__ is Machine._exec_function
+    m = Machine(module, compiled=True)
+    assert m._exec.__func__ is Machine._exec_function_compiled
+
+
+def test_observability_forces_instrumented_interpreter():
+    # Tracing or counters must win over the compiled tier: observation
+    # semantics (per-step events, opcode counters) only exist there.
+    module = _tiny_module()
+    m = Machine(module, compiled=True, counters=True)
+    assert m._exec.__func__ is Machine._exec_function_instrumented
+    m = Machine(module, compiled=True, tracer=CollectingTracer())
+    assert m._exec.__func__ is Machine._exec_function_instrumented
+
+
+def test_non_default_memory_geometry_falls_back_to_interpreter():
+    # The compiled program folds global addresses for the *default* layout;
+    # a machine whose globals live elsewhere must refuse the whole program.
+    from repro.machine.memory import DEFAULT_GLOBALS_SIZE, GLOBALS_BASE, Segment
+
+    mb = ModuleBuilder("geo")
+    mb.add_global("counter", INT64, 7)
+    _, b = mb.define("main", INT32)
+    g = mb.module.globals["counter"].ref()
+    b.store(g, b.i64(9))
+    b.ret(b.i32(0))
+    module = mb.module
+    assert Machine(module, compiled=True)._exec.__func__ is (
+        Machine._exec_function_compiled
+    )
+    shifted = Memory()
+    shifted.globals = Segment("globals", GLOBALS_BASE + 0x100, DEFAULT_GLOBALS_SIZE)
+    m = Machine(module, memory=shifted, compiled=True)
+    assert m._exec.__func__ is Machine._exec_function
+
+
+def test_shim_fallback_for_uncompilable_function():
+    # A function the generator rejects (duplicate parameter names defeat
+    # the register→local mapping) gets no compiled body; it runs through
+    # the interpreter while its callers stay compiled, bit-identically.
+    mb = ModuleBuilder("mixed")
+    mb.declare_external("print_i64", VOID, [INT64])
+    helper, fb = mb.define(
+        "helper", INT64, [INT64, INT64], param_names=["x", "x"]
+    )
+    fb.ret(fb.add(helper.params[1], fb.i64(5)))
+    _, b = mb.define("main", INT32)
+    b.call("print_i64", [b.call("helper", [b.i64(37), b.i64(37)])])
+    b.ret(b.i32(0))
+    module = mb.module
+    program = compiled_program_for(module)
+    assert "helper" not in program.functions
+    assert "main" in program.functions
+    interp = run_process(module)
+    comp = run_process(module, compiled=True)
+    assert _signature(interp) == _signature(comp)
+    assert "42" in interp.output_text
+
+
+# -- bit-identity across the evaluation matrix ---------------------------
+
+
+@pytest.mark.parametrize("kind", ["heap-array-resize", "immediate-free"])
+def test_campaign_signatures_identical_both_kinds_all_variants(kind):
+    harness = WorkloadHarness("mcf", app_factory("mcf", 1))
+    variants = diversity_variants("sds") + policy_variants("sds")
+    base = run(
+        harness, variants, kind=kind, config=ExecConfig(), max_sites=2
+    )
+    comp = run(
+        harness, variants, kind=kind, config=ExecConfig(compiled=True), max_sites=2
+    )
+    assert len(base.records) == len(comp.records) > 0
+    assert [r.signature() for r in base.records] == [
+        r.signature() for r in comp.records
+    ]
+    assert base.manifest.engine == "interp"
+    assert comp.manifest.engine == "compiled"
+
+
+def test_timeout_identity_sweep():
+    # Batched cycle accounting must time out at exactly the same cycle
+    # stamp (and detail string) as the per-instruction interpreter, at
+    # any budget — including ones that land mid-batch.
+    module = app_factory("mcf", 1)()
+    full = run_process(module)
+    assert full.status is ExitStatus.NORMAL
+    for frac in (0.1, 0.33, 0.5, 0.9, 0.999):
+        budget = max(1, int(full.cycles * frac))
+        interp = run_process(module, max_cycles=budget)
+        comp = run_process(module, max_cycles=budget, compiled=True)
+        assert _signature(interp) == _signature(comp), budget
+        assert interp.status is ExitStatus.TIMEOUT
+
+
+# -- content-addressed code cache ----------------------------------------
+
+
+def test_content_cache_key_shape_is_shared_with_incremental_compiler():
+    assert content_cache_key("f", "abc123") == ("f", "abc123")
+
+
+def test_codegen_cache_hits_grow_on_recompilation():
+    # The marker constant makes this program's generated source unique to
+    # this test, so the first compile is a guaranteed cache miss even when
+    # other tests warmed the process-wide content cache.
+    def make():
+        mb = ModuleBuilder("cache-probe")
+        mb.declare_external("print_i64", VOID, [INT64])
+        _, b = mb.define("main", INT32)
+        b.call("print_i64", [b.i64(987654321)])
+        b.ret(b.i32(0))
+        return mb.module
+
+    before = codegen_stats()
+    run_process(make(), compiled=True)
+    mid = codegen_stats()
+    assert mid["misses"] > before["misses"]
+    # A structurally identical module (fresh objects, same text) must hit
+    # the content-addressed cache: no new misses for its functions.
+    run_process(make(), compiled=True)
+    after = codegen_stats()
+    assert after["hits"] > mid["hits"]
+    assert after["misses"] == mid["misses"]
+    assert set(CODEGEN_STATS) == {"hits", "misses"}
+
+
+# -- eval-layer surface --------------------------------------------------
+
+
+def test_dpmr_compile_env_parsing():
+    assert ExecConfig.from_env({}).compiled is False
+    assert ExecConfig.from_env({"DPMR_COMPILE": "1"}).compiled is True
+    assert ExecConfig.from_env({"DPMR_COMPILE": "false"}).compiled is False
+    with pytest.raises(ValueError):
+        ExecConfig.from_env({"DPMR_COMPILE": "maybe"})
+
+
+def test_exec_fingerprint_is_compiled_transparent():
+    # The compiled tier is bit-transparent, so flipping it must not
+    # invalidate the persistent result store.
+    assert exec_fingerprint(ExecConfig()) == exec_fingerprint(
+        ExecConfig(compiled=True)
+    )
+
+
+def test_manifest_records_engine_and_codegen_traffic():
+    assert MANIFEST_SCHEMA == 3
+    harness = WorkloadHarness("mcf", app_factory("mcf", 1))
+    variants = [Variant(name="sds", design="sds")]
+    res = run(
+        harness,
+        variants,
+        kind="heap-array-resize",
+        config=ExecConfig(compiled=True),
+        max_sites=2,
+    )
+    m = res.manifest
+    assert m.engine == "compiled"
+    assert m.codegen_hits + m.codegen_misses > 0
+    # Round-trips through the JSON shape.
+    again = RunManifest.from_dict(m.to_dict())
+    assert again.engine == "compiled"
+    assert again.codegen_hits == m.codegen_hits
+    assert again.codegen_misses == m.codegen_misses
+    # Observability downgrades the engine and zeroes codegen traffic.
+    res_obs = run(
+        harness,
+        variants,
+        kind="heap-array-resize",
+        config=ExecConfig(compiled=True, counters=True),
+        max_sites=1,
+    )
+    assert res_obs.manifest.engine == "interp"
+    assert res_obs.manifest.codegen_hits == res_obs.manifest.codegen_misses == 0
+
+
+def test_manifest_report_renders_engine_line():
+    from repro.eval.report import manifest_section
+
+    harness = WorkloadHarness("mcf", app_factory("mcf", 1))
+    variants = [Variant(name="sds", design="sds")]
+    res = run(
+        harness,
+        variants,
+        kind="heap-array-resize",
+        config=ExecConfig(compiled=True),
+        max_sites=1,
+    )
+    text = manifest_section(res.manifest)
+    assert "engine: compiled (codegen hits=" in text
+    res_i = run(
+        harness,
+        variants,
+        kind="heap-array-resize",
+        config=ExecConfig(),
+        max_sites=1,
+    )
+    assert "engine: interp" in manifest_section(res_i.manifest)
+
+
+def test_observability_with_compiled_knob_is_record_identical():
+    # DPMR_COMPILE plus counters: instrumented interpreter runs, records
+    # (minus counters) still match a bare compiled campaign.
+    harness = WorkloadHarness("mcf", app_factory("mcf", 1))
+    variants = [Variant(name="sds", design="sds")]
+    bare = run(
+        harness,
+        variants,
+        kind="immediate-free",
+        config=ExecConfig(compiled=True),
+        max_sites=2,
+    )
+    obs = run(
+        harness,
+        variants,
+        kind="immediate-free",
+        config=ExecConfig(compiled=True, counters=True),
+        max_sites=2,
+    )
+    assert [r.signature() for r in bare.records] == [
+        r.signature() for r in obs.records
+    ]
+    assert all(r.result.counters is not None for r in obs.records)
+    assert all(r.result.counters is None for r in bare.records)

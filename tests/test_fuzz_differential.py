@@ -8,6 +8,11 @@ DPMR must be invisible: zero false detections, a normal exit, and output
 byte-identical to golden — for every program, across ≥200 seeds per
 design.  Programs are tiny (arrays ≤12 elements, loops ≤8 iterations) so
 the whole sweep stays within a test-suite budget.
+
+The compiled execution tier (``repro.machine.compile``) joins as a third
+engine: every program additionally runs interpreted *and* compiled, and
+the full record signature (status, exit code, output, cycles,
+instructions, fault activations, detail) must match exactly.
 """
 
 import random
@@ -140,6 +145,46 @@ def test_no_false_detections_across_random_programs(make_variant):
     assert not mismatches, (
         f"{len(mismatches)}/{N_SEEDS} false divergences under "
         f"{variant.name}: {mismatches[:5]}"
+    )
+
+
+def _run_signature(result):
+    """Everything a record's signature would carry for one run."""
+    return (
+        result.status,
+        result.exit_code,
+        result.output_text,
+        result.cycles,
+        result.instructions,
+        tuple(sorted(result.fault_activations.items())),
+        result.detail,
+    )
+
+
+def test_compiled_tier_bit_identical_across_random_programs():
+    """The compiled engine is a third differential engine: for every random
+    program, interpreted and compiled execution must agree bit-for-bit —
+    golden, SDS, and MDS alike (cycles, instructions, and activations
+    included, not just output)."""
+    divergences = []
+    for seed in range(N_SEEDS):
+        module = build_random_module(seed)
+        golden_i = run_process(module)
+        golden_c = run_process(module, compiled=True)
+        if _run_signature(golden_i) != _run_signature(golden_c):
+            divergences.append((seed, "golden", golden_i, golden_c))
+            continue
+        budget = golden_i.cycles * 50
+        for make_variant in (sds_variant, mds_variant):
+            variant = make_variant()
+            build = variant.compile(module)
+            interp = build.run(max_cycles=budget)
+            comp = build.run(max_cycles=budget, compiled=True)
+            if _run_signature(interp) != _run_signature(comp):
+                divergences.append((seed, variant.name, interp, comp))
+    assert not divergences, (
+        f"{len(divergences)}/{N_SEEDS} interpreter/compiled divergences: "
+        f"{divergences[:3]}"
     )
 
 
