@@ -31,6 +31,13 @@ class DiversityPolicy:
     """Base policy: replica allocation identical to application allocation."""
 
     name = "no-diversity"
+    #: Whether a policy instance accumulates per-run mutable state.  Runs
+    #: deep-copy stateful policies so allocator state cannot leak between
+    #: experiments (see :meth:`DpmrBuild.runtime`); stateless policies mark
+    #: themselves ``stateful = False`` to skip that per-run copy on the
+    #: campaign hot path.  The base default is conservative: an unknown
+    #: subclass is assumed stateful until it declares otherwise.
+    stateful = True
 
     def replica_malloc(self, machine: "Machine", size: int) -> int:
         return machine.heap_malloc(size)
@@ -45,9 +52,13 @@ class DiversityPolicy:
 class NoDiversity(DiversityPolicy):
     """Implicit diversity only (the ``no-diversity`` variant of §3.7)."""
 
+    stateful = False
+
 
 class PadMalloc(DiversityPolicy):
     """``pad-malloc-y``: replica requests are enlarged by ``pad`` bytes."""
+
+    stateful = False  # ``pad``/``name`` are fixed at construction
 
     def __init__(self, pad: int):
         if pad <= 0:
@@ -63,6 +74,7 @@ class ZeroBeforeFree(DiversityPolicy):
     """``zero-before-free``: zero replica payload bytes before deallocation."""
 
     name = "zero-before-free"
+    stateful = False
 
     def replica_free(self, machine: "Machine", address: int) -> None:
         from ..machine.heap import HeapError
@@ -88,6 +100,7 @@ class RearrangeHeap(DiversityPolicy):
     """
 
     name = "rearrange-heap"
+    stateful = False  # randomness comes from the machine RNG, not the policy
     MAX_DUMMIES = 20
 
     def replica_malloc(self, machine: "Machine", size: int) -> int:
@@ -115,6 +128,7 @@ class SegregatedReplicas(DiversityPolicy):
     """
 
     name = "ablation-segregated"
+    stateful = True  # bump-pointer arena state lives on the instance
     ARENA_SIZE = 1 << 20
 
     def __init__(self) -> None:

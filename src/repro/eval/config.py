@@ -18,9 +18,10 @@ Knobs (all optional):
                           site is quarantined (default 2)
 ``DPMR_EXP_TIMEOUT``      per-experiment wall-clock budget in seconds for
                           supervised workers (default 0 = unlimited)
-``DPMR_COMPILE``          ``1``/``true`` selects the compiled execution tier
-                          (bit-identical records; ignored when observability
-                          forces the instrumented interpreter)
+``DPMR_COMPILE``          ``0``/``false`` opts out of the compiled execution
+                          tier (on by default; bit-identical records; ignored
+                          when observability forces the instrumented
+                          interpreter)
 ========================  =====================================================
 
 ``ExecConfig`` is frozen: derive variations with :func:`dataclasses.replace`.
@@ -120,11 +121,13 @@ class ExecConfig:
     #: base of the exponential retry backoff (not environment-exposed;
     #: tests shrink it, production leaves the default).
     retry_backoff_s: float = 0.05
-    #: compiled execution tier (repro.machine.compile).  Bit-transparent:
-    #: records are signature-identical to the interpreter, so this knob is
-    #: deliberately excluded from store fingerprints.  Whenever a run needs
-    #: tracing or counters it falls back to the instrumented interpreter.
-    compiled: bool = False
+    #: compiled execution tier (repro.machine.compile), the default campaign
+    #: engine since delta codegen made per-site compiles cheap.  Bit-
+    #: transparent: records are signature-identical to the interpreter, so
+    #: this knob is deliberately excluded from store fingerprints.  Set
+    #: ``DPMR_COMPILE=0`` to opt out; whenever a run needs tracing or
+    #: counters it falls back to the instrumented interpreter regardless.
+    compiled: bool = True
 
     @classmethod
     def from_env(cls, env: Optional[Mapping[str, str]] = None) -> "ExecConfig":
@@ -151,7 +154,7 @@ class ExecConfig:
             store_path=env.get(STORE_ENV_VAR, "").strip() or None,
             retries=max(0, _parse_int(env, RETRIES_ENV_VAR, DEFAULT_RETRIES)),
             exp_timeout_s=max(0.0, _parse_float(env, EXP_TIMEOUT_ENV_VAR, 0.0)),
-            compiled=_parse_flag(env, COMPILE_ENV_VAR, False),
+            compiled=_parse_flag(env, COMPILE_ENV_VAR, True),
         )
 
     # -- derived ------------------------------------------------------------

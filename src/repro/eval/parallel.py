@@ -268,7 +268,8 @@ def _compiled_for(
         key = (si, vi)
         compiled = state.compiled.get(key)
         if compiled is not None:
-            state.compiled.move_to_end(key)
+            # No move_to_end here: the cache is sized to hold a whole job,
+            # so recency bookkeeping on every hit is pure hot-path churn.
             return compiled
         clone = state.pristine.clone(mutable_functions=(site.function,))
         faulty = inject(clone, site, job.percent)
@@ -403,8 +404,13 @@ def _worker_decision(
         return 1, "serial", f"campaign has {n_items} experiment(s)"
     if not _fork_available():
         return 1, "serial", "fork start method unavailable on this platform"
-    effective = effective_workers(n_items, requested)
     cap = os.cpu_count() or 1
+    if cap <= 1:
+        # Forking on a single core only adds scheduling and IPC overhead
+        # (workers time-slice one CPU); the fallback used to be implicit in
+        # the min() below — make it explicit so the manifest says why.
+        return 1, "serial", "single-core machine (os.cpu_count() <= 1)"
+    effective = effective_workers(n_items, requested)
     if effective <= 1:
         if n_items // MIN_ITEMS_PER_WORKER <= 1:
             detail = (
@@ -419,6 +425,33 @@ def _worker_decision(
         f"{n_items} items // {MIN_ITEMS_PER_WORKER}/worker)"
     )
     return effective, reason, None
+
+
+def _warm_compiled_bases(states: Sequence[JobBuildState]) -> None:
+    """Pre-generate compiled code for every pristine/base-transform module.
+
+    Delta codegen splices per-site code against a *base* generation of the
+    same function; anchoring the bases on the pristine snapshot (and each
+    DPMR variant's transformed pristine) before any faulty build compiles
+    means every per-site compile takes the cheap delta path, and forked
+    workers inherit the warm base info via copy-on-write.  Failures are
+    ignored — anything that refuses to compile falls back to the
+    interpreter at run time exactly as it would without warm-up.
+    """
+    from ..machine.compile import compiled_program_for
+
+    for state in states:
+        try:
+            compiled_program_for(state.pristine)
+        except Exception:  # pragma: no cover — interp fallback handles it
+            pass
+        for compiler in state.compilers:
+            if compiler is None:
+                continue
+            try:
+                compiled_program_for(compiler.base_module)
+            except Exception:  # pragma: no cover
+                pass
 
 
 def _job_manifests(
@@ -593,7 +626,7 @@ def run_campaign_jobs_with_manifest(
     """
     global _WORKER_JOBS, _WORKER_STATES, _WORKER_TRACER, _WORKER_COUNTERS
     global _WORKER_USE_COMPILED
-    from ..machine.compile import codegen_stats
+    from ..machine.compile import codegen_stats, set_persistent_code_cache
     from ..obs.counters import total_counters
     from ..obs.tracer import real_tracer
 
@@ -657,6 +690,18 @@ def run_campaign_jobs_with_manifest(
         n_items=len(items),
     )
     stats = SupervisionStats()
+    # With a store configured, generated per-site source persists next to
+    # the results (<store>/codegen), so warm-resume campaigns skip codegen
+    # entirely; restored in the finally below.
+    persist_prev: Optional[str] = None
+    persist_set = False
+    if use_compiled and store is not None:
+        persist_prev = set_persistent_code_cache(
+            os.path.join(store.root, "codegen")
+        )
+        persist_set = True
+    if use_compiled and states is not None and misses:
+        _warm_compiled_bases(states)
     # Coordinator-process snapshot: forked workers' codegen stats do not
     # cross the process boundary, so the deltas below cover serial runs and
     # the coordinator's share of parallel ones (still enough to show the
@@ -721,6 +766,8 @@ def run_campaign_jobs_with_manifest(
                 )
             records.append(record)
     finally:
+        if persist_set:
+            set_persistent_code_cache(persist_prev)
         if own_tracer and tracer is not None:
             tracer.close()
 

@@ -38,11 +38,13 @@ compiled calls use one Python frame instead of two.
 
 from __future__ import annotations
 
+import hashlib
 import re
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..ir import instructions as ins
+from ..ir.printer import format_instruction
 from ..ir.types import FloatType, IntType, PointerType, field_offset, sizeof
 from ..ir.values import (
     ConstFloat,
@@ -51,8 +53,14 @@ from ..ir.values import (
     FunctionRef,
     GlobalRef,
     Register,
+    Value,
 )
 from .interpreter import COSTS, _EXPENSIVE_BINOPS
+
+#: Bumped whenever the shape of generated source changes; part of every
+#: persistent code-cache key so stale entries from older generators can
+#: never be loaded (see repro.machine.compile).
+CODEGEN_VERSION = 2
 
 
 class CodegenUnsupported(Exception):
@@ -165,6 +173,132 @@ def sanitize(name: str) -> str:
     return _SANITIZE.sub("_", name)
 
 
+# -- delta codegen data model ------------------------------------------------
+#
+# A generated function is recorded as a *frame* (header, prelude, dispatch
+# skeleton, alloca try/finally) plus one ``ChainChunk`` per leader chain.
+# Fault injection edits a handful of blocks in one function, so a per-site
+# regeneration only re-emits the chains whose IR actually changed and
+# splices the untouched chunks' lines back in **by identity** — sound
+# because a chunk's text is a pure function of (its chain's instructions,
+# the register→local mapping entries it used, the leader index table, and
+# the module context folds), all of which the reuse check pins.
+
+
+@dataclass
+class ChainChunk:
+    """One emitted leader chain: the unit of delta reuse."""
+
+    leader: str
+    labels: Tuple[str, ...]
+    blocks: Tuple[object, ...]  # the IR BasicBlocks emitted (for comparison)
+    lines: Tuple[str, ...]
+    prelude: FrozenSet[str]
+    used: Tuple[Tuple[str, str], ...]  # (IR register, python local) referenced
+    indent: int
+
+
+@dataclass
+class GeneratedFunction:
+    """Source plus the structure needed to delta-regenerate it later."""
+
+    source: str
+    src_sha: str
+    fn_name: str
+    pyname: str
+    params: Tuple[str, ...]
+    leader_labels: Tuple[str, ...]
+    splice: FrozenSet[str]
+    has_alloca: bool
+    needs_loop: bool
+    body: List[str]
+    spans: Dict[str, Tuple[int, int]]
+    chunks: Dict[str, ChainChunk]
+    reused_leaders: Tuple[str, ...] = ()
+
+
+@dataclass
+class DeltaPlan:
+    """A delta generation split at the point where its fingerprint is known
+    (so callers can consult caches before paying for chain emission)."""
+
+    emitter: "_FnEmitter"
+    params: Tuple[str, ...]
+    changed: List
+    reused: Dict[str, ChainChunk]
+    delta_fp: str
+
+
+def _value_eq(a, b) -> bool:
+    if a is b:
+        return True
+    k = type(a)
+    if k is not type(b):
+        return False
+    if k is Register:
+        return a.name == b.name and a.type == b.type
+    if k is ConstInt:
+        return a.value == b.value and a.type == b.type
+    if k is ConstFloat:
+        # repr distinguishes -0.0 from 0.0 and unifies NaNs, matching the
+        # literal the emitter would produce.
+        return repr(a.value) == repr(b.value) and a.type == b.type
+    if k is ConstNull:
+        return a.type == b.type
+    if k is GlobalRef or k is FunctionRef:
+        return a.name == b.name and a.type == b.type
+    return False
+
+
+def _field_eq(va, vb) -> bool:
+    if va is vb:
+        return True
+    if isinstance(va, Value) and isinstance(vb, Value):
+        return _value_eq(va, vb)
+    if isinstance(va, Value) or isinstance(vb, Value):
+        return False
+    if isinstance(va, list) and isinstance(vb, list):
+        return len(va) == len(vb) and all(
+            _field_eq(x, y) for x, y in zip(va, vb)
+        )
+    return va == vb  # str/int/None/Type (types define structural __eq__)
+
+
+def _inst_eq(a, b) -> bool:
+    if a is b:
+        return True
+    if type(a) is not type(b):
+        return False
+    da, db = a.__dict__, b.__dict__
+    if da.keys() != db.keys():
+        return False
+    return all(_field_eq(va, db[k]) for k, va in da.items())
+
+
+def _block_eq(a, b) -> bool:
+    ia, ib = a.instructions, b.instructions
+    if len(ia) != len(ib):
+        return False
+    return all(_inst_eq(x, y) for x, y in zip(ia, ib))
+
+
+def _chain_matches(bchunk: ChainChunk, chain: List, regmap: Dict[str, str]) -> bool:
+    """Whether ``bchunk``'s lines are exact for this function's chain: same
+    blocks (structurally) and every register name the chunk referenced maps
+    to the same Python local in the new function."""
+    if len(chain) != len(bchunk.blocks):
+        return False
+    for fb, bb in zip(chain, bchunk.blocks):
+        if fb.label != bb.label:
+            return False
+        if fb is not bb and not _block_eq(fb, bb):
+            return False
+    for ir_name, py in bchunk.used:
+        if regmap.get(ir_name) != py:
+            return False
+    return True
+
+
 class _FnEmitter:
     """Lowers one IR function to Python source."""
 
@@ -177,6 +311,10 @@ class _FnEmitter:
         self.regmap: Dict[str, str] = {}
         self.taken: Set[str] = set()
         self.prelude: Set[str] = set()
+        self.chunks: Dict[str, ChainChunk] = {}
+        self.spans: Dict[str, Tuple[int, int]] = {}
+        self._used: Optional[Set[Tuple[str, str]]] = None
+        self._chain_prelude: Optional[Set[str]] = None
 
     # -- small helpers ------------------------------------------------------
 
@@ -193,7 +331,17 @@ class _FnEmitter:
                 n += 1
             self.taken.add(py)
             self.regmap[name] = py
+        if self._used is not None:
+            self._used.add((name, py))
         return py
+
+    def need(self, *items: str) -> None:
+        """Request prelude bindings; per-chain needs are recorded in full
+        (not as a diff) so a delta reassembly can rebuild the prelude from
+        any subset of chunks."""
+        self.prelude.update(items)
+        if self._chain_prelude is not None:
+            self._chain_prelude.update(items)
 
     def operand(self, v) -> str:
         k = type(v)
@@ -256,7 +404,7 @@ class _FnEmitter:
         if not insts:
             return
         costs = tuple(_cost_of(i) for i in insts)
-        self.prelude.add("_mx")
+        self.need("_mx")
         self.line(f"_c = m.cycles + {sum(costs)}")
         self.line("if _c > _mx:")
         self.line(f"    _bto(m, {costs!r})")
@@ -265,7 +413,7 @@ class _FnEmitter:
         for i in pure:
             self.emit_pure(i)
         if final is not None and final.fault_site is not None:
-            self.prelude.add("_act")
+            self.need("_act")
             site = final.fault_site
             self.line(f"if {site!r} not in _act:")
             self.line(f"    _act[{site!r}] = _c")
@@ -336,13 +484,13 @@ class _FnEmitter:
         elif k is ins.Call:
             self.emit_call(i)
         elif k is ins.Alloca:
-            self.prelude.add("_salloc")
+            self.need("_salloc")
             self.line(f"{self.reg(i.result.name)} = _salloc({self.alloc_size(i)})")
         elif k is ins.Malloc:
-            self.prelude.add("_hmalloc")
+            self.need("_hmalloc")
             self.line(f"{self.reg(i.result.name)} = _hmalloc({self.alloc_size(i)})")
         elif k is ins.Free:
-            self.prelude.add("_hfree")
+            self.need("_hfree")
             self.line(f"_hfree({self.operand(i.pointer)})")
         elif k is ins.BinOp and i.op in ("sdiv", "srem"):
             self.emit_division(i)
@@ -390,7 +538,7 @@ class _FnEmitter:
 
     def emit_load(self, i) -> None:
         up, _pk, sz, tname = _scalar_access(i.result.type)
-        self.prelude.update(("_seg", "_rs"))
+        self.need("_seg", "_rs")
         res = self.reg(i.result.name)
         self.line(f"_a = {self.operand(i.pointer)}")
         self.line(f"if _hb <= _a and _a + {sz} <= _he:")
@@ -402,7 +550,7 @@ class _FnEmitter:
 
     def emit_store(self, i) -> None:
         _up, pk, sz, tname = _scalar_access(i.value.type)
-        self.prelude.update(("_seg", "_ws"))
+        self.need("_seg", "_ws")
         val = self.operand(i.value)
         ty = i.value.type
         if isinstance(ty, PointerType):
@@ -441,7 +589,7 @@ class _FnEmitter:
                 return
             pyname, nparams, is_external = info
             if is_external:
-                self.prelude.add("_ci")
+                self.need("_ci")
                 call = f"_ci({i.callee!r}, [{arglist}])"
             elif nparams != len(args):
                 msg = f"{i.callee} expects {nparams} args, got {len(args)}"
@@ -450,7 +598,7 @@ class _FnEmitter:
             else:
                 call = f"{pyname}(m, {arglist})" if args else f"{pyname}(m)"
         else:
-            self.prelude.add("_cba")
+            self.need("_cba")
             call = f"_cba({self.operand(i.callee)}, [{arglist}])"
         if i.result is not None:
             self.line(f"_r = {call}")
@@ -532,11 +680,49 @@ class _FnEmitter:
                 self.line(f"raise ExecutionTrap('unreachable', {'in ' + fn.name!r})")
             return
 
+    def chain_blocks(self, leader) -> List:
+        """The blocks ``emit_chain`` will emit for this leader, in order."""
+        fn = self.fn
+        out: List = []
+        seen: Set[str] = set()
+        block = leader
+        while True:
+            if block.label in seen:
+                raise CodegenUnsupported("splice cycle")
+            seen.add(block.label)
+            out.append(block)
+            _steps, term = self.decode(block)
+            if type(term) is ins.Jump and term.target in self.splice:
+                block = fn.find_block(term.target)
+                continue
+            return out
+
+    def emit_chain_recorded(self, leader) -> None:
+        """Emit one leader chain and record it as a :class:`ChainChunk`."""
+        start = len(self.body)
+        indent = self.indent
+        chain = self.chain_blocks(leader)
+        self._used = set()
+        self._chain_prelude = set()
+        self.emit_chain(leader)
+        self.chunks[leader.label] = ChainChunk(
+            leader=leader.label,
+            labels=tuple(b.label for b in chain),
+            blocks=tuple(chain),
+            lines=tuple(self.body[start:]),
+            prelude=frozenset(self._chain_prelude),
+            used=tuple(sorted(self._used)),
+            indent=indent,
+        )
+        self.spans[leader.label] = (start, len(self.body))
+        self._used = None
+        self._chain_prelude = None
+
     def emit_dispatch(self, lo: int, hi: int) -> None:
         """Binary if-tree over leader indices: log2 depth, so deep CFGs
         never approach CPython's nesting limit the way inlining would."""
         if hi - lo == 1:
-            self.emit_chain(self.leaders[lo])
+            self.emit_chain_recorded(self.leaders[lo])
             return
         mid = (lo + hi) // 2
         if lo + 1 == mid:
@@ -553,47 +739,15 @@ class _FnEmitter:
 
     # -- assembly ------------------------------------------------------------
 
-    def prelude_lines(self) -> List[str]:
-        out = []
-        u = self.prelude
-        if u & {"_seg", "_rs", "_ws"}:
-            out.append("_mem = m.memory")
-        if "_seg" in u:
-            out.append("_h = _mem.heap; _hb = _h.base; _he = _h.end; _hd = _h.data")
-            out.append("_s = _mem.stack; _sb = _s.base; _se = _s.end; _sd = _s.data")
-        if "_rs" in u:
-            out.append("_rs = _mem.read_scalar")
-        if "_ws" in u:
-            out.append("_ws = _mem.write_scalar")
-        if "_mx" in u:
-            out.append("_mx = m.max_cycles")
-        if "_act" in u:
-            out.append("_act = m.fault_activations")
-        if "_ci" in u:
-            out.append("_ci = m.call_intrinsic")
-        if "_cba" in u:
-            out.append("_cba = m.call_by_address")
-        if "_salloc" in u:
-            out.append("_salloc = m.stack_alloc")
-        if "_hmalloc" in u:
-            out.append("_hmalloc = m.heap_malloc")
-        if "_hfree" in u:
-            out.append("_hfree = m.heap_free")
-        return out
-
-    def generate(self) -> str:
+    def _analyze(self) -> None:
+        """Leader selection: entry and every branch target dispatch through
+        the loop; a block whose only predecessor is a single jump splices
+        into that jump's chain.  Reachable splice cycles are impossible
+        (a cycle's entry edge gives some member two predecessors)."""
         fn = self.fn
-        params = [self.reg(p.name) for p in fn.params]
-        if len(set(params)) != len(params):
-            raise CodegenUnsupported("duplicate parameter names")
         blocks = fn.reachable_blocks()
         if not blocks:
             raise CodegenUnsupported("no blocks")
-
-        # Leader selection: entry and every branch target dispatch through
-        # the loop; a block whose only predecessor is a single jump splices
-        # into that jump's chain.  Reachable splice cycles are impossible
-        # (a cycle's entry edge gives some member two predecessors).
         pred: Dict[str, int] = {b.label: 0 for b in blocks}
         pred[blocks[0].label] += 1  # implicit entry edge
         branch_targets: Set[str] = set()
@@ -611,39 +765,209 @@ class _FnEmitter:
             elif k is ins.Jump:
                 if term.target in pred:
                     pred[term.target] += 1
+        self.blocks = blocks
         self.splice = {
             lbl for lbl, n in pred.items()
             if n == 1 and lbl not in branch_targets and lbl != blocks[0].label
         }
         self.leaders = [b for b in blocks if b.label not in self.splice]
         self.leader_idx = {b.label: i for i, b in enumerate(self.leaders)}
-        needs_loop = len(self.leaders) > 1 or pred[blocks[0].label] > 1
+        self.has_alloca = has_alloca
+        self.needs_loop = len(self.leaders) > 1 or pred[blocks[0].label] > 1
 
+    def _prescan(self) -> Tuple[str, ...]:
+        """Assign every register's Python local up front, in chain emission
+        order, so names are independent of *which* chains a later delta
+        generation re-emits."""
+        params = tuple(self.reg(p.name) for p in self.fn.params)
+        if len(set(params)) != len(params):
+            raise CodegenUnsupported("duplicate parameter names")
+        for leader in self.leaders:
+            for block in self.chain_blocks(leader):
+                for inst in block.instructions:
+                    for v in inst.operands():
+                        if type(v) is Register:
+                            self.reg(v.name)
+                    r = inst.result
+                    if r is not None:
+                        self.reg(r.name)
+        return params
+
+    def _emit_body(self) -> None:
         self.indent = 1
-        if has_alloca:
+        if self.has_alloca:
             self.line("_ss = m.stack_top")
             self.line("try:")
             self.indent += 1
-        if needs_loop:
+        if self.needs_loop:
             self.line("_b = 0")
             self.line("while True:")
             self.indent += 1
             self.emit_dispatch(0, len(self.leaders))
             self.indent -= 1
         else:
-            self.emit_chain(blocks[0])
-        if has_alloca:
+            self.emit_chain_recorded(self.blocks[0])
+        if self.has_alloca:
             self.indent -= 1
             self.line("finally:")
             self.line("    m.stack_top = _ss")
 
-        header = f"def {self.pyname}(m{''.join(', ' + p for p in params)}):"
-        lines = [header]
-        lines.extend("    " + p for p in self.prelude_lines())
-        lines.extend(self.body)
-        return "\n".join(lines) + "\n"
+    def generate(self) -> GeneratedFunction:
+        self._analyze()
+        params = self._prescan()
+        self._emit_body()
+        source = _assemble_source(self.pyname, params, self.prelude, self.body)
+        return GeneratedFunction(
+            source=source,
+            src_sha=hashlib.sha256(source.encode()).hexdigest(),
+            fn_name=self.fn.name,
+            pyname=self.pyname,
+            params=params,
+            leader_labels=tuple(b.label for b in self.leaders),
+            splice=frozenset(self.splice),
+            has_alloca=self.has_alloca,
+            needs_loop=self.needs_loop,
+            body=self.body,
+            spans=self.spans,
+            chunks=self.chunks,
+        )
+
+
+def _prelude_lines(u: FrozenSet[str]) -> List[str]:
+    out = []
+    if u & {"_seg", "_rs", "_ws"}:
+        out.append("_mem = m.memory")
+    if "_seg" in u:
+        out.append("_h = _mem.heap; _hb = _h.base; _he = _h.end; _hd = _h.data")
+        out.append("_s = _mem.stack; _sb = _s.base; _se = _s.end; _sd = _s.data")
+    if "_rs" in u:
+        out.append("_rs = _mem.read_scalar")
+    if "_ws" in u:
+        out.append("_ws = _mem.write_scalar")
+    if "_mx" in u:
+        out.append("_mx = m.max_cycles")
+    if "_act" in u:
+        out.append("_act = m.fault_activations")
+    if "_ci" in u:
+        out.append("_ci = m.call_intrinsic")
+    if "_cba" in u:
+        out.append("_cba = m.call_by_address")
+    if "_salloc" in u:
+        out.append("_salloc = m.stack_alloc")
+    if "_hmalloc" in u:
+        out.append("_hmalloc = m.heap_malloc")
+    if "_hfree" in u:
+        out.append("_hfree = m.heap_free")
+    return out
+
+
+def _assemble_source(
+    pyname: str, params: Tuple[str, ...], prelude, body: List[str]
+) -> str:
+    header = f"def {pyname}(m{''.join(', ' + p for p in params)}):"
+    lines = [header]
+    lines.extend("    " + p for p in _prelude_lines(prelude))
+    lines.extend(body)
+    return "\n".join(lines) + "\n"
+
+
+def generate_function(fn, ctx: ProgramContext, pyname: str) -> GeneratedFunction:
+    """Full generation for one IR function (raises :class:`CodegenUnsupported`)."""
+    return _FnEmitter(fn, ctx, pyname).generate()
 
 
 def generate_function_source(fn, ctx: ProgramContext, pyname: str) -> str:
     """Python source for one IR function, or raise :class:`CodegenUnsupported`."""
-    return _FnEmitter(fn, ctx, pyname).generate()
+    return _FnEmitter(fn, ctx, pyname).generate().source
+
+
+def plan_function_delta(
+    fn, ctx: ProgramContext, pyname: str, base: GeneratedFunction
+) -> Optional[DeltaPlan]:
+    """Decide which of ``base``'s chains survive for ``fn`` verbatim.
+
+    Returns None when the function's shape diverged (different leaders,
+    splices, params, or frame) — the caller falls back to full generation.
+    On success the plan's ``delta_fp`` fingerprints exactly the changed
+    chains (printed IR, which covers fault-site markers), so together with
+    ``base.src_sha`` it content-addresses the assembled source *before*
+    any emission happens.
+    """
+    em = _FnEmitter(fn, ctx, pyname)
+    em._analyze()
+    if (
+        fn.name != base.fn_name
+        or pyname != base.pyname
+        or tuple(b.label for b in em.leaders) != base.leader_labels
+        or frozenset(em.splice) != base.splice
+        or em.has_alloca != base.has_alloca
+        or em.needs_loop != base.needs_loop
+    ):
+        return None
+    params = em._prescan()
+    if params != base.params:
+        return None
+    changed: List = []
+    reused: Dict[str, ChainChunk] = {}
+    fp = hashlib.sha256()
+    for leader in em.leaders:
+        bchunk = base.chunks[leader.label]
+        chain = em.chain_blocks(leader)
+        if _chain_matches(bchunk, chain, em.regmap):
+            reused[leader.label] = bchunk
+            continue
+        changed.append(leader)
+        fp.update(f"\x00chain {leader.label}\n".encode())
+        for b in chain:
+            fp.update(f"\x01block {b.label}\n".encode())
+            for inst in b.instructions:
+                fp.update(format_instruction(inst).encode())
+                fp.update(b"\n")
+    return DeltaPlan(em, params, changed, reused, fp.hexdigest())
+
+
+def complete_function_delta(
+    plan: DeltaPlan, base: GeneratedFunction
+) -> GeneratedFunction:
+    """Emit the plan's changed chains and splice them into ``base``'s frame.
+
+    Untouched chains' chunk objects — including their ``lines`` tuples —
+    are reused by identity; only the changed chains pay emission cost.
+    """
+    em = plan.emitter
+    new_chunks: Dict[str, ChainChunk] = dict(plan.reused)
+    for leader in plan.changed:
+        em.body = []
+        em.indent = base.chunks[leader.label].indent
+        em.emit_chain_recorded(leader)
+        new_chunks[leader.label] = em.chunks[leader.label]
+    body: List[str] = []
+    spans: Dict[str, Tuple[int, int]] = {}
+    prelude: Set[str] = set()
+    prev_end = 0
+    for label in base.leader_labels:
+        bstart, bend = base.spans[label]
+        body.extend(base.body[prev_end:bstart])
+        prev_end = bend
+        chunk = new_chunks[label]
+        start = len(body)
+        body.extend(chunk.lines)
+        spans[label] = (start, len(body))
+        prelude |= chunk.prelude
+    body.extend(base.body[prev_end:])
+    source = _assemble_source(plan.emitter.pyname, plan.params, prelude, body)
+    return GeneratedFunction(
+        source=source,
+        src_sha=hashlib.sha256(source.encode()).hexdigest(),
+        fn_name=base.fn_name,
+        pyname=base.pyname,
+        params=plan.params,
+        leader_labels=base.leader_labels,
+        splice=base.splice,
+        has_alloca=base.has_alloca,
+        needs_loop=base.needs_loop,
+        body=body,
+        spans=spans,
+        chunks=new_chunks,
+        reused_leaders=tuple(plan.reused),
+    )

@@ -30,12 +30,23 @@ Fallback rules (the interpreter is always the reference engine):
 from __future__ import annotations
 
 import hashlib
+import os
+import tempfile
 import weakref
 from typing import Callable, Dict, Optional, Tuple
 
 from ..ir.module import Function, Module
 from ..ir.types import FloatType, IntType, VOID_PTR
-from .codegen import CodegenUnsupported, ProgramContext, generate_function_source, sanitize
+from .codegen import (
+    CODEGEN_VERSION,
+    CodegenUnsupported,
+    GeneratedFunction,
+    ProgramContext,
+    complete_function_delta,
+    generate_function,
+    plan_function_delta,
+    sanitize,
+)
 from .interpreter import (
     FUNC_ADDR_BASE,
     FUNC_ADDR_STRIDE,
@@ -61,9 +72,22 @@ def content_cache_key(name: str, content_hash: str) -> Tuple[str, str]:
 
 
 #: Codegen cache behaviour for the current process.  "hits" counts code
-#: objects served from either cache level; "misses" counts fresh
-#: generations (including generations that concluded "unsupported").
-CODEGEN_STATS: Dict[str, int] = {"hits": 0, "misses": 0}
+#: objects served without compiling fresh source (on-Function memo, delta
+#: cache, persistent cache, or the content-addressed code cache after a
+#: delta reassembly); "misses" counts freshly compiled generations
+#: (including generations that concluded "unsupported").  The remaining
+#: keys break hits down: "delta_hits" were served from the in-process or
+#: persistent per-site delta cache, "persistent_hits" from the on-disk
+#: source cache specifically, and "delta_builds" counts delta
+#: *assemblies* (partial regenerations — cheaper than a full generation
+#: whichever way the resulting source then resolves).
+CODEGEN_STATS: Dict[str, int] = {
+    "hits": 0,
+    "misses": 0,
+    "delta_hits": 0,
+    "delta_builds": 0,
+    "persistent_hits": 0,
+}
 
 
 def codegen_stats() -> Dict[str, int]:
@@ -72,12 +96,102 @@ def codegen_stats() -> Dict[str, int]:
 
 
 def reset_codegen_stats() -> None:
-    CODEGEN_STATS["hits"] = 0
-    CODEGEN_STATS["misses"] = 0
+    for key in CODEGEN_STATS:
+        CODEGEN_STATS[key] = 0
 
 
 #: content-addressed code objects: content_cache_key(...) → code object.
 _CODE_CACHE: Dict[Tuple[str, str], object] = {}
+
+#: (ctx_key, fn name) → the first full generation seen: the delta base.
+#: The campaign executor warms this with the transformed-*pristine* module
+#: of each variant, so every per-site generation deltas against pristine
+#: and re-emits only the chains the fault transform touched.
+_BASE_INFO: Dict[Tuple[str, str], GeneratedFunction] = {}
+_BASE_INFO_MAX = 512
+
+#: per-site delta cache: key digest (see :func:`_delta_key`) → code object.
+#: A repeat of the same (pristine, site-delta) pair — diversity variants
+#: sharing transformed text, campaign clones, resumed reps — skips even
+#: the partial re-emission.
+_DELTA_CACHE: Dict[str, object] = {}
+_DELTA_CACHE_MAX = 4096
+
+#: directory of the persistent source cache (None = disabled).  Lives in
+#: the DPMR_STORE layout (``<store>/codegen/``); entries are generated
+#: *source*, never code objects, keyed by a digest that includes
+#: CODEGEN_VERSION so a generator change invalidates everything at once.
+_PERSIST_DIR: Optional[str] = None
+
+
+def set_persistent_code_cache(path: Optional[str]) -> Optional[str]:
+    """Point the persistent source cache at ``path`` (None disables).
+
+    Returns the previous path so callers can restore it."""
+    global _PERSIST_DIR
+    prev = _PERSIST_DIR
+    _PERSIST_DIR = path
+    return prev
+
+
+def persistent_code_cache_dir() -> Optional[str]:
+    return _PERSIST_DIR
+
+
+def reset_codegen_caches() -> None:
+    """Drop delta bases and the delta cache (test isolation helper).
+
+    The content-addressed code cache survives: it is keyed purely by
+    generated source, so stale entries are impossible."""
+    _BASE_INFO.clear()
+    _DELTA_CACHE.clear()
+
+
+def _delta_key(ctx_key: str, name: str, base_sha: str, delta_fp: str) -> str:
+    payload = f"{CODEGEN_VERSION}\x00{ctx_key}\x00{name}\x00{base_sha}\x00{delta_fp}"
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _persist_path(key_hash: str) -> str:
+    return os.path.join(_PERSIST_DIR, key_hash[:2], key_hash + ".py")
+
+
+def _persist_read(key_hash: str) -> Optional[str]:
+    """Source for ``key_hash``, or None.  The first line carries a sha256
+    of the rest; a mismatch (torn write, external corruption) deletes the
+    entry and reports a miss — the source is then regenerated."""
+    path = _persist_path(key_hash)
+    try:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+    except OSError:
+        return None
+    nl = text.find("\n")
+    head, src = text[: nl + 1], text[nl + 1 :]
+    if nl < 0 or not head.startswith("# sha256:") or (
+        head[9:].strip() != hashlib.sha256(src.encode()).hexdigest()
+    ):
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        return None
+    return src
+
+
+def _persist_write(key_hash: str, src: str) -> None:
+    path = _persist_path(key_hash)
+    try:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), prefix=".cg-", suffix=".tmp"
+        )
+        with os.fdopen(fd, "w", encoding="utf-8") as f:
+            f.write(f"# sha256:{hashlib.sha256(src.encode()).hexdigest()}\n")
+            f.write(src)
+        os.replace(tmp, path)
+    except OSError:
+        pass  # best-effort: a failed write just costs a future regeneration
 
 
 def _bto(m, costs) -> None:
@@ -183,29 +297,111 @@ class CompiledProgram:
         return h.hexdigest()
 
 
+_DELTA_MISS = object()  # sentinel: delta path could not produce code
+
+
+def _code_from_source(name: str, src: str, src_sha: Optional[str] = None):
+    """Code object for generated source through the content cache."""
+    if src_sha is None:
+        src_sha = hashlib.sha256(src.encode()).hexdigest()
+    key = content_cache_key(name, src_sha)
+    code = _CODE_CACHE.get(key)
+    if code is None:
+        CODEGEN_STATS["misses"] += 1
+        code = compile(src, f"<dpmr-codegen:{name}>", "exec")
+        _CODE_CACHE[key] = code
+    else:
+        CODEGEN_STATS["hits"] += 1
+    return code
+
+
+def _register_base(ctx_key: str, name: str, gen: GeneratedFunction) -> None:
+    if len(_BASE_INFO) >= _BASE_INFO_MAX:
+        _BASE_INFO.clear()
+    _BASE_INFO.setdefault((ctx_key, name), gen)
+
+
+def _delta_code_for(fn: Function, ctx, ctx_key: str, pyname: str, base):
+    """Serve ``fn`` through the delta pipeline, or ``_DELTA_MISS``.
+
+    Order of escalation, cheapest first: structural comparison against the
+    base (no string work for unchanged chains) → in-process delta cache →
+    persistent source cache → partial re-emission of only the changed
+    chains, spliced into the base frame."""
+    plan = plan_function_delta(fn, ctx, pyname, base)
+    if plan is None:
+        return _DELTA_MISS
+    key_hash = _delta_key(ctx_key, fn.name, base.src_sha, plan.delta_fp)
+    code = _DELTA_CACHE.get(key_hash)
+    if code is not None:
+        CODEGEN_STATS["hits"] += 1
+        CODEGEN_STATS["delta_hits"] += 1
+        return code
+    if _PERSIST_DIR is not None:
+        src = _persist_read(key_hash)
+        if src is not None:
+            key = content_cache_key(fn.name, hashlib.sha256(src.encode()).hexdigest())
+            code = _CODE_CACHE.get(key)
+            try:
+                if code is None:
+                    code = compile(src, f"<dpmr-codegen:{fn.name}>", "exec")
+                    _CODE_CACHE[key] = code
+            except SyntaxError:
+                try:
+                    os.unlink(_persist_path(key_hash))
+                except OSError:
+                    pass
+            else:
+                # Served from disk: a hit even when this process still had
+                # to byte-compile it (no source was generated).
+                CODEGEN_STATS["hits"] += 1
+                CODEGEN_STATS["delta_hits"] += 1
+                CODEGEN_STATS["persistent_hits"] += 1
+                if len(_DELTA_CACHE) >= _DELTA_CACHE_MAX:
+                    _DELTA_CACHE.clear()
+                _DELTA_CACHE[key_hash] = code
+                return code
+    gen = complete_function_delta(plan, base)
+    CODEGEN_STATS["delta_builds"] += 1
+    code = _code_from_source(fn.name, gen.source, gen.src_sha)
+    if len(_DELTA_CACHE) >= _DELTA_CACHE_MAX:
+        _DELTA_CACHE.clear()
+    _DELTA_CACHE[key_hash] = code
+    if _PERSIST_DIR is not None:
+        _persist_write(key_hash, gen.source)
+    return code
+
+
 def _code_for(fn: Function, ctx: ProgramContext, ctx_key: str, pyname: str):
-    """Code object for ``fn`` (or None if uncompilable), through both cache
-    levels: the on-Function memo, then the content-addressed code cache."""
+    """Code object for ``fn`` (or None if uncompilable), through the cache
+    hierarchy: the on-Function memo, then the delta pipeline against the
+    registered pristine base, then full generation plus the
+    content-addressed code cache."""
     memo = getattr(fn, "_cg_cache", None)
     if memo is not None and memo[0] == ctx_key:
         CODEGEN_STATS["hits"] += 1
         return memo[1]
+    base = _BASE_INFO.get((ctx_key, fn.name))
+    if base is not None:
+        try:
+            code = _delta_code_for(fn, ctx, ctx_key, pyname, base)
+        except Exception:
+            # A changed chain the generator rejects fails the full path
+            # identically below; anything else falls back conservatively.
+            code = _DELTA_MISS
+        if code is not _DELTA_MISS:
+            fn._cg_cache = (ctx_key, code)
+            return code
     try:
-        src = generate_function_source(fn, ctx, pyname)
+        gen = generate_function(fn, ctx, pyname)
     except Exception:
         # CodegenUnsupported, or anything layout/operand-shaped the
         # generator tripped over at fold time: interpret this function.
         CODEGEN_STATS["misses"] += 1
         fn._cg_cache = (ctx_key, None)
         return None
-    key = content_cache_key(fn.name, hashlib.sha256(src.encode()).hexdigest())
-    code = _CODE_CACHE.get(key)
-    if code is None:
-        CODEGEN_STATS["misses"] += 1
-        code = compile(src, f"<dpmr-codegen:{fn.name}>", "exec")
-        _CODE_CACHE[key] = code
-    else:
-        CODEGEN_STATS["hits"] += 1
+    _register_base(ctx_key, fn.name, gen)
+    code = _code_from_source(fn.name, gen.source, gen.src_sha)
     fn._cg_cache = (ctx_key, code)
     return code
 

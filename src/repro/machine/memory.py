@@ -9,6 +9,8 @@ stack segment, and a heap segment, with unmapped guard gaps between them.
 
 from __future__ import annotations
 
+import mmap
+import os
 import random
 import struct
 from typing import Dict, List, Optional, Tuple
@@ -76,14 +78,62 @@ class Segment:
         # Plain attribute (not a property): segment_for runs on every memory
         # access and the bound is fixed for the segment's lifetime.
         self.end = base + size
-        if fill_seed is None:
-            self.data = bytearray(size)
-        else:
-            # Deterministic "garbage": uninitialized reads see junk that
+        if fill_seed is not None and _COW_GARBAGE:
+            # Deterministic "garbage" (uninitialized reads see junk that
             # differs between addresses, which is what lets DPMR's replica
-            # comparison catch them (the app object and its replica hold
-            # different junk).
-            self.data = bytearray(_garbage_bytes(fill_seed ^ base, size))
+            # comparison catch them), mapped copy-on-write from a memfd
+            # holding the memoized template.  Byte-for-byte identical to a
+            # bytearray copy, but a multi-megabyte segment costs one mmap
+            # call instead of a full memcpy, and only pages the run
+            # actually writes are ever copied — the dominant fixed cost of
+            # a campaign experiment before this was resetting 4 MiB of
+            # heap garbage per run.
+            try:
+                self.data = mmap.mmap(
+                    _garbage_fd(fill_seed ^ base, size),
+                    size,
+                    flags=mmap.MAP_PRIVATE,
+                )
+                return
+            except OSError:
+                pass  # fall through to the plain buffer path
+        if fill_seed is None:
+            template = _zero_bytes(size)
+        else:
+            template = _garbage_bytes(fill_seed ^ base, size)
+        pool = _BUFFER_POOL.get(size)
+        if pool:
+            # Reused buffers are overwritten wholesale from the template, so
+            # their contents are byte-identical to a fresh allocation; the
+            # win is skipping the multi-megabyte alloc + page-fault churn
+            # every Machine of a campaign would otherwise pay.
+            self.data = pool.pop()
+            self.data[:] = template
+        else:
+            self.data = bytearray(template)
+
+    def contains(self, address: int, length: int = 1) -> bool:
+        return self.base <= address and address + length <= self.end
+
+    def release(self) -> None:
+        """Return this segment's buffer to the process-wide pool.
+
+        Only call when the owning Machine is provably done (run_process does
+        this after the result is materialized).  The segment keeps an empty
+        buffer afterwards, so accidental post-release access raises instead
+        of silently aliasing the next run's memory.
+        """
+        buf = self.data
+        self.data = bytearray(0)
+        if isinstance(buf, mmap.mmap):
+            try:
+                buf.close()  # unmap now instead of at GC time
+            except BufferError:  # pragma: no cover — a live exported view
+                pass
+        elif len(buf) == self.size:
+            pool = _BUFFER_POOL.setdefault(self.size, [])
+            if len(pool) < _BUFFER_POOL_MAX:
+                pool.append(buf)
 
 
 #: Memoized garbage fills.  The fill is a pure function of (seed, size), and
@@ -93,6 +143,14 @@ class Segment:
 #: by the handful of (seed, segment-size) configurations a process uses.
 _GARBAGE_CACHE: Dict[Tuple[int, int], bytes] = {}
 
+#: Memoized all-zero fills (globals segments), same rationale.
+_ZERO_CACHE: Dict[int, bytes] = {}
+
+#: Retired segment buffers by size, reused by the next Segment of that size.
+#: Bounded per size class; a process only ever uses a handful of sizes.
+_BUFFER_POOL: Dict[int, List[bytearray]] = {}
+_BUFFER_POOL_MAX = 8
+
 
 def _garbage_bytes(seed: int, size: int) -> bytes:
     key = (seed, size)
@@ -101,8 +159,35 @@ def _garbage_bytes(seed: int, size: int) -> bytes:
         data = _GARBAGE_CACHE[key] = random.Random(seed).randbytes(size)
     return data
 
-    def contains(self, address: int, length: int = 1) -> bool:
-        return self.base <= address and address + length <= self.end
+
+def _zero_bytes(size: int) -> bytes:
+    data = _ZERO_CACHE.get(size)
+    if data is None:
+        data = _ZERO_CACHE[size] = bytes(size)
+    return data
+
+
+#: Copy-on-write garbage segments need memfd_create (Linux); elsewhere the
+#: pooled-bytearray path below provides the same bytes, just with a memcpy.
+_COW_GARBAGE = hasattr(os, "memfd_create")
+
+#: memfd holding each memoized garbage template, keyed like _GARBAGE_CACHE.
+#: The fds live for the whole process (a handful of configurations) and are
+#: inherited by forked campaign workers along with their mappings.
+_GARBAGE_FDS: Dict[Tuple[int, int], int] = {}
+
+
+def _garbage_fd(seed: int, size: int) -> int:
+    key = (seed, size)
+    fd = _GARBAGE_FDS.get(key)
+    if fd is None:
+        fd = os.memfd_create(f"dpmr-garbage-{seed & 0xFFFFFFFF:08x}")
+        data = _garbage_bytes(seed, size)
+        view = memoryview(data)
+        while view:
+            view = view[os.write(fd, view):]
+        _GARBAGE_FDS[key] = fd
+    return fd
 
 
 class Memory:
@@ -119,6 +204,16 @@ class Memory:
         self.stack = Segment("stack", STACK_BASE, stack_size, fill_seed=garbage_seed)
         self.heap = Segment("heap", HEAP_BASE, heap_size, fill_seed=garbage_seed)
         self._segments: List[Segment] = [self.globals, self.stack, self.heap]
+
+    def release(self) -> None:
+        """Return every segment buffer to the reuse pool.
+
+        Only for owners that know no further access can happen;
+        :func:`repro.machine.process.run_process` calls this once the
+        result is fully materialized.
+        """
+        for seg in self._segments:
+            seg.release()
 
     # -- raw byte access --------------------------------------------------
 

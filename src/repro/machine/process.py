@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..ir.module import Module
 from ..ir.types import IntType, PointerType, VoidType
+from ..obs.tracer import real_tracer
 from .interpreter import (
     AppError,
     DpmrDetected,
@@ -93,10 +94,13 @@ def run_process(
     ``compiled`` selects the compiled execution tier (bit-identical records;
     ignored whenever observability forces the instrumented interpreter).
     """
-    from ..obs.tracer import real_tracer
-
+    # Raising the recursion limit is cheap but not free on the campaign hot
+    # path (thousands of runs); skip the set/restore pair entirely once the
+    # process-wide limit is already high enough.
     old_limit = sys.getrecursionlimit()
-    sys.setrecursionlimit(max(old_limit, 20000))
+    raised_limit = old_limit < 20000
+    if raised_limit:
+        sys.setrecursionlimit(20000)
     machine = Machine(
         module,
         max_cycles=max_cycles,
@@ -171,7 +175,12 @@ def run_process(
             )
         return result
     finally:
-        sys.setrecursionlimit(old_limit)
+        # The machine is private to this call and the result is fully
+        # materialized (output strings, copied dicts) before we get here, so
+        # its segment buffers can go back to the reuse pool.
+        machine.memory.release()
+        if raised_limit:
+            sys.setrecursionlimit(old_limit)
 
 
 def _build_main_args(

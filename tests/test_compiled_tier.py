@@ -131,7 +131,11 @@ def test_campaign_signatures_identical_both_kinds_all_variants(kind):
     harness = WorkloadHarness("mcf", app_factory("mcf", 1))
     variants = diversity_variants("sds") + policy_variants("sds")
     base = run(
-        harness, variants, kind=kind, config=ExecConfig(), max_sites=2
+        harness,
+        variants,
+        kind=kind,
+        config=ExecConfig(compiled=False),
+        max_sites=2,
     )
     comp = run(
         harness, variants, kind=kind, config=ExecConfig(compiled=True), max_sites=2
@@ -188,16 +192,20 @@ def test_codegen_cache_hits_grow_on_recompilation():
     after = codegen_stats()
     assert after["hits"] > mid["hits"]
     assert after["misses"] == mid["misses"]
-    assert set(CODEGEN_STATS) == {"hits", "misses"}
+    assert set(CODEGEN_STATS) == {
+        "hits", "misses", "delta_hits", "delta_builds", "persistent_hits"
+    }
 
 
 # -- eval-layer surface --------------------------------------------------
 
 
 def test_dpmr_compile_env_parsing():
-    assert ExecConfig.from_env({}).compiled is False
+    # Compiled is the default engine; DPMR_COMPILE=0 is the opt-out.
+    assert ExecConfig.from_env({}).compiled is True
     assert ExecConfig.from_env({"DPMR_COMPILE": "1"}).compiled is True
     assert ExecConfig.from_env({"DPMR_COMPILE": "false"}).compiled is False
+    assert ExecConfig.from_env({"DPMR_COMPILE": "0"}).compiled is False
     with pytest.raises(ValueError):
         ExecConfig.from_env({"DPMR_COMPILE": "maybe"})
 
@@ -205,7 +213,7 @@ def test_dpmr_compile_env_parsing():
 def test_exec_fingerprint_is_compiled_transparent():
     # The compiled tier is bit-transparent, so flipping it must not
     # invalidate the persistent result store.
-    assert exec_fingerprint(ExecConfig()) == exec_fingerprint(
+    assert exec_fingerprint(ExecConfig(compiled=False)) == exec_fingerprint(
         ExecConfig(compiled=True)
     )
 
@@ -259,7 +267,7 @@ def test_manifest_report_renders_engine_line():
         harness,
         variants,
         kind="heap-array-resize",
-        config=ExecConfig(),
+        config=ExecConfig(compiled=False),
         max_sites=1,
     )
     assert "engine: interp" in manifest_section(res_i.manifest)
