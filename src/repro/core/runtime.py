@@ -13,15 +13,55 @@ rather than being emitted as IR:
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from ..ir.types import PointerType, VOID
 from ..machine.interpreter import Machine
 from .aug_types import ReplicationDesign
-from .diversity import DiversityPolicy, NoDiversity
+from .diversity import (
+    DiversityPolicy,
+    NoDiversity,
+    PadMalloc,
+    RearrangeHeap,
+    ZeroBeforeFree,
+)
 from .wrappers import WRAPPER_IMPLS
 
 _PTR = PointerType(VOID)
+
+#: bumped whenever the meaning of a spec tuple changes; the spec is part of
+#: every codegen cache key, so this invalidates stale specialized code.
+_RT_SPEC_VERSION = "rt1"
+
+
+def diversity_codegen_spec(diversity: DiversityPolicy) -> Optional[Tuple]:
+    """A hashable description of replica alloc/free for codegen inlining.
+
+    ``(version, malloc-mode, free-mode)`` where a malloc mode is
+    ``("plain",)`` (plain ``heap_malloc``), ``("pad", n)`` (request
+    enlarged by a constant), or ``("method",)`` (call the policy's bound
+    method), and a free mode is ``"plain"`` or ``"method"``.  Exact-type
+    checks keep subclasses that override behaviour on the generic
+    ``("method",)`` path; a stateful policy returns None — its per-run
+    deep copy means no single bound method exists to specialize against.
+
+    Direct method binding is bit-identical to the ``call_intrinsic`` path
+    because the compiled tier only activates without counters or a tracer,
+    which makes :meth:`DpmrRuntime.replica_malloc`'s observability wrapper
+    a transparent pass-through.
+    """
+    if diversity.stateful:
+        return None
+    t = type(diversity)
+    if t is NoDiversity:
+        return (_RT_SPEC_VERSION, ("plain",), "plain")
+    if t is PadMalloc:
+        return (_RT_SPEC_VERSION, ("pad", diversity.pad), "plain")
+    if t is ZeroBeforeFree:
+        return (_RT_SPEC_VERSION, ("plain",), "method")
+    if t is RearrangeHeap:
+        return (_RT_SPEC_VERSION, ("method",), "plain")
+    return (_RT_SPEC_VERSION, ("method",), "method")
 
 
 class DpmrRuntime:
@@ -48,6 +88,12 @@ class DpmrRuntime:
             )
         machine.register_intrinsic("dpmr_argv_replica", self._argv_replica)
         machine.register_intrinsic("dpmr_argv_shadow", self._argv_shadow)
+
+    def codegen_spec(self) -> Optional[Tuple]:
+        """Spec for the compiled tier's runtime-inlining pass, or None when
+        this runtime cannot be specialized (see
+        :func:`diversity_codegen_spec`)."""
+        return diversity_codegen_spec(self.diversity)
 
     # -- replica heap behaviour -------------------------------------------------
 

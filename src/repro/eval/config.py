@@ -22,6 +22,10 @@ Knobs (all optional):
                           tier (on by default; bit-identical records; ignored
                           when observability forces the instrumented
                           interpreter)
+``DPMR_INLINE_RT``        ``0``/``false`` opts out of runtime specialization
+                          on the compiled tier: variant-inlined DPMR hooks in
+                          generated code plus instruction-granular delta
+                          transforms (on by default; bit-identical records)
 ========================  =====================================================
 
 ``ExecConfig`` is frozen: derive variations with :func:`dataclasses.replace`.
@@ -47,6 +51,7 @@ STORE_ENV_VAR = "DPMR_STORE"
 RETRIES_ENV_VAR = "DPMR_RETRIES"
 EXP_TIMEOUT_ENV_VAR = "DPMR_EXP_TIMEOUT"
 COMPILE_ENV_VAR = "DPMR_COMPILE"
+INLINE_RT_ENV_VAR = "DPMR_INLINE_RT"
 
 #: infrastructure retries per experiment before its site is quarantined.
 DEFAULT_RETRIES = 2
@@ -128,6 +133,13 @@ class ExecConfig:
     #: ``DPMR_COMPILE=0`` to opt out; whenever a run needs tracing or
     #: counters it falls back to the instrumented interpreter regardless.
     compiled: bool = True
+    #: runtime specialization on the compiled tier: DPMR hooks for stateless
+    #: diversity policies are inlined into generated code, and per-site
+    #: builds use instruction-granular delta transforms.  Bit-transparent
+    #: like ``compiled`` (and likewise excluded from store fingerprints);
+    #: ``DPMR_INLINE_RT=0`` restores the call_intrinsic + whole-function
+    #: re-transform behaviour of the plain compiled tier.
+    inline_rt: bool = True
 
     @classmethod
     def from_env(cls, env: Optional[Mapping[str, str]] = None) -> "ExecConfig":
@@ -155,6 +167,7 @@ class ExecConfig:
             retries=max(0, _parse_int(env, RETRIES_ENV_VAR, DEFAULT_RETRIES)),
             exp_timeout_s=max(0.0, _parse_float(env, EXP_TIMEOUT_ENV_VAR, 0.0)),
             compiled=_parse_flag(env, COMPILE_ENV_VAR, True),
+            inline_rt=_parse_flag(env, INLINE_RT_ENV_VAR, True),
         )
 
     # -- derived ------------------------------------------------------------

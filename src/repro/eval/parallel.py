@@ -434,12 +434,17 @@ def _warm_compiled_bases(states: Sequence[JobBuildState]) -> None:
     same function; anchoring the bases on the pristine snapshot (and each
     DPMR variant's transformed pristine) before any faulty build compiles
     means every per-site compile takes the cheap delta path, and forked
-    workers inherit the warm base info via copy-on-write.  Failures are
+    workers inherit the warm base info via copy-on-write.  DPMR bases are
+    additionally warmed under the variant's runtime-specialization spec,
+    which is part of the codegen context key — that is the context the
+    per-experiment machines actually compile under.  Failures are
     ignored — anything that refuses to compile falls back to the
     interpreter at run time exactly as it would without warm-up.
     """
-    from ..machine.compile import compiled_program_for
+    from ..core.runtime import diversity_codegen_spec
+    from ..machine.compile import compiled_program_for, inline_runtime_enabled
 
+    inline_rt = inline_runtime_enabled()
     for state in states:
         try:
             compiled_program_for(state.pristine)
@@ -448,8 +453,13 @@ def _warm_compiled_bases(states: Sequence[JobBuildState]) -> None:
         for compiler in state.compilers:
             if compiler is None:
                 continue
+            spec = (
+                diversity_codegen_spec(compiler.compiler.diversity)
+                if inline_rt
+                else None
+            )
             try:
-                compiled_program_for(compiler.base_module)
+                compiled_program_for(compiler.base_module, spec)
             except Exception:  # pragma: no cover
                 pass
 
@@ -626,11 +636,19 @@ def run_campaign_jobs_with_manifest(
     """
     global _WORKER_JOBS, _WORKER_STATES, _WORKER_TRACER, _WORKER_COUNTERS
     global _WORKER_USE_COMPILED
-    from ..machine.compile import codegen_stats, set_persistent_code_cache
+    from ..machine.compile import (
+        codegen_stats,
+        set_inline_runtime,
+        set_persistent_code_cache,
+    )
     from ..obs.counters import total_counters
     from ..obs.tracer import real_tracer
 
     config = config if config is not None else ExecConfig.from_env()
+    # Campaign-scoped runtime-specialization toggle: sampled by the build
+    # states below (their transform journals gate on it), by base warming,
+    # and inherited by forked workers.  Restored in the finally.
+    inline_prev = set_inline_runtime(config.inline_rt)
     jobs = list(jobs)
     incremental = config.incremental or build_states is not None
     items = _all_items(jobs)
@@ -766,6 +784,7 @@ def run_campaign_jobs_with_manifest(
                 )
             records.append(record)
     finally:
+        set_inline_runtime(inline_prev)
         if persist_set:
             set_persistent_code_cache(persist_prev)
         if own_tracer and tracer is not None:

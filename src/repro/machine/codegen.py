@@ -17,6 +17,30 @@ emitting one specialized Python function per IR function:
   exact per-instruction accounting (:func:`repro.machine.compile._bto`)
   so Timeout state matches the interpreter to the cycle.
 
+Call lowering splits into an inline fast path and a re-entrant slow path:
+
+* direct internal calls are plain global lookups in the shared exec
+  namespace, one Python frame per call;
+* generic intrinsic and indirect calls re-enter the machine through
+  ``call_intrinsic`` / ``call_by_address`` and pay one argument-container
+  allocation per call — a tuple display (folded into the code object's
+  constants) when every argument is a literal, a fresh list otherwise;
+* the DPMR hooks (``dpmr_detect`` / ``dpmr_replica_malloc`` /
+  ``dpmr_replica_free``) specialize against the machine's runtime when
+  :func:`repro.machine.compile.runtime_spec_for` proves it safe (stateless
+  diversity policy, no tracer/counters — the compiled tier already
+  guarantees the latter).  ``dpmr_detect`` lowers to a direct ``raise``;
+  the replica alloc/free hooks lower to the *parametric* fast-path
+  globals ``_rmal`` / ``_rfree``, which the binding
+  :class:`~repro.machine.compile.CompiledProgram` resolves from the
+  spec at bind time (plain ``Machine.heap_malloc``, a pad-folding
+  closure, or the diversity method).  Emitted source is therefore
+  identical for every specialized runtime — all diversity variants share
+  one entry in every codegen cache layer, and only the *program* (the
+  exec namespace) is per-spec.  Tracing, counters, stateful policies,
+  and any call shape the transform does not emit keep the exact
+  ``call_intrinsic`` re-entry as the fallback.
+
 Bit-identity ground rules (the interpreter stays the reference engine):
 
 * an instruction with a ``fault_site`` always terminates its batch, so the
@@ -24,16 +48,17 @@ Bit-identity ground rules (the interpreter stays the reference engine):
 * anything the generator cannot prove it lowers exactly raises
   :class:`CodegenUnsupported`; the machine then interprets that one
   function (callers still run compiled — calls route through a shim);
-* heap, intrinsic, and DPMR behaviour is never reimplemented — generated
-  code calls straight into ``Machine.heap_malloc`` / ``call_intrinsic`` /
-  ``call_by_address``, which is where the diversity runtime lives.
+* heap behaviour is never reimplemented — every allocation path, inlined
+  or not, ends in ``Machine.heap_malloc`` / ``heap_free`` (or the
+  configured diversity policy), which own the cycle charges and the trap
+  mapping.
 
 Known, accepted divergences (pathological programs only — all are outside
 what :func:`repro.ir.verify.verify_module` admits): an execution path that
 uses a register whose defining block never ran raises
 ``UnboundLocalError`` instead of the undefined-register trap, and deep
-recursion hits the host recursion limit at a different depth because
-compiled calls use one Python frame instead of two.
+recursion hits the host recursion limit at a different depth because a
+compiled call chain uses fewer Python frames than an interpreted one.
 """
 
 from __future__ import annotations
@@ -60,7 +85,7 @@ from .interpreter import COSTS, _EXPENSIVE_BINOPS
 #: Bumped whenever the shape of generated source changes; part of every
 #: persistent code-cache key so stale entries from older generators can
 #: never be loaded (see repro.machine.compile).
-CODEGEN_VERSION = 2
+CODEGEN_VERSION = 4
 
 
 class CodegenUnsupported(Exception):
@@ -80,6 +105,13 @@ class ProgramContext:
     global_layout: Dict[str, int]
     func_addrs: Dict[str, int]
     fn_info: Dict[str, Tuple[str, int, bool]]
+    #: runtime-specialization spec (see ``DpmrRuntime.codegen_spec`` /
+    #: ``repro.machine.compile.runtime_spec_for``) or None for the generic
+    #: program.  Generation only depends on whether a spec is *present*
+    #: (hook emission is parametric over the spec's contents), so the
+    #: context digest folds the presence marker — specialized and generic
+    #: code never share cache entries, while all specialized variants do.
+    rt_spec: Optional[Tuple] = None
 
 
 _U64_LIT = "18446744073709551615"
@@ -581,7 +613,6 @@ class _FnEmitter:
 
     def emit_call(self, i) -> None:
         args = [self.operand(a) for a in i.args]
-        arglist = ", ".join(args)
         if i.is_direct:
             info = self.ctx.fn_info.get(i.callee)
             if info is None:
@@ -589,22 +620,87 @@ class _FnEmitter:
                 return
             pyname, nparams, is_external = info
             if is_external:
+                if self.ctx.rt_spec is not None and self.emit_dpmr_call(i, args):
+                    return
                 self.need("_ci")
-                call = f"_ci({i.callee!r}, [{arglist}])"
+                call = f"_ci({i.callee!r}, {self.arg_container(i, args)})"
             elif nparams != len(args):
                 msg = f"{i.callee} expects {nparams} args, got {len(args)}"
                 self.line(f"raise ExecutionTrap('bad-call', {msg!r})")
                 return
             else:
+                arglist = ", ".join(args)
                 call = f"{pyname}(m, {arglist})" if args else f"{pyname}(m)"
         else:
             self.need("_cba")
-            call = f"_cba({self.operand(i.callee)}, [{arglist}])"
+            call = f"_cba({self.operand(i.callee)}, {self.arg_container(i, args)})"
         if i.result is not None:
             self.line(f"_r = {call}")
             self.line(f"{self.reg(i.result.name)} = 0 if _r is None else _r")
         else:
             self.line(call)
+
+    def arg_container(self, i, args: List[str]) -> str:
+        """Argument container for a ``call_intrinsic``/``call_by_address``
+        re-entry.  A fully-literal argument vector becomes a tuple display
+        that CPython folds into the code object's constants, so the call
+        site allocates nothing per execution; any register operand forces a
+        fresh list.  Sound because every receiver (intrinsics, wrappers,
+        ``Machine.call``) only reads the container."""
+        if any(type(a) is Register for a in i.args):
+            return f"[{', '.join(args)}]"
+        if len(args) == 1:
+            return f"({args[0]},)"
+        return f"({', '.join(args)})"
+
+    def emit_dpmr_call(self, i, args: List[str]) -> bool:
+        """Inline one DPMR hook against the program's runtime spec.
+
+        Covers exactly the call shapes the DPMR transform emits (hook
+        arity, result use matching the declared signature); anything else
+        returns False and takes the ``call_intrinsic`` slow path, whose
+        behaviour is the reference.  ``dpmr_detect`` raises directly; the
+        replica alloc/free hooks call the ``_rmal`` / ``_rfree`` namespace
+        globals, which the binding program derives from the spec — the
+        emitted *source* is the same for every spec, so specialized code
+        shares cache entries across diversity variants.  Cycle parity
+        holds because the Call's own cost was charged by the batch flush
+        and the fast-path bindings reach the same ``heap_malloc`` /
+        ``heap_free`` / diversity methods the intrinsic would, so every
+        remaining charge happens in the same place with the same
+        arguments.
+        """
+        name = i.callee
+        if name == "dpmr_detect":
+            if i.result is not None:
+                return False
+            if not i.args:
+                code = "0"
+            elif type(i.args[0]) is ConstInt:
+                code = _int_lit(int(i.args[0].value))
+            else:
+                code = f"int({args[0]})"
+            self.line(f"raise _DD({code})")
+            return True
+        if len(i.args) != 1:
+            return False
+        a0 = i.args[0]
+        arg = _int_lit(int(a0.value)) if type(a0) is ConstInt else f"int({args[0]})"
+        if name == "dpmr_replica_malloc":
+            if i.result is None:
+                self.line(f"_rmal(m, {arg})")
+            else:
+                # The interpreter's generic call path converts a None
+                # result to 0; keep that for every binding.
+                self.line(f"_r = _rmal(m, {arg})")
+                self.line(f"{self.reg(i.result.name)} = 0 if _r is None else _r")
+            return True
+        if name == "dpmr_replica_free":
+            if i.result is not None:
+                return False
+            self.line(f"_rfree(m, {arg})")
+            return True
+        return False
 
     # -- control flow --------------------------------------------------------
 

@@ -12,10 +12,20 @@ generated source)``.  The generated source embeds every context-dependent
 fold (global/function addresses, the callee table), so the key subsumes
 the variant fingerprint — two variants whose transform produced the same
 function text share one code object, and a warm campaign compiles each
-faulty function exactly once.  A second, cheaper level memoizes the code
-object directly on the ``Function`` (keyed by a digest of the module
-context): ``Module.clone`` shares untouched functions by identity, so
-campaign clones skip even source generation.
+faulty function exactly once.  Hook emission is *parametric* over the
+runtime spec (see ``codegen.emit_dpmr_call``), so the context digest
+folds only the spec's presence: every specialized diversity variant
+shares one entry per function in every code-level cache, and the
+per-spec differences live in the program namespace bindings (``_rmal`` /
+``_rfree``).  A second, cheaper level memoizes the code object directly
+on the ``Function`` (keyed by a digest of the module context):
+``Module.clone`` shares untouched functions by identity, so campaign
+clones skip even source generation.  Two further levels close the loop
+with the delta *transform*: a spliced function carries a provenance
+stamp (``_dpmr_stamp``, set by ``IncrementalDpmrCompiler``) that
+content-addresses its generated code without any structural delta
+planning, and whole :class:`CompiledProgram` objects are reused when
+every member function resolved to the identical code object.
 
 Fallback rules (the interpreter is always the reference engine):
 
@@ -50,7 +60,9 @@ from .codegen import (
 from .interpreter import (
     FUNC_ADDR_BASE,
     FUNC_ADDR_STRIDE,
+    DpmrDetected,
     ExecutionTrap,
+    Machine,
     Timeout,
     compute_global_layout,
 )
@@ -59,6 +71,51 @@ from .memory import _SCALAR_STRUCTS, _U64, DEFAULT_GLOBALS_SIZE, GLOBALS_BASE
 import struct as _struct
 
 _F32 = _struct.Struct("<f")
+
+
+#: process-wide runtime-inlining override; None = defer to the environment
+#: (``DPMR_INLINE_RT``), parsed once on first use.
+_INLINE_RT: Optional[bool] = None
+
+
+def inline_runtime_enabled() -> bool:
+    """Whether compiled programs may specialize against a DPMR runtime."""
+    global _INLINE_RT
+    if _INLINE_RT is None:
+        import os as _os
+
+        from ..eval.config import INLINE_RT_ENV_VAR, _parse_flag
+
+        _INLINE_RT = _parse_flag(_os.environ, INLINE_RT_ENV_VAR, True)
+    return _INLINE_RT
+
+
+def set_inline_runtime(enabled: Optional[bool]) -> Optional[bool]:
+    """Process-wide runtime-inlining override (the executor applies its
+    :class:`~repro.eval.config.ExecConfig` here so forked workers inherit
+    it).  ``None`` resets to the lazily-parsed environment default.
+    Returns the previous override so callers can restore it."""
+    global _INLINE_RT
+    prev = _INLINE_RT
+    _INLINE_RT = enabled
+    return prev
+
+
+def runtime_spec_for(dpmr_runtime) -> Optional[Tuple]:
+    """The codegen specialization spec for a machine's runtime, or None.
+
+    None — the generic program — whenever there is no runtime, the
+    ``DPMR_INLINE_RT`` opt-out is active, or the runtime itself declines
+    (stateful diversity policy).  The spec participates in the program
+    context digest, so specialized and generic programs never share cache
+    entries at any level of the codegen hierarchy.
+    """
+    if dpmr_runtime is None or not inline_runtime_enabled():
+        return None
+    spec_of = getattr(dpmr_runtime, "codegen_spec", None)
+    if spec_of is None:
+        return None
+    return spec_of()
 
 
 def content_cache_key(name: str, content_hash: str) -> Tuple[str, str]:
@@ -80,13 +137,18 @@ def content_cache_key(name: str, content_hash: str) -> Tuple[str, str]:
 #: persistent per-site delta cache, "persistent_hits" from the on-disk
 #: source cache specifically, and "delta_builds" counts delta
 #: *assemblies* (partial regenerations — cheaper than a full generation
-#: whichever way the resulting source then resolves).
+#: whichever way the resulting source then resolves).  "stamp_hits"
+#: counts hits served purely by a delta-transform provenance stamp (no
+#: structural planning at all), and "program_hits" counts whole
+#: CompiledProgram reuses (no per-function work whatsoever).
 CODEGEN_STATS: Dict[str, int] = {
     "hits": 0,
     "misses": 0,
     "delta_hits": 0,
     "delta_builds": 0,
     "persistent_hits": 0,
+    "stamp_hits": 0,
+    "program_hits": 0,
 }
 
 
@@ -117,6 +179,26 @@ _BASE_INFO_MAX = 512
 _DELTA_CACHE: Dict[str, object] = {}
 _DELTA_CACHE_MAX = 4096
 
+#: provenance-stamp cache: (ctx_key, fn name, stamp) → code object (or
+#: None for a function the generator rejected).  A stamp is set by the
+#: incremental compiler's delta pipeline and content-addresses the
+#: transformed function — (transform config, policy pre-state, source
+#: fingerprint) — so a stamped function's code resolves with two dict
+#: probes and no structural delta planning.  Because transformed text is
+#: independent of the diversity policy and generated source is parametric
+#: over the spec, one entry serves every diversity variant of a site.
+_STAMP_CACHE: Dict[Tuple, Optional[object]] = {}
+_STAMP_CACHE_MAX = 16384
+
+#: whole-program reuse: (ctx_key, spec repr, per-function code identity)
+#: → CompiledProgram.  Code identity pins the exact behaviour of every
+#: member function, so a campaign re-running a (site, variant) pair —
+#: repeated reps, resumed shards — skips namespace assembly and exec
+#: entirely.  Entries hold their code objects strongly (via the compiled
+#: function objects), keeping the id()-based identity tokens stable.
+_PROGRAM_CACHE: Dict[Tuple, "CompiledProgram"] = {}
+_PROGRAM_CACHE_MAX = 2048
+
 #: directory of the persistent source cache (None = disabled).  Lives in
 #: the DPMR_STORE layout (``<store>/codegen/``); entries are generated
 #: *source*, never code objects, keyed by a digest that includes
@@ -138,13 +220,20 @@ def persistent_code_cache_dir() -> Optional[str]:
     return _PERSIST_DIR
 
 
-def reset_codegen_caches() -> None:
-    """Drop delta bases and the delta cache (test isolation helper).
+def reset_codegen_caches(code_cache: bool = False) -> None:
+    """Drop delta bases, the delta/stamp caches, and program reuse (test
+    isolation helper).
 
-    The content-addressed code cache survives: it is keyed purely by
-    generated source, so stale entries are impossible."""
+    The content-addressed code cache survives by default: it is keyed
+    purely by generated source, so stale entries are impossible.  Pass
+    ``code_cache=True`` to drop it too — benchmarks use this to compare
+    truly cold configurations fairly."""
     _BASE_INFO.clear()
     _DELTA_CACHE.clear()
+    _STAMP_CACHE.clear()
+    _PROGRAM_CACHE.clear()
+    if code_cache:
+        _CODE_CACHE.clear()
 
 
 def _delta_key(ctx_key: str, name: str, base_sha: str, delta_fp: str) -> str:
@@ -228,6 +317,7 @@ def _base_namespace() -> Dict[str, object]:
         "_f32": _f32,
         "_fdiv": _fdiv,
         "_PTR": VOID_PTR,
+        "_DD": DpmrDetected,
     }
     # The same prebuilt Structs the memory system uses, pre-bound to their
     # unpack_from/pack_into methods ("b" covers int1 and int8; "<Q" is the
@@ -256,36 +346,76 @@ def _interp_shim(fn: Function) -> Callable:
     return shim
 
 
+def _spec_bindings(rt_spec: Tuple) -> Tuple[Callable, Callable]:
+    """The ``(_rmal, _rfree)`` namespace bindings for a runtime spec.
+
+    Generated source calls these as ``_rmal(m, count)`` / ``_rfree(m,
+    address)``; the spec decides how much of the diversity dispatch is
+    folded away.  The ``("method",)`` arm is the generic form — it routes
+    through the machine's diversity object exactly as the
+    ``call_intrinsic`` reference path does — so any unrecognized mode is
+    still bit-identical, just unfolded."""
+    _ver, malloc_mode, free_mode = rt_spec
+    if malloc_mode[0] == "plain":
+        rmal: Callable = Machine.heap_malloc
+    elif malloc_mode[0] == "pad":
+        pad = malloc_mode[1]
+
+        def rmal(m, count, _pad=pad):
+            return m.heap_malloc(count + _pad)
+
+    else:
+
+        def rmal(m, count):
+            return m.dpmr_runtime.diversity.replica_malloc(m, count)
+
+    if free_mode == "plain":
+        rfree: Callable = Machine.heap_free
+    else:
+
+        def rfree(m, address):
+            return m.dpmr_runtime.diversity.replica_free(m, address)
+
+    return rmal, rfree
+
+
 class CompiledProgram:
     """Everything a Machine needs to run a module on the compiled tier."""
 
-    def __init__(self, module: Module):
-        self.global_layout = compute_global_layout(
-            module, GLOBALS_BASE, GLOBALS_BASE + DEFAULT_GLOBALS_SIZE
-        )
-        func_addrs = {
-            name: FUNC_ADDR_BASE + i * FUNC_ADDR_STRIDE
-            for i, name in enumerate(module.functions)
-        }
-        fn_info: Dict[str, Tuple[str, int, bool]] = {}
-        for i, (name, fn) in enumerate(module.functions.items()):
-            fn_info[name] = (f"_f{i}_{sanitize(name)[:40]}", len(fn.params), fn.is_external)
-        ctx = ProgramContext(self.global_layout, func_addrs, fn_info)
-        ctx_key = self._context_digest(ctx)
+    def __init__(self, module: Module, rt_spec: Optional[Tuple] = None):
+        global_layout, fn_info, ctx, ctx_key = _program_parts(module, rt_spec)
+        codes = [
+            (name, fn, _code_for(fn, ctx, ctx_key, fn_info[name][0]))
+            for name, fn in module.functions.items()
+            if not fn.is_external
+        ]
+        self._bind(global_layout, fn_info, rt_spec, codes)
 
+    @classmethod
+    def _from_parts(cls, global_layout, fn_info, rt_spec, codes):
+        program = cls.__new__(cls)
+        program._bind(global_layout, fn_info, rt_spec, codes)
+        return program
+
+    def _bind(self, global_layout, fn_info, rt_spec, codes) -> None:
+        self.global_layout = global_layout
+        self.rt_spec = rt_spec
         ns = dict(BASE_NS)
+        if rt_spec is not None:
+            ns["_rmal"], ns["_rfree"] = _spec_bindings(rt_spec)
         #: IR function name → compiled callable; misses interpret.
         self.functions: Dict[str, Callable] = {}
-        for name, fn in module.functions.items():
-            if fn.is_external:
-                continue
+        for name, fn, code in codes:
             pyname = fn_info[name][0]
-            code = _code_for(fn, ctx, ctx_key, pyname)
             if code is None:
                 ns[pyname] = _interp_shim(fn)
                 continue
             exec(code, ns)
             self.functions[name] = ns[pyname]
+        # Keep the namespace alive: it pins every code object and interp
+        # shim this program was keyed on, so the id()-based tokens in
+        # _PROGRAM_CACHE stay unambiguous for the program's lifetime.
+        self._ns = ns
 
     @staticmethod
     def _context_digest(ctx: ProgramContext) -> str:
@@ -294,7 +424,32 @@ class CompiledProgram:
             h.update(f"{name}\x00{info}\x00".encode())
         for name, addr in ctx.global_layout.items():
             h.update(f"{name}\x01{addr}\x00".encode())
+        # Presence marker only: generated source is parametric over the
+        # spec's contents, so all specialized variants share code caches.
+        h.update(f"rt\x02{ctx.rt_spec is not None}".encode())
         return h.hexdigest()
+
+
+def _program_parts(
+    module: Module, rt_spec: Optional[Tuple]
+) -> Tuple[Dict[str, int], Dict[str, Tuple[str, int, bool]], ProgramContext, str]:
+    """Layout, function table, context, and context digest for a module."""
+    global_layout = compute_global_layout(
+        module, GLOBALS_BASE, GLOBALS_BASE + DEFAULT_GLOBALS_SIZE
+    )
+    func_addrs = {
+        name: FUNC_ADDR_BASE + i * FUNC_ADDR_STRIDE
+        for i, name in enumerate(module.functions)
+    }
+    fn_info: Dict[str, Tuple[str, int, bool]] = {}
+    for i, (name, fn) in enumerate(module.functions.items()):
+        fn_info[name] = (
+            f"_f{i}_{sanitize(name)[:40]}",
+            len(fn.params),
+            fn.is_external,
+        )
+    ctx = ProgramContext(global_layout, func_addrs, fn_info, rt_spec)
+    return global_layout, fn_info, ctx, CompiledProgram._context_digest(ctx)
 
 
 _DELTA_MISS = object()  # sentinel: delta path could not produce code
@@ -372,15 +527,29 @@ def _delta_code_for(fn: Function, ctx, ctx_key: str, pyname: str, base):
     return code
 
 
+def _stamp_store(skey: Tuple, code) -> None:
+    if len(_STAMP_CACHE) >= _STAMP_CACHE_MAX:
+        _STAMP_CACHE.clear()
+    _STAMP_CACHE[skey] = code
+
+
 def _code_for(fn: Function, ctx: ProgramContext, ctx_key: str, pyname: str):
     """Code object for ``fn`` (or None if uncompilable), through the cache
-    hierarchy: the on-Function memo, then the delta pipeline against the
-    registered pristine base, then full generation plus the
-    content-addressed code cache."""
+    hierarchy: the on-Function memo, then the provenance-stamp cache, then
+    the delta pipeline against the registered pristine base, then full
+    generation plus the content-addressed code cache."""
     memo = getattr(fn, "_cg_cache", None)
     if memo is not None and memo[0] == ctx_key:
         CODEGEN_STATS["hits"] += 1
         return memo[1]
+    stamp = getattr(fn, "_dpmr_stamp", None)
+    skey = (ctx_key, fn.name, stamp) if stamp is not None else None
+    if skey is not None and skey in _STAMP_CACHE:
+        code = _STAMP_CACHE[skey]
+        CODEGEN_STATS["hits"] += 1
+        CODEGEN_STATS["stamp_hits"] += 1
+        fn._cg_cache = (ctx_key, code)
+        return code
     base = _BASE_INFO.get((ctx_key, fn.name))
     if base is not None:
         try:
@@ -391,6 +560,8 @@ def _code_for(fn: Function, ctx: ProgramContext, ctx_key: str, pyname: str):
             code = _DELTA_MISS
         if code is not _DELTA_MISS:
             fn._cg_cache = (ctx_key, code)
+            if skey is not None:
+                _stamp_store(skey, code)
             return code
     try:
         gen = generate_function(fn, ctx, pyname)
@@ -399,23 +570,64 @@ def _code_for(fn: Function, ctx: ProgramContext, ctx_key: str, pyname: str):
         # generator tripped over at fold time: interpret this function.
         CODEGEN_STATS["misses"] += 1
         fn._cg_cache = (ctx_key, None)
+        if skey is not None:
+            _stamp_store(skey, None)
         return None
     _register_base(ctx_key, fn.name, gen)
     code = _code_from_source(fn.name, gen.source, gen.src_sha)
     fn._cg_cache = (ctx_key, code)
+    if skey is not None:
+        _stamp_store(skey, code)
     return code
 
 
-#: module → CompiledProgram, weak on the module so campaign clones are
-#: collectable (CompiledProgram must hold no strong module reference).
-_PROGRAMS: "weakref.WeakKeyDictionary[Module, CompiledProgram]" = (
+#: module → {rt_spec: CompiledProgram}, weak on the module so campaign
+#: clones are collectable (CompiledProgram must hold no strong module
+#: reference).  The inner dict holds one program per specialization spec —
+#: in practice one (generic *or* the campaign variant's spec) per module.
+_PROGRAMS: "weakref.WeakKeyDictionary[Module, Dict[Optional[Tuple], CompiledProgram]]" = (
     weakref.WeakKeyDictionary()
 )
 
 
-def compiled_program_for(module: Module) -> CompiledProgram:
-    program = _PROGRAMS.get(module)
+def _program_for(module: Module, rt_spec: Optional[Tuple]) -> CompiledProgram:
+    """Build (or reuse) the program for ``module`` through the content-
+    keyed program cache: if every member function resolves to the exact
+    code object (or interp-shimmed Function) of a cached program under the
+    same context and spec, that program is behaviourally identical and is
+    returned without namespace assembly.  The id() tokens are unambiguous
+    because each cached program strongly pins its code objects and shim
+    targets (see ``CompiledProgram._bind``)."""
+    global_layout, fn_info, ctx, ctx_key = _program_parts(module, rt_spec)
+    codes = []
+    tokens = []
+    for name, fn in module.functions.items():
+        if fn.is_external:
+            continue
+        code = _code_for(fn, ctx, ctx_key, fn_info[name][0])
+        codes.append((name, fn, code))
+        tokens.append(id(code) if code is not None else ("shim", id(fn)))
+    pkey = (ctx_key, repr(rt_spec), tuple(tokens))
+    program = _PROGRAM_CACHE.get(pkey)
+    if program is not None:
+        CODEGEN_STATS["program_hits"] += 1
+        return program
+    program = CompiledProgram._from_parts(global_layout, fn_info, rt_spec, codes)
+    if len(_PROGRAM_CACHE) >= _PROGRAM_CACHE_MAX:
+        _PROGRAM_CACHE.clear()
+    _PROGRAM_CACHE[pkey] = program
+    return program
+
+
+def compiled_program_for(
+    module: Module, rt_spec: Optional[Tuple] = None
+) -> CompiledProgram:
+    per_spec = _PROGRAMS.get(module)
+    if per_spec is None:
+        per_spec = {}
+        _PROGRAMS[module] = per_spec
+    program = per_spec.get(rt_spec)
     if program is None:
-        program = CompiledProgram(module)
-        _PROGRAMS[module] = program
+        program = _program_for(module, rt_spec)
+        per_spec[rt_spec] = program
     return program

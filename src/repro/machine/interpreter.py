@@ -195,10 +195,12 @@ class Machine:
         # instrumented interpreter so observation semantics are untouched.
         # The interpreter above remains the reference engine.
         if compiled and self.tracer is None and self.counters is None:
-            from .compile import compiled_program_for
+            from .compile import compiled_program_for, runtime_spec_for
 
             try:
-                program = compiled_program_for(module)
+                program = compiled_program_for(
+                    module, runtime_spec_for(dpmr_runtime)
+                )
             except Exception:
                 program = None  # uncompilable module: interpret everything
             if program is not None and program.global_layout == self._globals:

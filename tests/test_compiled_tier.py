@@ -193,7 +193,8 @@ def test_codegen_cache_hits_grow_on_recompilation():
     assert after["hits"] > mid["hits"]
     assert after["misses"] == mid["misses"]
     assert set(CODEGEN_STATS) == {
-        "hits", "misses", "delta_hits", "delta_builds", "persistent_hits"
+        "hits", "misses", "delta_hits", "delta_builds", "persistent_hits",
+        "stamp_hits", "program_hits",
     }
 
 

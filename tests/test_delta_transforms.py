@@ -1,0 +1,134 @@
+"""Instruction-granular delta transforms: byte-identity + refusal fallback.
+
+The incremental compiler's delta path replays the base build's translation
+journal outside the fault diff and re-translates only the diff.  These
+tests pin its contract:
+
+* the transformed-module *text* of a delta build equals a full
+  ``DpmrCompiler.compile`` rebuild, across all seven diversity variants and
+  all seven comparison-policy variants, for both fault kinds;
+* every such build is actually served by the delta path (no silent
+  fallbacks) and replays a meaningful share of instructions;
+* a policy with opaque compile-time state (no ``advance_compile_state``
+  override) is refused: the build falls back to whole-function
+  re-translation and stays byte-identical;
+* ``DPMR_INLINE_RT=0`` (via ``set_inline_runtime``) restores the PR 7
+  whole-function behaviour wholesale.
+"""
+
+from tests.test_fuzz_differential import build_random_module
+
+from repro.core.policies import AllLoadsPolicy
+from repro.eval.variants import Variant, diversity_variants, policy_variants
+from repro.faultinject.injector import FAULT_KINDS, enumerate_sites, inject
+from repro.ir.printer import format_module
+from repro.machine.compile import set_inline_runtime
+
+PRISTINE = build_random_module(7)
+
+
+def _faulty_builds(pristine, kind, max_sites=2):
+    for site in enumerate_sites(pristine, kind)[:max_sites]:
+        yield inject(
+            pristine.clone(mutable_functions=(site.function,)), site
+        )
+
+
+def _assert_identical(variant, pristine, expect_delta):
+    inc = variant.incremental_compiler(pristine)
+    checks = 0
+    for kind in FAULT_KINDS:
+        for faulty in _faulty_builds(pristine, kind):
+            delta_text = format_module(inc.compile(faulty).module)
+            full_text = format_module(variant.compiler().compile(faulty).module)
+            assert delta_text == full_text, (
+                f"{variant.name}/{kind}: delta build text diverges from "
+                "full rebuild"
+            )
+            checks += 1
+    assert checks > 0
+    stats = inc.stats
+    if expect_delta:
+        assert stats.delta_splices == stats.misses > 0
+        assert stats.delta_refusals == 0
+        assert stats.replayed_instructions > 0
+        assert 0.0 < stats.delta_replay_rate <= 1.0
+    else:
+        assert stats.delta_splices == 0
+        assert stats.delta_refusals == stats.misses > 0
+        assert stats.replayed_instructions == 0
+    return stats
+
+
+class TestByteIdentity:
+    def test_all_diversity_variants(self):
+        for variant in diversity_variants("sds"):
+            _assert_identical(variant, PRISTINE, expect_delta=True)
+
+    def test_all_policy_variants(self):
+        for variant in policy_variants("sds"):
+            _assert_identical(variant, PRISTINE, expect_delta=True)
+
+    def test_mds_design(self):
+        for variant in diversity_variants("mds")[:3]:
+            _assert_identical(variant, PRISTINE, expect_delta=True)
+
+    def test_replay_dominates_on_resize_faults(self):
+        # Resize faults touch one malloc's mirror group; with the rest of
+        # the function replayed, the per-site translator work must be a
+        # minority of the instructions.
+        variant = diversity_variants("sds")[0]
+        inc = variant.incremental_compiler(PRISTINE)
+        for site in enumerate_sites(PRISTINE, "heap-array-resize"):
+            faulty = inject(
+                PRISTINE.clone(mutable_functions=(site.function,)), site
+            )
+            inc.compile(faulty)
+        assert inc.stats.delta_splices == inc.stats.misses > 0
+        assert inc.stats.delta_replay_rate >= 0.5
+
+
+class _OpaqueStatefulPolicy(AllLoadsPolicy):
+    """Per-site compile state without an ``advance_compile_state``
+    override — the delta path cannot fast-forward it and must refuse."""
+
+    name = "opaque-stateful"
+
+    def __init__(self):
+        self._state = 0
+
+    def compile_state(self):
+        return self._state
+
+    def restore_compile_state(self, state) -> None:
+        self._state = state
+
+
+class TestFallbacks:
+    def test_opaque_stateful_policy_refuses_to_delta(self):
+        variant = Variant(
+            name="opaque", design="sds", policy=_OpaqueStatefulPolicy()
+        )
+        _assert_identical(variant, PRISTINE, expect_delta=False)
+
+    def test_inline_rt_off_restores_whole_function_path(self):
+        variant = diversity_variants("sds")[0]
+        prev = set_inline_runtime(False)
+        try:
+            stats = _assert_identical(variant, PRISTINE, expect_delta=False)
+        finally:
+            set_inline_runtime(prev)
+        assert stats.hit_rate >= 0.0  # stats object stays well-formed
+
+    def test_memo_skips_delta_on_repeat_compiles(self):
+        variant = diversity_variants("sds")[0]
+        inc = variant.incremental_compiler(PRISTINE)
+        site = enumerate_sites(PRISTINE, "heap-array-resize")[0]
+        faulty = inject(
+            PRISTINE.clone(mutable_functions=(site.function,)), site
+        )
+        first = format_module(inc.compile(faulty).module)
+        splices = inc.stats.delta_splices
+        again = format_module(inc.compile(faulty).module)
+        assert first == again
+        assert inc.stats.delta_splices == splices  # memo hit, no new delta

@@ -12,15 +12,19 @@ the whole sweep stays within a test-suite budget.
 The compiled execution tier (``repro.machine.compile``) joins as a third
 engine: every program additionally runs interpreted *and* compiled, and
 the full record signature (status, exit code, output, cycles,
-instructions, fault activations, detail) must match exactly.
+instructions, fault activations, detail) must match exactly.  The
+runtime-inlining pass adds a fourth engine configuration: every *faulty*
+program (both fault kinds) also runs compiled with DPMR hooks specialized
+into the generated source, under the same full-signature equality.
 """
 
 import random
 
 import pytest
 
-from repro.core.diversity import RearrangeHeap
+from repro.core.diversity import PadMalloc, RearrangeHeap, ZeroBeforeFree
 from repro.eval.variants import Variant
+from repro.faultinject.injector import FAULT_KINDS, enumerate_sites, inject
 from repro.ir import (
     INT32,
     INT64,
@@ -185,6 +189,63 @@ def test_compiled_tier_bit_identical_across_random_programs():
     assert not divergences, (
         f"{len(divergences)}/{N_SEEDS} interpreter/compiled divergences: "
         f"{divergences[:3]}"
+    )
+
+
+N_FAULTY_SEEDS = 100
+
+
+def test_faulty_programs_bit_identical_across_engines():
+    """Differential fuzzing with faults in: for both fault kinds and every
+    random program, the interpreter, the compiled tier, and the compiled
+    tier with inlined DPMR runtime must agree on the full run signature —
+    detections, crashes, activations, cycle counts and all.  The variant
+    set covers every inline specialization shape: plain malloc/free,
+    padded malloc, method free (zero-before-free) and method malloc
+    (rearrange-heap, MDS)."""
+    from repro.machine.compile import set_inline_runtime
+
+    variants = [
+        sds_variant,
+        mds_variant,
+        lambda: Variant(name="sds-pad", design="sds", diversity=PadMalloc(32)),
+        lambda: Variant(name="sds-zbf", design="sds", diversity=ZeroBeforeFree()),
+    ]
+    budget = 250_000
+    divergences = []
+    checked = 0
+    for seed in range(N_FAULTY_SEEDS):
+        pristine = build_random_module(seed)
+        for kind in FAULT_KINDS:
+            for site in enumerate_sites(pristine, kind)[:1]:
+                faulty = inject(
+                    pristine.clone(mutable_functions=(site.function,)), site
+                )
+                for make_variant in variants:
+                    variant = make_variant()
+                    build = variant.compile(faulty)
+                    interp = build.run(max_cycles=budget)
+                    prev = set_inline_runtime(False)
+                    try:
+                        plain = build.run(max_cycles=budget, compiled=True)
+                        set_inline_runtime(True)
+                        inlined = build.run(max_cycles=budget, compiled=True)
+                    finally:
+                        set_inline_runtime(prev)
+                    checked += 1
+                    want = _run_signature(interp)
+                    if want != _run_signature(plain):
+                        divergences.append(
+                            (seed, kind, variant.name, "compiled", interp, plain)
+                        )
+                    if want != _run_signature(inlined):
+                        divergences.append(
+                            (seed, kind, variant.name, "inlined", interp, inlined)
+                        )
+    assert checked >= N_FAULTY_SEEDS
+    assert not divergences, (
+        f"{len(divergences)}/{checked} engine divergences on faulty "
+        f"programs: {divergences[:3]}"
     )
 
 
