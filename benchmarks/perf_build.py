@@ -37,6 +37,7 @@ from pathlib import Path
 
 from repro.apps import WORKLOAD_ORDER, app_factory
 from repro.eval import (
+    ExecConfig,
     WorkloadHarness,
     diversity_variants,
     job_for_harness,
@@ -164,8 +165,8 @@ def check_identity(apps, kinds, variants) -> list:
                     failures.append(f"cache never engaged: {app}/{kind}/{v.name}")
             # record identity through the executor
             job = job_for_harness(harness, variants, kind)
-            full = run_campaign_jobs([job], processes=1, incremental=False)
-            inc = run_campaign_jobs([job], processes=1, incremental=True)
+            full = run_campaign_jobs([job], config=ExecConfig(incremental=False))
+            inc = run_campaign_jobs([job], config=ExecConfig(incremental=True))
             sig = lambda r: (
                 r.workload,
                 r.variant,

@@ -24,23 +24,52 @@ Public API layers
     Analog benchmark workloads (art, bzip2, equake, mcf).
 ``repro.obs``
     Structured observability: tracing, counters, run manifests.
+``repro.service``
+    Campaign service: async daemon + client over the result store.
 """
 
 __version__ = "1.0.0"
 
-# Top-level convenience re-exports of the primary user-facing API.
+# The stable top-level API.  Everything in __all__ is importable from
+# ``repro`` directly and covered by tests/test_public_api.py; deeper
+# modules remain importable but carry no stability promise.
 from .core.pipeline import DpmrBuild, DpmrCompiler  # noqa: E402
-from .eval.api import CampaignResult, run  # noqa: E402
+from .eval.api import CampaignRequest, CampaignResult, request_jobs, run  # noqa: E402
 from .eval.config import ExecConfig  # noqa: E402
+from .eval.experiment import ExperimentRecord, WorkloadHarness  # noqa: E402
+from .eval.store import ResultStore  # noqa: E402
+from .eval.variants import (  # noqa: E402
+    Variant,
+    diversity_variants,
+    policy_variants,
+    resolve_variants,
+    stdapp_variant,
+    variant_registry,
+)
 from .machine.process import ExitStatus, ProcessResult, run_process  # noqa: E402
+from .service import ServiceClient, ServiceDaemon, ServiceError  # noqa: E402
 
 __all__ = [
+    "CampaignRequest",
     "CampaignResult",
     "DpmrBuild",
     "DpmrCompiler",
     "ExecConfig",
     "ExitStatus",
+    "ExperimentRecord",
     "ProcessResult",
+    "ResultStore",
+    "ServiceClient",
+    "ServiceDaemon",
+    "ServiceError",
+    "Variant",
+    "WorkloadHarness",
+    "diversity_variants",
+    "policy_variants",
+    "request_jobs",
+    "resolve_variants",
     "run",
     "run_process",
+    "stdapp_variant",
+    "variant_registry",
 ]

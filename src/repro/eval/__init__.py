@@ -8,7 +8,13 @@ run manifest).  Execution knobs live on :class:`ExecConfig`
 environment in exactly one place (:mod:`repro.eval.config`).
 """
 
-from .api import CampaignResult, run
+from .api import (
+    CampaignRequest,
+    CampaignResult,
+    default_harness_provider,
+    request_jobs,
+    run,
+)
 from .config import DEFAULT_TIMEOUT_FACTOR, ExecConfig
 from .experiment import ExperimentRecord, TIMEOUT_FACTOR, WorkloadHarness
 from .parallel import (
@@ -55,11 +61,14 @@ from .variants import (
     Variant,
     diversity_variants,
     policy_variants,
+    resolve_variants,
     stdapp_variant,
+    variant_registry,
 )
 
 __all__ = [
     "CampaignJob",
+    "CampaignRequest",
     "CampaignResult",
     "CompiledVariant",
     "CoverageComponents",
@@ -83,6 +92,7 @@ __all__ = [
     "coverage",
     "coverage_components",
     "coverage_table",
+    "default_harness_provider",
     "default_jobs",
     "diversity_variants",
     "effective_workers",
@@ -96,6 +106,8 @@ __all__ = [
     "overhead_table",
     "policy_variants",
     "prepare_build_states",
+    "request_jobs",
+    "resolve_variants",
     "run",
     "run_campaign_jobs",
     "run_campaign_jobs_with_manifest",
@@ -103,4 +115,5 @@ __all__ = [
     "stdapp_variant",
     "successful",
     "variant_fingerprint",
+    "variant_registry",
 ]

@@ -95,10 +95,10 @@ def _parse_flag(env: Mapping[str, str], var: str, default: bool) -> bool:
 class ExecConfig:
     """How to execute runs and campaigns (parallelism, builds, observability).
 
-    The old per-call keyword arguments (``jobs=``, ``processes=``,
-    ``incremental=``) survive as deprecated aliases that construct one of
-    these; new code passes ``config=`` explicitly or lets the entry point
-    default to :meth:`from_env`.
+    This is the *only* knob surface: pass ``config=`` explicitly or let the
+    entry point default to :meth:`from_env`.  The pre-PR-4 per-call keyword
+    aliases (``jobs=``, ``processes=``, ``incremental=``) were removed after
+    their deprecation soak — see the README migration notes.
     """
 
     #: requested worker count (the executor may use fewer; see the manifest).
@@ -213,22 +213,3 @@ class ExecConfig:
 
     def with_jobs(self, jobs: int) -> "ExecConfig":
         return replace(self, jobs=max(1, jobs))
-
-
-def merge_deprecated(
-    config: Optional[ExecConfig],
-    jobs: Optional[int] = None,
-    incremental: Optional[bool] = None,
-) -> ExecConfig:
-    """Fold deprecated per-call kwargs into an :class:`ExecConfig`.
-
-    Explicit kwargs win over ``config`` (and over the environment when no
-    config was given); callers emit the DeprecationWarning — this helper
-    only merges.
-    """
-    cfg = config if config is not None else ExecConfig.from_env()
-    if jobs is not None:
-        cfg = replace(cfg, jobs=max(1, jobs))
-    if incremental is not None:
-        cfg = replace(cfg, incremental=incremental)
-    return cfg

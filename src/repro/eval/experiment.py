@@ -10,13 +10,12 @@ DPMR detection ``Ddet``, and time-to-detection ``T2D``.
 
 from __future__ import annotations
 
-import warnings
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
 
 from ..faultinject.campaign import ProgramFactory
 from ..machine.process import ExitStatus, ProcessResult, run_process
-from .config import DEFAULT_TIMEOUT_FACTOR, ExecConfig, merge_deprecated
+from .config import DEFAULT_TIMEOUT_FACTOR, ExecConfig
 from .variants import CompiledVariant, Variant
 
 #: timeout multiplier over golden running time (the paper uses ~20x).
@@ -195,8 +194,6 @@ class WorkloadHarness:
         kind: str,
         percent: int = 50,
         max_sites: Optional[int] = None,
-        jobs: Optional[int] = None,
-        incremental: Optional[bool] = None,
         config: Optional[ExecConfig] = None,
     ) -> List[ExperimentRecord]:
         """Run every (site, variant, seed) experiment for one fault kind.
@@ -204,25 +201,12 @@ class WorkloadHarness:
         Execution is governed by ``config`` (worker count, incremental
         builds, tracing/counters; defaults to the harness's configuration);
         serial and parallel execution produce identical records in identical
-        order, as do incremental and full-rebuild builds.  ``jobs`` and
-        ``incremental`` are deprecated aliases for the matching
-        :class:`ExecConfig` fields.  Use :func:`repro.eval.run` to also get
-        the run manifest.
+        order, as do incremental and full-rebuild builds.  Use
+        :func:`repro.eval.run` to also get the run manifest.
         """
         from .parallel import job_for_harness, run_campaign_jobs_with_manifest
 
-        if jobs is not None or incremental is not None:
-            warnings.warn(
-                "run_campaign(jobs=, incremental=) is deprecated; "
-                "pass config=ExecConfig(...) instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-        cfg = merge_deprecated(
-            config if config is not None else self.config,
-            jobs=jobs,
-            incremental=incremental,
-        )
+        cfg = config if config is not None else self.config
         job = job_for_harness(
             self, variants, kind, percent=percent, max_sites=max_sites
         )

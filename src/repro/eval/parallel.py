@@ -66,10 +66,9 @@ import logging
 import multiprocessing
 import os
 import time
-import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.incremental import IncrementalDpmrCompiler
 from ..faultinject.campaign import Campaign, ProgramFactory
@@ -80,7 +79,6 @@ from .config import (
     INCREMENTAL_ENV_VAR,
     JOBS_ENV_VAR,
     ExecConfig,
-    merge_deprecated,
 )
 from .experiment import ExperimentRecord
 from .supervise import SupervisionStats, WorkerSupervisor
@@ -175,8 +173,13 @@ def job_for_harness(
     kind: str,
     percent: int = 50,
     max_sites: Optional[int] = None,
+    seeds: Optional[Sequence[int]] = None,
 ) -> CampaignJob:
-    """Build a :class:`CampaignJob` from a ``WorkloadHarness``."""
+    """Build a :class:`CampaignJob` from a ``WorkloadHarness``.
+
+    ``seeds`` overrides the harness's seed list (the service expands
+    request-specified seeds through here); None keeps the harness's.
+    """
     campaign = Campaign(harness.factory, kind, percent=percent)
     sites = campaign.sites
     if max_sites is not None:
@@ -190,7 +193,7 @@ def job_for_harness(
         golden_output=harness.golden.output_text,
         timeout=harness.timeout,
         argv=harness.argv,
-        seeds=harness.seeds,
+        seeds=tuple(seeds) if seeds is not None else harness.seeds,
         percent=percent,
         pristine=campaign.pristine,
     )
@@ -562,6 +565,7 @@ def _run_serial_supervised(
     use_compiled: bool,
     stats: SupervisionStats,
     on_result,
+    cancel=None,
 ) -> Dict[_Item, ExperimentRecord]:
     """The serial execution path with bounded retry and quarantine.
 
@@ -569,9 +573,13 @@ def _run_serial_supervised(
     budget applies), but infrastructure exceptions get the same
     retry-with-backoff and site-quarantine treatment as supervised workers,
     so a poisoned site degrades the campaign instead of aborting it.
+    ``cancel`` (a ``threading.Event``-alike) stops dispatch between items —
+    the campaign service uses it for prompt daemon shutdown.
     """
     computed: Dict[_Item, ExperimentRecord] = {}
     for item in misses:
+        if cancel is not None and cancel.is_set():
+            break
         site = item[:2]
         if site in stats.quarantined:
             continue
@@ -620,6 +628,9 @@ def run_campaign_jobs_with_manifest(
     config: Optional[ExecConfig] = None,
     build_states: Optional[List[JobBuildState]] = None,
     tracer=None,
+    items: Optional[Sequence[_Item]] = None,
+    on_record: Optional[Callable[[_Item, ExperimentRecord, str], None]] = None,
+    cancel=None,
 ) -> Tuple[List[ExperimentRecord], RunManifest]:
     """Run every experiment of every job; records in serial order + manifest.
 
@@ -633,6 +644,22 @@ def run_campaign_jobs_with_manifest(
     :class:`~repro.obs.CollectingTracer` in tests).  Records stay
     bit-identical across serial/parallel, incremental/full-rebuild,
     store-cold/store-warm, and observability on/off execution.
+
+    Service hooks (all optional, default to the classic batch behaviour):
+
+    * ``items`` — run only this subset of experiment tuples
+      ``(job, site, variant, run)`` instead of every job's full
+      site × variant × seed cross product.  The campaign service passes
+      exactly the tuples its dedupe table left over, so overlapping
+      client requests never recompute shared work.
+    * ``on_record(item, record, source)`` — streaming callback invoked in
+      the coordinator process for every finished record: once per store
+      hit (``source="store"``, before execution starts) and once per
+      computed record as it completes (``source="run"``, in completion
+      order).  Records are *also* returned at the end, in serial order.
+    * ``cancel`` — a ``threading.Event``-alike polled between experiments
+      (serial) and dispatches (supervised workers); when set, remaining
+      items are abandoned and only finished records are returned.
     """
     global _WORKER_JOBS, _WORKER_STATES, _WORKER_TRACER, _WORKER_COUNTERS
     global _WORKER_USE_COMPILED
@@ -651,7 +678,7 @@ def run_campaign_jobs_with_manifest(
     inline_prev = set_inline_runtime(config.inline_rt)
     jobs = list(jobs)
     incremental = config.incremental or build_states is not None
-    items = _all_items(jobs)
+    items = _all_items(jobs) if items is None else [tuple(i) for i in items]
     states: Optional[List[JobBuildState]] = None
     if incremental and items:
         states = (
@@ -677,13 +704,29 @@ def run_campaign_jobs_with_manifest(
             jobs, states, items, config, store
         )
     misses = [item for item in items if item not in cached]
+    if on_record is not None:
+        for item in items:
+            record = cached.get(item)
+            if record is not None:
+                on_record(item, record, "store")
     on_result = None
-    if store is not None:
-        on_result = lambda item, record: store.put(  # noqa: E731
-            keys[item], record, key_fields.get(item)
-        )
+    if store is not None or on_record is not None:
 
-    if items and not misses:
+        def on_result(item, record):  # noqa: E731 — composed callback
+            if store is not None:
+                store.put(keys[item], record, key_fields.get(item))
+            if on_record is not None:
+                on_record(item, record, "run")
+
+    if not items:
+        # An explicit decision, not a silent no-op: a service-side expansion
+        # bug that produces zero tuples must be visible in the manifest.
+        effective, reason, fallback = 1, "empty_campaign", None
+        logger.warning(
+            "campaign over %d job(s) expanded to zero experiment tuples",
+            len(jobs),
+        )
+    elif not misses:
         effective, reason, fallback = 1, "all experiments served from store", None
     else:
         effective, reason, fallback = _worker_decision(config.jobs, len(misses))
@@ -740,6 +783,7 @@ def run_campaign_jobs_with_manifest(
                     use_compiled,
                     stats,
                     on_result,
+                    cancel=cancel,
                 )
             finally:
                 _COMPILED.clear()
@@ -761,6 +805,7 @@ def run_campaign_jobs_with_manifest(
                     backoff_s=config.retry_backoff_s,
                     site_of=lambda item: item[:2],
                     on_result=on_result,
+                    cancel=cancel,
                 )
                 computed = supervisor.run(misses)
                 stats = supervisor.stats
@@ -770,6 +815,7 @@ def run_campaign_jobs_with_manifest(
                 _WORKER_TRACER = None
                 _WORKER_COUNTERS = False
                 _WORKER_USE_COMPILED = False
+        cancelled = cancel is not None and cancel.is_set()
         records = []
         for item in items:
             if item[:2] in stats.quarantined:
@@ -778,11 +824,19 @@ def run_campaign_jobs_with_manifest(
             if record is None:
                 record = computed.get(item)
             if record is None:
+                if cancelled:
+                    continue  # abandoned by cancellation, not an invariant hole
                 raise RuntimeError(
                     f"experiment {item} neither computed nor quarantined "
                     "(supervisor invariant violated)"
                 )
             records.append(record)
+        if cancelled:
+            logger.warning(
+                "campaign cancelled: %d of %d experiment tuple(s) finished",
+                len(records),
+                len(items),
+            )
     finally:
         set_inline_runtime(inline_prev)
         if persist_set:
@@ -827,28 +881,19 @@ def run_campaign_jobs_with_manifest(
 
 def run_campaign_jobs(
     jobs: Sequence[CampaignJob],
-    processes: Optional[int] = None,
-    incremental: Optional[bool] = None,
     build_states: Optional[List[JobBuildState]] = None,
     config: Optional[ExecConfig] = None,
 ) -> List[ExperimentRecord]:
     """Run every experiment of every job; results in serial order.
 
     Thin records-only wrapper over :func:`run_campaign_jobs_with_manifest`.
-    ``processes``/``incremental`` are deprecated aliases for the matching
-    :class:`ExecConfig` fields; pass ``config=`` (or use the
-    :func:`repro.eval.run` facade, which also returns the manifest).
+    Execution is governed entirely by ``config`` (defaulting to the
+    environment via :meth:`ExecConfig.from_env`); the pre-PR-4
+    ``processes=``/``incremental=`` keyword aliases are gone — see the
+    README migration notes.
     """
-    if processes is not None or incremental is not None:
-        warnings.warn(
-            "run_campaign_jobs(processes=, incremental=) is deprecated; "
-            "pass config=ExecConfig(...) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-    cfg = merge_deprecated(config, jobs=processes, incremental=incremental)
     records, _ = run_campaign_jobs_with_manifest(
-        jobs, config=cfg, build_states=build_states
+        jobs, config=config, build_states=build_states
     )
     return records
 

@@ -230,6 +230,20 @@ class ResultStore:
         self.stats.hits += 1
         return record
 
+    def get_many(self, keys: Sequence[str]) -> Dict[str, ExperimentRecord]:
+        """Batched lookup: ``{key: record}`` for every hit, misses absent.
+
+        The campaign service admits whole requests at once; each key goes
+        through :meth:`get` so corruption handling and per-handle hit/miss
+        statistics behave exactly like single lookups.
+        """
+        found: Dict[str, ExperimentRecord] = {}
+        for key in keys:
+            record = self.get(key)
+            if record is not None:
+                found[key] = record
+        return found
+
     def _validate(self, entry: Dict) -> Optional[ExperimentRecord]:
         if entry.get("schema") != STORE_SCHEMA:
             return None

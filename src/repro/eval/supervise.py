@@ -106,6 +106,7 @@ class WorkerSupervisor:
         backoff_s: float = 0.05,
         site_of: Callable[[Hashable], Hashable] = lambda item: item,
         on_result: Optional[Callable[[Hashable, object], None]] = None,
+        cancel=None,
     ):
         self.ctx = ctx
         self.worker_entry = worker_entry
@@ -115,6 +116,11 @@ class WorkerSupervisor:
         self.backoff_s = max(0.0, backoff_s)
         self.site_of = site_of
         self.on_result = on_result
+        #: optional ``threading.Event``-alike; once set, no further items are
+        #: dispatched and :meth:`run` returns the results finished so far
+        #: (workers are shut down normally).  The campaign service sets it
+        #: for prompt daemon shutdown with a batch in flight.
+        self.cancel = cancel
         self.stats = SupervisionStats()
 
     # -- lifecycle ------------------------------------------------------
@@ -173,6 +179,8 @@ class WorkerSupervisor:
         ]
         try:
             while pending or any(s.item is not None for s in self._slots):
+                if self.cancel is not None and self.cancel.is_set():
+                    break
                 self._dispatch()
                 ready = _conn_wait(
                     [s.result_r for s in self._slots],
@@ -247,6 +255,8 @@ class WorkerSupervisor:
 
     def _dispatch(self) -> None:
         pending = self._pending
+        if self.cancel is not None and self.cancel.is_set():
+            return
         now = time.monotonic()
         for slot in self._slots:
             if slot.item is not None or not pending:

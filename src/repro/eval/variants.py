@@ -16,7 +16,7 @@ handed to :meth:`Variant.compile` was fault-injected.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from ..core.aug_types import ReplicationDesign
 from ..core.diversity import (
@@ -187,3 +187,41 @@ def policy_variants(design: Union[str, ReplicationDesign] = "sds") -> List[Varia
         Variant(name=p.name, design=design, diversity=RearrangeHeap(), policy=p)
         for p in policies
     ]
+
+
+def variant_registry(
+    design: Union[str, ReplicationDesign] = "sds"
+) -> Dict[str, Variant]:
+    """Every addressable variant of the evaluation, by canonical name.
+
+    The registry is the by-name resolution surface of the public API: a
+    :class:`~repro.eval.api.CampaignRequest` (and therefore the campaign
+    service protocol) names variants as strings, and this mapping is the
+    single place those strings become configurations.  It covers the
+    standard application plus the paper's diversity suite (§3.7) and
+    comparison-policy suite (§3.8); names are unique across both suites,
+    and each call returns fresh :class:`Variant` objects so stateful
+    diversity policies are never shared between campaigns.
+    """
+    registry: Dict[str, Variant] = {"stdapp": stdapp_variant()}
+    for variant in diversity_variants(design) + policy_variants(design):
+        registry[variant.name] = variant
+    return registry
+
+
+def resolve_variants(
+    names: Sequence[str], design: Union[str, ReplicationDesign] = "sds"
+) -> List[Variant]:
+    """Resolve variant ``names`` through :func:`variant_registry`, in order.
+
+    Raises :class:`ValueError` (naming the offender and every known name)
+    for anything the registry does not define — a request must never fail
+    later, mid-campaign, over a typo.
+    """
+    registry = variant_registry(design)
+    missing = [n for n in names if n not in registry]
+    if missing:
+        raise ValueError(
+            f"unknown variant name(s) {missing!r}; known: {sorted(registry)}"
+        )
+    return [registry[n] for n in names]

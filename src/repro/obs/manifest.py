@@ -21,7 +21,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
 
 #: Manifest schema version; bump on incompatible shape changes.
-MANIFEST_SCHEMA = 3
+MANIFEST_SCHEMA = 4
 
 
 @dataclass
@@ -65,7 +65,7 @@ class JobManifest:
 class RunManifest:
     """Everything one executor invocation decided and observed."""
 
-    mode: str  # "campaign" | "clean"
+    mode: str  # "campaign" | "clean" | "service"
     schema: int = MANIFEST_SCHEMA
     # -- executor decisions -------------------------------------------------
     requested_jobs: int = 1
@@ -96,6 +96,11 @@ class RunManifest:
     store_hits: int = 0
     store_misses: int = 0
     store_writes: int = 0
+    #: experiment tuples this request shared with concurrent requests — they
+    #: executed once (or were in flight / already finished in-memory) and the
+    #: record was fanned out.  Only the campaign service (mode="service")
+    #: sets this; batch runs leave it 0.
+    shared_hits: int = 0
     #: corrupt/truncated store entries discarded and recomputed.
     store_corrupt: int = 0
     #: experiment attempts repeated after an infrastructure failure.

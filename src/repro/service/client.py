@@ -1,0 +1,145 @@
+"""Blocking client for the campaign service's LDJSON socket protocol.
+
+One :class:`ServiceClient` holds one connection.  ``submit()`` sends a
+:class:`~repro.eval.api.CampaignRequest` and blocks until the daemon's
+``done`` frame, reassembling the streamed records *by index* into the
+request's own expansion order — the returned
+:class:`~repro.eval.api.CampaignResult` carries records bit-identical,
+and identically ordered, to an in-process ``run(request)``.
+
+For streaming consumption, ``submit_nowait()`` returns the daemon's
+``accepted`` frame immediately and ``collect()`` finishes the read;
+abandoning a request is just closing the client — the daemon keeps
+executing its tuples and the store retains every result. ::
+
+    from repro.eval import CampaignRequest
+    from repro.service import ServiceClient
+
+    with ServiceClient(port=7421) as client:
+        result = client.submit(CampaignRequest(
+            workloads=("mcf",), kinds=("heap-array-resize",),
+            variants=("stdapp", "no-diversity"), max_sites=4))
+        print(len(result.records), result.manifest.shared_hits)
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Dict, List, Optional
+
+from ..eval.api import CampaignRequest, CampaignResult
+from ..eval.experiment import ExperimentRecord
+from ..eval.store import record_from_dict
+from ..obs.manifest import RunManifest
+from . import protocol
+
+
+class ServiceError(RuntimeError):
+    """The daemon rejected a message or the connection failed."""
+
+
+class ServiceClient:
+    """One blocking connection to a campaign daemon."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7421,
+        timeout: Optional[float] = 600.0,
+    ):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._rfile = self._sock.makefile("rb")
+        #: frames for other request ids, parked while collecting one.
+        self._stash: Dict[str, List[Dict]] = {}
+        hello = self._read()
+        if hello.get("type") != "hello":
+            raise ServiceError(f"expected hello, got {hello.get('type')!r}")
+        if hello.get("version") != protocol.PROTOCOL_VERSION:
+            raise ServiceError(
+                f"protocol version mismatch: daemon speaks "
+                f"{hello.get('version')}, client {protocol.PROTOCOL_VERSION}"
+            )
+
+    # -- plumbing -------------------------------------------------------
+
+    def _write(self, msg: Dict) -> None:
+        self._sock.sendall(protocol.encode(msg))
+
+    def _read(self) -> Dict:
+        line = self._rfile.readline()
+        if not line:
+            raise ServiceError("connection closed by service")
+        return protocol.decode(line)
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- queries --------------------------------------------------------
+
+    def ping(self) -> bool:
+        self._write({"type": "ping"})
+        return self._read().get("type") == "pong"
+
+    def status(self) -> Dict:
+        """The daemon's projection snapshot (no record replay involved)."""
+        self._write({"type": "status"})
+        msg = self._read()
+        if msg.get("type") != "status":
+            raise ServiceError(f"expected status, got {msg.get('type')!r}")
+        return msg
+
+    # -- campaigns ------------------------------------------------------
+
+    def submit(self, request: CampaignRequest) -> CampaignResult:
+        """Run one request to completion; records in expansion order."""
+        return self.collect(self.submit_nowait(request))
+
+    def submit_nowait(self, request: CampaignRequest) -> Dict:
+        """Send one request; returns the ``accepted`` frame immediately.
+
+        The daemon starts (or joins) the work either way — a client that
+        never calls :meth:`collect` simply leaves the records to the
+        store and any concurrent subscribers.
+        """
+        self._write(protocol.submit_message(request))
+        msg = self._read()
+        if msg.get("type") == "error":
+            raise ServiceError(msg["error"])
+        if msg.get("type") != "accepted":
+            raise ServiceError(f"expected accepted, got {msg.get('type')!r}")
+        return msg
+
+    def collect(self, accepted: Dict) -> CampaignResult:
+        """Read one accepted request's stream through its ``done`` frame."""
+        request_id = accepted["request_id"]
+        slots: List[Optional[ExperimentRecord]] = [None] * accepted["n_items"]
+        stash = self._stash.pop(request_id, [])
+        while True:
+            msg = stash.pop(0) if stash else self._read()
+            kind = msg.get("type")
+            if kind == "error":
+                raise ServiceError(msg["error"])
+            rid = msg.get("request_id")
+            if rid != request_id:
+                if rid is not None:
+                    self._stash.setdefault(rid, []).append(msg)
+                continue
+            if kind == "record":
+                slots[msg["index"]] = record_from_dict(msg["record"])
+            elif kind == "tuple_error":
+                pass  # quarantined tuple: excluded, like the batch executor
+            elif kind == "done":
+                manifest = RunManifest.from_dict(msg["manifest"])
+                records = [r for r in slots if r is not None]
+                return CampaignResult(records, manifest)
+            else:
+                raise ServiceError(f"unexpected frame {kind!r} for {request_id}")

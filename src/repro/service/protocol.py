@@ -1,0 +1,162 @@
+"""Wire protocol of the campaign service: line-delimited JSON messages.
+
+The protocol deliberately serializes the *public API types* and nothing
+else: a ``submit`` carries exactly :meth:`CampaignRequest.to_dict`, every
+``record`` carries one :class:`ExperimentRecord` in the persistent
+store's JSON shape, and ``done`` carries a
+:class:`~repro.obs.manifest.RunManifest` — so a service round-trip and an
+in-process :func:`repro.eval.run` call exchange the same data.
+
+Framing is one JSON object per ``\\n``-terminated line (no embedded
+newlines — the encoder uses compact separators), so the protocol is
+trivially scriptable: ``nc`` or a ten-line client in any language can
+drive a daemon.
+
+Client → server::
+
+    {"type": "submit", "request": {...CampaignRequest...}}
+    {"type": "status"}
+    {"type": "ping"}
+
+Server → client::
+
+    {"type": "hello", "version": 1}                      # on connect
+    {"type": "accepted", "request_id", "n_items", ...}   # per submit
+    {"type": "record", "request_id", "index", "source",  # streamed
+     "done", "total", "record": {...}}
+    {"type": "tuple_error", "request_id", "index", ...}  # quarantined tuple
+    {"type": "done", "request_id", "errors",
+     "manifest": {...RunManifest...}}
+    {"type": "status", ...projections...}                # per status
+    {"type": "pong"}                                     # per ping
+    {"type": "error", "error": "..."}                    # bad input
+
+``record.source`` says how the daemon satisfied that experiment tuple:
+``"run"`` (executed for this request), ``"store"`` (persistent-store
+hit at admission), or ``"shared"`` (deduplicated against a concurrent
+or earlier request's execution).  Every record message carries the
+tuple's ``index`` in the request's own expansion order, so a client
+reassembles results in exactly the order an in-process ``run(request)``
+returns them.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from ..eval.experiment import ExperimentRecord
+from ..eval.store import record_to_dict
+
+#: Protocol version, sent in the ``hello``; clients refuse a mismatch.
+PROTOCOL_VERSION = 1
+
+#: Sanity cap on one framed line (a record message is a few KB; a whole
+#: manifest tops out far below this).
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+#: Record sources a daemon may report.
+SOURCES = ("run", "store", "shared")
+
+
+class ProtocolError(ValueError):
+    """A frame that does not parse as a protocol message."""
+
+
+def encode(msg: Dict) -> bytes:
+    """One message as a newline-terminated compact-JSON frame."""
+    return json.dumps(msg, separators=(",", ":"), sort_keys=True).encode(
+        "utf-8"
+    ) + b"\n"
+
+
+def decode(line: bytes) -> Dict:
+    """Parse one frame; raises :class:`ProtocolError` on malformed input."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(f"frame exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        msg = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame is not valid JSON: {exc}") from None
+    if not isinstance(msg, dict):
+        raise ProtocolError(f"message must be a JSON object, got {type(msg).__name__}")
+    if not isinstance(msg.get("type"), str):
+        raise ProtocolError("message has no string 'type' field")
+    return msg
+
+
+# -- message builders ------------------------------------------------------
+
+
+def hello() -> Dict:
+    return {"type": "hello", "version": PROTOCOL_VERSION}
+
+
+def submit_message(request) -> Dict:
+    """The submit frame for one :class:`~repro.eval.api.CampaignRequest`."""
+    return {"type": "submit", "request": request.to_dict()}
+
+
+def accepted_message(
+    request_id: str,
+    n_items: int,
+    n_jobs: int,
+    store_hits: int,
+    shared_hits: int,
+    executed: int,
+) -> Dict:
+    return {
+        "type": "accepted",
+        "request_id": request_id,
+        "n_items": n_items,
+        "n_jobs": n_jobs,
+        "store_hits": store_hits,
+        "shared_hits": shared_hits,
+        "executed": executed,
+    }
+
+
+def record_message(
+    request_id: str,
+    index: int,
+    source: str,
+    done: int,
+    total: int,
+    record: ExperimentRecord,
+) -> Dict:
+    return {
+        "type": "record",
+        "request_id": request_id,
+        "index": index,
+        "source": source,
+        "done": done,
+        "total": total,
+        "record": record_to_dict(record),
+    }
+
+
+def tuple_error_message(
+    request_id: str, index: int, site: str, reason: str, done: int, total: int
+) -> Dict:
+    return {
+        "type": "tuple_error",
+        "request_id": request_id,
+        "index": index,
+        "site": site,
+        "reason": reason,
+        "done": done,
+        "total": total,
+    }
+
+
+def done_message(request_id: str, errors: int, manifest) -> Dict:
+    return {
+        "type": "done",
+        "request_id": request_id,
+        "errors": errors,
+        "manifest": manifest.to_dict(),
+    }
+
+
+def error_message(detail: str) -> Dict:
+    return {"type": "error", "error": detail}

@@ -1,0 +1,274 @@
+"""The campaign daemon: asyncio LDJSON socket server plus an HTTP shim.
+
+:class:`ServiceServer` binds two listeners on one event loop:
+
+* the **line-delimited JSON socket** (the primary protocol,
+  :mod:`repro.service.protocol`) — submit requests, stream records, query
+  status; and
+* an optional **HTTP shim** for tooling that speaks nothing else:
+  ``GET /healthz``, ``GET /status`` (the projection snapshot), and
+  ``POST /submit`` (runs the request to completion and returns the full
+  :class:`~repro.eval.api.CampaignResult` as JSON).
+
+Both front the same :class:`~repro.service.scheduler.CampaignScheduler`,
+so an HTTP submission deduplicates against socket clients and vice
+versa.  A client disconnect mid-request orphans its messages only — the
+scheduler keeps executing the tuples and the store retains the results.
+
+:class:`ServiceDaemon` wraps a server in a background thread for
+in-process use (tests, benchmarks, notebooks): ``start()`` blocks until
+the sockets are bound and returns the address; ``stop()`` shuts the loop
+down cooperatively.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from ..eval.api import CampaignRequest, CampaignResult
+from ..eval.config import ExecConfig
+from . import protocol
+from .scheduler import CampaignScheduler, RequestState
+
+logger = logging.getLogger("repro.service.server")
+
+
+class ServiceServer:
+    """One daemon: scheduler + socket listener (+ optional HTTP listener)."""
+
+    def __init__(
+        self,
+        config: Optional[ExecConfig] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        http_port: Optional[int] = None,
+    ):
+        self.scheduler = CampaignScheduler(config)
+        self.host = host
+        self.port = port
+        self.http_port = http_port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._http_server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind the listeners; returns ``(host, port)`` of the socket API."""
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self.http_port is not None:
+            self._http_server = await asyncio.start_server(
+                self._handle_http, self.host, self.http_port
+            )
+            self.http_port = self._http_server.sockets[0].getsockname()[1]
+        logger.info(
+            "campaign service listening on %s:%d%s",
+            self.host,
+            self.port,
+            f" (http {self.http_port})" if self._http_server else "",
+        )
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        for server in (self._server, self._http_server):
+            if server is not None:
+                server.close()
+                await server.wait_closed()
+        await self.scheduler.aclose()
+
+    # -- LDJSON socket protocol -----------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        states: List[RequestState] = []
+
+        def send(msg: Dict) -> None:
+            writer.write(protocol.encode(msg))
+
+        send(protocol.hello())
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    msg = protocol.decode(line)
+                except protocol.ProtocolError as exc:
+                    send(protocol.error_message(str(exc)))
+                    await writer.drain()
+                    continue
+                kind = msg["type"]
+                if kind == "ping":
+                    send({"type": "pong"})
+                elif kind == "status":
+                    send(self.scheduler.status())
+                elif kind == "submit":
+                    try:
+                        request = CampaignRequest.from_dict(msg.get("request") or {})
+                        state = await self.scheduler.submit(request, send=send)
+                        states.append(state)
+                    except Exception as exc:
+                        logger.warning("rejected submit: %s", exc)
+                        send(protocol.error_message(str(exc)))
+                else:
+                    send(protocol.error_message(f"unknown message type {kind!r}"))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            for state in states:
+                if state.finished is not None and not state.finished.is_set():
+                    self.scheduler.orphan(state)
+            writer.close()
+
+    # -- HTTP shim -------------------------------------------------------
+
+    async def _handle_http(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            if not request_line:
+                return
+            parts = request_line.decode("latin-1").split()
+            if len(parts) < 2:
+                return
+            method, path = parts[0].upper(), parts[1]
+            headers: Dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            body = b""
+            length = int(headers.get("content-length") or 0)
+            if length:
+                body = await reader.readexactly(length)
+            status, payload = await self._http_route(method, path, body)
+        except Exception as exc:
+            logger.warning("http request failed: %s", exc)
+            status, payload = "500 Internal Server Error", {"error": str(exc)}
+        try:
+            data = json.dumps(payload, sort_keys=True).encode("utf-8")
+            writer.write(
+                f"HTTP/1.1 {status}\r\n"
+                f"content-type: application/json\r\n"
+                f"content-length: {len(data)}\r\n"
+                f"connection: close\r\n\r\n".encode("latin-1") + data
+            )
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+
+    async def _http_route(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[str, Dict]:
+        if method == "GET" and path == "/healthz":
+            return "200 OK", {"ok": True}
+        if method == "GET" and path == "/status":
+            return "200 OK", self.scheduler.status()
+        if method == "POST" and path == "/submit":
+            try:
+                request = CampaignRequest.from_dict(json.loads(body.decode("utf-8")))
+                state = await self.scheduler.submit(request, send=None, collect=True)
+                assert state.finished is not None
+                await state.finished.wait()
+                result = CampaignResult(
+                    [r for r in state.records if r is not None], state.manifest
+                )
+                return "200 OK", result.to_dict()
+            except (ValueError, TypeError, UnicodeDecodeError) as exc:
+                return "400 Bad Request", {"error": str(exc)}
+        return "404 Not Found", {"error": f"no route {method} {path}"}
+
+
+class ServiceDaemon:
+    """A daemon on a background thread, for in-process embedding."""
+
+    def __init__(
+        self,
+        config: Optional[ExecConfig] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        http_port: Optional[int] = None,
+    ):
+        self.config = config
+        self.host = host
+        self.port = port
+        self.http_port = http_port
+        self.server: Optional[ServiceServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._ready = threading.Event()
+        self._error: Optional[BaseException] = None
+
+    @property
+    def scheduler(self) -> CampaignScheduler:
+        assert self.server is not None, "daemon not started"
+        return self.server.scheduler
+
+    def start(self) -> Tuple[str, int]:
+        """Start the loop thread; blocks until listening, returns the address."""
+        self._thread = threading.Thread(
+            target=self._thread_main, name="dpmr-service", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=120):
+            raise RuntimeError("campaign service daemon failed to start in time")
+        if self._error is not None:
+            raise RuntimeError("campaign service daemon failed") from self._error
+        return self.host, self.port
+
+    def stop(self, timeout: float = 120.0) -> None:
+        """Cooperative shutdown; joins the loop thread."""
+        if self._loop is not None and self._stop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:  # loop already closed
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ServiceDaemon":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _thread_main(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # surfaced to start() or logged
+            self._error = exc
+            if not self._ready.is_set():
+                self._ready.set()
+            else:
+                logger.exception("campaign service daemon died")
+
+    async def _main(self) -> None:
+        server = ServiceServer(self.config, self.host, self.port, self.http_port)
+        await server.start()
+        self.server = server
+        self.host, self.port = server.host, server.port
+        self.http_port = server.http_port
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self._ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            await server.aclose()

@@ -1,8 +1,9 @@
 """ExecConfig (the single env-parse point), the run() facade, and the
 executor telemetry it returns.
 
-Covers the ``DPMR_*`` knob parsing, the deprecated per-call kwargs that
-forward to it, the manifest every invocation now produces (worker decision
+Covers the ``DPMR_*`` knob parsing, the removal of the pre-PR-4 per-call
+kwarg aliases (``jobs=``/``processes=``/``incremental=`` now raise
+``TypeError``), the manifest every invocation produces (worker decision
 and why, serial-fallback reason, cache stats), and the previously-silent
 serial fallback becoming a logged warning.
 """
@@ -26,7 +27,6 @@ from repro.eval import (
     run_campaign_jobs_with_manifest,
     stdapp_variant,
 )
-from repro.eval.config import merge_deprecated
 from repro.faultinject import HEAP_ARRAY_RESIZE
 from repro.obs import JsonlTracer, RunManifest
 
@@ -135,21 +135,28 @@ class TestDerived:
         assert cfg.with_jobs(4).counters is True
 
 
-class TestDeprecatedAliases:
-    def test_merge_deprecated_explicit_kwargs_win(self):
-        cfg = merge_deprecated(ExecConfig(jobs=2, incremental=True), jobs=5)
-        assert cfg.jobs == 5 and cfg.incremental is True
-        cfg = merge_deprecated(ExecConfig(jobs=2), incremental=False)
-        assert cfg.jobs == 2 and cfg.incremental is False
+class TestRemovedAliases:
+    """The PR-4 deprecation soak is over: ExecConfig is the only knob
+    surface, and the old per-call kwargs fail loudly instead of warning."""
 
-    def test_run_campaign_jobs_kwargs_warn(self, harness, variants):
+    def test_run_campaign_jobs_kwargs_removed(self, harness, variants):
         job = job_for_harness(harness, variants[:1], HEAP_ARRAY_RESIZE)
-        with pytest.warns(DeprecationWarning, match="processes=.*deprecated"):
+        with pytest.raises(TypeError, match="processes"):
             run_campaign_jobs([job], processes=1)
+        with pytest.raises(TypeError, match="incremental"):
+            run_campaign_jobs([job], incremental=False)
 
-    def test_harness_run_campaign_kwargs_warn(self, harness, variants):
-        with pytest.warns(DeprecationWarning, match="jobs=.*deprecated"):
+    def test_harness_run_campaign_kwargs_removed(self, harness, variants):
+        with pytest.raises(TypeError, match="jobs"):
             harness.run_campaign(variants[:1], HEAP_ARRAY_RESIZE, jobs=1)
+        with pytest.raises(TypeError, match="incremental"):
+            harness.run_campaign(
+                variants[:1], HEAP_ARRAY_RESIZE, incremental=True
+            )
+
+    def test_merge_deprecated_is_gone(self):
+        with pytest.raises(ImportError):
+            from repro.eval.config import merge_deprecated  # noqa: F401
 
     def test_config_path_does_not_warn(self, harness, variants):
         import warnings

@@ -14,6 +14,7 @@ import pytest
 from repro.apps import app_factory
 from repro.core import DpmrCompiler, IncrementalDpmrCompiler, static_50, temporal_1_2
 from repro.eval import (
+    ExecConfig,
     WorkloadHarness,
     coverage_components,
     diversity_variants,
@@ -38,8 +39,8 @@ class TestRecordIdentity:
     @pytest.mark.parametrize("kind", [HEAP_ARRAY_RESIZE, IMMEDIATE_FREE])
     def test_all_diversity_variants_byte_identical(self, harness, kind):
         variants = [stdapp_variant()] + diversity_variants("sds")
-        full = harness.run_campaign(variants, kind, jobs=1, incremental=False)
-        inc = harness.run_campaign(variants, kind, jobs=1, incremental=True)
+        full = harness.run_campaign(variants, kind, config=ExecConfig(incremental=False))
+        inc = harness.run_campaign(variants, kind, config=ExecConfig(incremental=True))
         assert len(full) == len(inc) > 0
         assert [record_signature(r) for r in full] == [
             record_signature(r) for r in inc
@@ -50,10 +51,10 @@ class TestRecordIdentity:
         # incremental path must replay the exact per-function RNG state.
         variants = policy_variants("sds")
         full = harness.run_campaign(
-            variants, HEAP_ARRAY_RESIZE, jobs=1, incremental=False
+            variants, HEAP_ARRAY_RESIZE, config=ExecConfig(incremental=False)
         )
         inc = harness.run_campaign(
-            variants, HEAP_ARRAY_RESIZE, jobs=1, incremental=True
+            variants, HEAP_ARRAY_RESIZE, config=ExecConfig(incremental=True)
         )
         assert [record_signature(r) for r in full] == [
             record_signature(r) for r in inc
@@ -62,9 +63,9 @@ class TestRecordIdentity:
     def test_metrics_identical(self, harness):
         variants = [stdapp_variant()] + diversity_variants("sds")
         full = harness.run_campaign(
-            variants, IMMEDIATE_FREE, jobs=1, incremental=False
+            variants, IMMEDIATE_FREE, config=ExecConfig(incremental=False)
         )
-        inc = harness.run_campaign(variants, IMMEDIATE_FREE, jobs=1, incremental=True)
+        inc = harness.run_campaign(variants, IMMEDIATE_FREE, config=ExecConfig(incremental=True))
         for name in {v.name for v in variants}:
             f = [r for r in full if r.variant == name]
             i = [r for r in inc if r.variant == name]
@@ -161,9 +162,13 @@ class TestExecutorIntegration:
         # produce the same records.
         monkeypatch.delenv("DPMR_INCREMENTAL", raising=False)
         variants = [stdapp_variant()] + diversity_variants("sds")[:2]
-        default = harness.run_campaign(variants, HEAP_ARRAY_RESIZE, jobs=1)
+        default = harness.run_campaign(
+            variants, HEAP_ARRAY_RESIZE, config=ExecConfig.from_env()
+        )
         monkeypatch.setenv("DPMR_INCREMENTAL", "0")
-        optout = harness.run_campaign(variants, HEAP_ARRAY_RESIZE, jobs=1)
+        optout = harness.run_campaign(
+            variants, HEAP_ARRAY_RESIZE, config=ExecConfig.from_env()
+        )
         assert [record_signature(r) for r in default] == [
             record_signature(r) for r in optout
         ]
@@ -175,17 +180,17 @@ class TestExecutorIntegration:
         ]
         variants[1].policy = static_50()
         full = harness.run_campaign(
-            variants, IMMEDIATE_FREE, jobs=1, incremental=False
+            variants, IMMEDIATE_FREE, config=ExecConfig(incremental=False)
         )
-        inc = harness.run_campaign(variants, IMMEDIATE_FREE, jobs=1, incremental=True)
+        inc = harness.run_campaign(variants, IMMEDIATE_FREE, config=ExecConfig(incremental=True))
         assert [record_signature(r) for r in full] == [
             record_signature(r) for r in inc
         ]
         variants[1].policy = temporal_1_2()
         full = harness.run_campaign(
-            variants, IMMEDIATE_FREE, jobs=1, incremental=False
+            variants, IMMEDIATE_FREE, config=ExecConfig(incremental=False)
         )
-        inc = harness.run_campaign(variants, IMMEDIATE_FREE, jobs=1, incremental=True)
+        inc = harness.run_campaign(variants, IMMEDIATE_FREE, config=ExecConfig(incremental=True))
         assert [record_signature(r) for r in full] == [
             record_signature(r) for r in inc
         ]

@@ -14,6 +14,7 @@ import pytest
 
 from repro.apps import app_factory
 from repro.eval import (
+    ExecConfig,
     WorkloadHarness,
     coverage_components,
     default_jobs,
@@ -62,16 +63,24 @@ def variants():
 
 class TestParallelDeterminism:
     def test_parallel_records_byte_identical_to_serial(self, harness, variants):
-        serial = harness.run_campaign(variants, HEAP_ARRAY_RESIZE, jobs=1)
-        parallel = harness.run_campaign(variants, HEAP_ARRAY_RESIZE, jobs=4)
+        serial = harness.run_campaign(
+            variants, HEAP_ARRAY_RESIZE, config=ExecConfig(jobs=1)
+        )
+        parallel = harness.run_campaign(
+            variants, HEAP_ARRAY_RESIZE, config=ExecConfig(jobs=4)
+        )
         assert len(serial) == len(parallel) > 0
         assert [record_signature(r) for r in serial] == [
             record_signature(r) for r in parallel
         ]
 
     def test_parallel_metrics_identical_to_serial(self, harness, variants):
-        serial = harness.run_campaign(variants, HEAP_ARRAY_RESIZE, jobs=1)
-        parallel = harness.run_campaign(variants, HEAP_ARRAY_RESIZE, jobs=4)
+        serial = harness.run_campaign(
+            variants, HEAP_ARRAY_RESIZE, config=ExecConfig(jobs=1)
+        )
+        parallel = harness.run_campaign(
+            variants, HEAP_ARRAY_RESIZE, config=ExecConfig(jobs=4)
+        )
         for name in {v.name for v in variants}:
             s_recs = [r for r in serial if r.variant == name]
             p_recs = [r for r in parallel if r.variant == name]
@@ -84,10 +93,12 @@ class TestParallelDeterminism:
         harnesses = [WorkloadHarness(a, app_factory(a, 1)) for a in apps]
         few = variants[:3]
         jobs = [job_for_harness(h, few, HEAP_ARRAY_RESIZE) for h in harnesses]
-        combined = run_campaign_jobs(jobs, processes=4)
+        combined = run_campaign_jobs(jobs, config=ExecConfig(jobs=4))
         expected = []
         for h in harnesses:
-            expected.extend(h.run_campaign(few, HEAP_ARRAY_RESIZE, jobs=1))
+            expected.extend(
+                h.run_campaign(few, HEAP_ARRAY_RESIZE, config=ExecConfig(jobs=1))
+            )
         assert [record_signature(r) for r in combined] == [
             record_signature(r) for r in expected
         ]
@@ -132,10 +143,12 @@ class TestEffectiveWorkers:
         # On small/1-core machines the heuristic would serialize; pretend the
         # machine is big enough that the fork pool genuinely engages, and
         # check the executor's core guarantee end to end.
-        serial = harness.run_campaign(variants, HEAP_ARRAY_RESIZE, jobs=1)
+        serial = harness.run_campaign(
+            variants, HEAP_ARRAY_RESIZE, config=ExecConfig(jobs=1)
+        )
         with mock.patch("os.cpu_count", return_value=4):
             job = job_for_harness(harness, variants, HEAP_ARRAY_RESIZE)
-            parallel = run_campaign_jobs([job], processes=2)
+            parallel = run_campaign_jobs([job], config=ExecConfig(jobs=2))
         assert [record_signature(r) for r in serial] == [
             record_signature(r) for r in parallel
         ]
@@ -146,8 +159,8 @@ class TestIncrementalThroughExecutor:
         self, harness, variants
     ):
         job = job_for_harness(harness, variants, HEAP_ARRAY_RESIZE)
-        full = run_campaign_jobs([job], processes=1, incremental=False)
-        inc = run_campaign_jobs([job], processes=1, incremental=True)
+        full = run_campaign_jobs([job], config=ExecConfig(incremental=False))
+        inc = run_campaign_jobs([job], config=ExecConfig(incremental=True))
         assert [record_signature(r) for r in full] == [
             record_signature(r) for r in inc
         ]
@@ -155,7 +168,7 @@ class TestIncrementalThroughExecutor:
     def test_prebuilt_states_reused_and_counted(self, harness, variants):
         job = job_for_harness(harness, variants, HEAP_ARRAY_RESIZE)
         states = prepare_build_states([job])
-        run_campaign_jobs([job], processes=1, build_states=states)
+        run_campaign_jobs([job], build_states=states, config=ExecConfig())
         compilers = [c for c in states[0].compilers if c is not None]
         assert compilers and all(c.stats.hits > 0 for c in compilers)
         assert all(c.stats.full_rebuilds == 0 for c in compilers)
@@ -164,9 +177,9 @@ class TestIncrementalThroughExecutor:
         # Workers inherit the coordinator's pristine snapshot and per-variant
         # transform caches via fork; records must stay byte-identical.
         job = job_for_harness(harness, variants, HEAP_ARRAY_RESIZE)
-        serial = run_campaign_jobs([job], processes=1, incremental=True)
+        serial = run_campaign_jobs([job], config=ExecConfig(jobs=1))
         with mock.patch("os.cpu_count", return_value=4):
-            parallel = run_campaign_jobs([job], processes=2, incremental=True)
+            parallel = run_campaign_jobs([job], config=ExecConfig(jobs=2))
         assert [record_signature(r) for r in serial] == [
             record_signature(r) for r in parallel
         ]

@@ -1,0 +1,115 @@
+"""The curated public API surface.
+
+``repro.__all__`` (and the layer ``__all__`` lists it re-exports from)
+is the stability promise: every name must be importable, and the promise
+must not silently grow or shrink — additions and removals go through
+this file.  Also pins the post-soak removal of the PR-4 kwarg aliases:
+``ExecConfig`` is the only execution-knob surface.
+"""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+def _exports(module_name):
+    module = importlib.import_module(module_name)
+    assert isinstance(module.__all__, list) and module.__all__
+    return module, module.__all__
+
+
+class TestTopLevelSurface:
+    def test_every_name_importable(self):
+        module, names = _exports("repro")
+        for name in names:
+            assert getattr(module, name) is not None, name
+
+    def test_no_duplicates_and_sorted(self):
+        _, names = _exports("repro")
+        assert names == sorted(names)
+        assert len(names) == len(set(names))
+
+    def test_star_import_honours_all(self):
+        namespace = {}
+        exec("from repro import *", namespace)
+        public = {k for k in namespace if not k.startswith("_")}
+        assert public == set(repro.__all__)
+
+    def test_service_types_reachable_from_top_level(self):
+        from repro import ServiceClient, ServiceDaemon, ServiceError
+
+        assert issubclass(ServiceError, RuntimeError)
+        assert callable(ServiceClient) and callable(ServiceDaemon)
+
+    def test_request_types_reachable_from_top_level(self):
+        from repro import CampaignRequest, CampaignResult, request_jobs, run
+
+        assert callable(request_jobs) and callable(run)
+        assert CampaignRequest.__dataclass_fields__.keys() >= {
+            "workloads",
+            "kinds",
+            "variants",
+            "seeds",
+            "max_sites",
+        }
+        assert CampaignResult is not None
+
+
+class TestLayerSurfaces:
+    @pytest.mark.parametrize(
+        "module_name",
+        ["repro.eval", "repro.service", "repro.obs", "repro.core"],
+    )
+    def test_layer_all_importable(self, module_name):
+        module, names = _exports(module_name)
+        for name in names:
+            assert getattr(module, name) is not None, f"{module_name}.{name}"
+
+    def test_eval_all_covers_top_level_reexports(self):
+        # Everything repro re-exports from repro.eval is itself public there.
+        _, eval_names = _exports("repro.eval")
+        from_eval = {
+            "CampaignRequest",
+            "CampaignResult",
+            "ExecConfig",
+            "ExperimentRecord",
+            "ResultStore",
+            "Variant",
+            "WorkloadHarness",
+            "diversity_variants",
+            "policy_variants",
+            "request_jobs",
+            "resolve_variants",
+            "run",
+            "stdapp_variant",
+            "variant_registry",
+        }
+        assert from_eval <= set(eval_names)
+
+
+class TestRemovedKnobSurface:
+    """The deprecated per-call aliases are gone, not just warning."""
+
+    def test_merge_deprecated_removed(self):
+        with pytest.raises(ImportError):
+            from repro.eval.config import merge_deprecated  # noqa: F401
+
+    def test_no_alias_kwargs_in_signatures(self):
+        import inspect
+
+        from repro.eval import run_campaign_jobs
+        from repro.eval.experiment import WorkloadHarness
+
+        removed = {
+            # run_campaign_jobs's first positional is the job *list*;
+            # the removed alias there was processes=.
+            run_campaign_jobs: ("processes", "incremental"),
+            WorkloadHarness.run_campaign: ("jobs", "processes", "incremental"),
+        }
+        for func, gone_names in removed.items():
+            params = inspect.signature(func).parameters
+            for gone in gone_names:
+                assert gone not in params, f"{func.__qualname__} kept {gone}="
+            assert "config" in params
