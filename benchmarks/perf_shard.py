@@ -1,0 +1,257 @@
+#!/usr/bin/env python
+"""Shard-fabric benchmark → ``BENCH_interp.json``.
+
+Runs one resize+free campaign matrix through the executor at 1, 2, and 4
+shard worker nodes (``ExecConfig.shards``) and reports wall-clock,
+speedup, and the fabric counters from the merged schema-5 manifest.  Two
+things are always gated, regardless of timing:
+
+* every sharded run's records are bit-identical
+  (``ExperimentRecord.signature()``) and identically ordered to the
+  1-shard run, and
+* the merged manifest accounts for every tuple (``store_synced`` plus
+  store hits cover the matrix).
+
+Timing is gated only where it is meaningful: shard workers are real
+processes, so the 4-shard speedup gate (≥ ``SHARD_MIN_SPEEDUP``×) applies
+only when the machine actually has ≥4 usable cores (CI runners do; the
+single-core dev container records honest numbers with a ``cores``
+annotation instead of failing).
+
+Results land in the ``shard`` section of ``BENCH_interp.json`` (other
+sections preserved) and the headline numbers are merged into the
+``history`` entry for the current commit.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_shard.py
+    PYTHONPATH=src python benchmarks/perf_shard.py --smoke
+
+``--smoke`` is the CI gate: 2-shard bit-identity vs 1-shard on a small
+matrix (always), plus the 4-shard speedup gate when cores allow.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import sys
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.apps import app_factory
+from repro.eval import (
+    ExecConfig,
+    WorkloadHarness,
+    diversity_variants,
+    job_for_harness,
+    run_campaign_jobs_with_manifest,
+    stdapp_variant,
+)
+from repro.faultinject import HEAP_ARRAY_RESIZE, IMMEDIATE_FREE
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_interp.json"
+
+#: Minimum 1-shard/4-shard speedup when ≥4 cores are usable.  Four
+#: CPU-bound worker processes on four cores should approach 4x; 1.5x
+#: leaves generous headroom for lease/sync overhead and CI noise.
+SHARD_MIN_SPEEDUP = 1.5
+
+WORKLOADS = ("mcf", "equake")
+KINDS = (HEAP_ARRAY_RESIZE, IMMEDIATE_FREE)
+N_VARIANTS = 3
+MAX_SITES = 2
+SHARD_COUNTS = (1, 2, 4)
+REPS = 3
+
+
+@contextmanager
+def _gc_disabled():
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+        gc.collect()
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def matrix_jobs(workloads=WORKLOADS, kinds=KINDS):
+    """Fresh campaign jobs for the benchmark matrix (jobs carry per-run
+    build caches, so every timed run gets its own)."""
+    variants = [stdapp_variant()] + diversity_variants("sds")[: N_VARIANTS - 1]
+    return [
+        job_for_harness(
+            WorkloadHarness(name, app_factory(name, 1), seeds=(0,)),
+            variants,
+            kind,
+            max_sites=MAX_SITES,
+        )
+        for kind in kinds
+        for name in workloads
+    ]
+
+
+def _timed_run(shards: int, workloads=WORKLOADS, kinds=KINDS):
+    """Best-of-REPS wall for the matrix at ``shards`` nodes."""
+    best = None
+    records = manifest = None
+    for _ in range(REPS):
+        jobs = matrix_jobs(workloads, kinds)
+        with _gc_disabled():
+            t0 = time.perf_counter()
+            recs, mf = run_campaign_jobs_with_manifest(
+                jobs, config=ExecConfig(shards=shards)
+            )
+            dt = time.perf_counter() - t0
+        if best is None or dt < best:
+            best, records, manifest = dt, recs, mf
+    return best, records, manifest
+
+
+def bench_shard() -> dict:
+    runs = {n: _timed_run(n) for n in SHARD_COUNTS}
+    base_s, base_records, _ = runs[1]
+    base_sigs = [r.signature() for r in base_records]
+
+    identical = all(
+        [r.signature() for r in records] == base_sigs
+        for _, records, _ in runs.values()
+    )
+    per_shards = {}
+    for n, (wall, records, manifest) in runs.items():
+        per_shards[str(n)] = {
+            "wall_s": round(wall, 3),
+            "speedup": round(base_s / wall, 2),
+            "records": len(records),
+            "lease_grants": manifest.lease_grants,
+            "lease_reassignments": manifest.lease_reassignments,
+            "store_synced": manifest.store_synced,
+            "nodes_used": len(manifest.shards),
+        }
+    return {
+        "workloads": list(WORKLOADS),
+        "kinds": list(KINDS),
+        "n_variants": N_VARIANTS,
+        "max_sites": MAX_SITES,
+        "n_records": len(base_records),
+        "cores": _usable_cores(),
+        "reps": REPS,
+        "shards": per_shards,
+        "speedup_4": per_shards["4"]["speedup"],
+        "records_identical_to_single_node": identical,
+    }
+
+
+def smoke() -> None:
+    """CI gate: 2-shard bit-identity always; 4-shard speedup when cores allow."""
+    cores = _usable_cores()
+    one, m1 = run_campaign_jobs_with_manifest(
+        matrix_jobs(workloads=("mcf",), kinds=(HEAP_ARRAY_RESIZE,)),
+        config=ExecConfig(shards=1),
+    )
+    two, m2 = run_campaign_jobs_with_manifest(
+        matrix_jobs(workloads=("mcf",), kinds=(HEAP_ARRAY_RESIZE,)),
+        config=ExecConfig(shards=2),
+    )
+    print(
+        f"smoke: {len(two)} records on 2 shards "
+        f"({m2.lease_grants} leases, {m2.store_synced} synced), cores={cores}"
+    )
+    if not one or len(one) != len(two):
+        sys.exit(f"FATAL: 2-shard run produced {len(two)} records, expected {len(one)}")
+    if [r.signature() for r in two] != [r.signature() for r in one]:
+        sys.exit("FATAL: 2-shard records diverged from the 1-shard run")
+    if m2.n_shards != 2 or m2.store_synced != len(two):
+        sys.exit(
+            f"FATAL: merged manifest inconsistent: n_shards={m2.n_shards}, "
+            f"synced={m2.store_synced} of {len(two)}"
+        )
+    if m1.n_shards != 0:
+        sys.exit("FATAL: 1-shard run unexpectedly routed through the fabric")
+
+    if cores < 4:
+        print(f"smoke: OK (speedup gate skipped: {cores} usable core(s) < 4)")
+        return
+    base_s, base_records, _ = _timed_run(1)
+    four_s, four_records, _ = _timed_run(4)
+    speedup = base_s / four_s
+    print(
+        f"smoke: 1-shard {base_s:.2f}s vs 4-shard {four_s:.2f}s "
+        f"→ {speedup:.2f}x on {cores} cores"
+    )
+    if [r.signature() for r in four_records] != [
+        r.signature() for r in base_records
+    ]:
+        sys.exit("FATAL: 4-shard records diverged from the 1-shard run")
+    if speedup < SHARD_MIN_SPEEDUP:
+        sys.exit(
+            f"FATAL: 4 shards on {cores} cores gained only {speedup:.2f}x "
+            f"(gate ≥{SHARD_MIN_SPEEDUP}x)"
+        )
+    print("smoke: OK")
+
+
+def _git_sha() -> str:
+    try:
+        import subprocess
+
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=str(OUT_PATH.parent),
+            timeout=10,
+        )
+        return out.stdout.strip() or "unknown"
+    except Exception:
+        return "unknown"
+
+
+def main() -> None:
+    if "--smoke" in sys.argv[1:]:
+        smoke()
+        return
+    shard = bench_shard()
+    payload = json.loads(OUT_PATH.read_text()) if OUT_PATH.exists() else {}
+    payload["shard"] = shard
+    # Merge the headline numbers into this commit's history entry (one
+    # entry per sha; perf_interp.py owns the rest of its fields).
+    sha = _git_sha()
+    headline = {
+        "shard_1_s": shard["shards"]["1"]["wall_s"],
+        "shard_4_s": shard["shards"]["4"]["wall_s"],
+        "shard_speedup_4": shard["speedup_4"],
+        "shard_cores": shard["cores"],
+    }
+    history = payload.setdefault("history", [])
+    entry = next((h for h in history if h.get("git_sha") == sha), None)
+    if entry is not None:
+        entry.update(headline)
+    else:
+        history.append(
+            {"date": time.strftime("%Y-%m-%d"), "git_sha": sha, **headline}
+        )
+    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(shard, indent=2))
+    if not shard["records_identical_to_single_node"]:
+        sys.exit("FATAL: a sharded run's records diverged from single-node")
+    if shard["cores"] >= 4 and shard["speedup_4"] < SHARD_MIN_SPEEDUP:
+        sys.exit(
+            f"FATAL: 4 shards on {shard['cores']} cores gained only "
+            f"{shard['speedup_4']:.2f}x (gate ≥{SHARD_MIN_SPEEDUP}x)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -26,6 +26,11 @@ Knobs (all optional):
                           on the compiled tier: variant-inlined DPMR hooks in
                           generated code plus instruction-granular delta
                           transforms (on by default; bit-identical records)
+``DPMR_SHARDS``           worker *nodes* for the shard fabric (default 1 =
+                          single-node; N>1 partitions the campaign tuple
+                          space across N processes simulating machines, each
+                          with its own supervised pool and store directory,
+                          and merges the results — bit-identical records)
 ========================  =====================================================
 
 ``ExecConfig`` is frozen: derive variations with :func:`dataclasses.replace`.
@@ -52,6 +57,7 @@ RETRIES_ENV_VAR = "DPMR_RETRIES"
 EXP_TIMEOUT_ENV_VAR = "DPMR_EXP_TIMEOUT"
 COMPILE_ENV_VAR = "DPMR_COMPILE"
 INLINE_RT_ENV_VAR = "DPMR_INLINE_RT"
+SHARDS_ENV_VAR = "DPMR_SHARDS"
 
 #: infrastructure retries per experiment before its site is quarantined.
 DEFAULT_RETRIES = 2
@@ -140,6 +146,21 @@ class ExecConfig:
     #: ``DPMR_INLINE_RT=0`` restores the call_intrinsic + whole-function
     #: re-transform behaviour of the plain compiled tier.
     inline_rt: bool = True
+    #: worker nodes for the shard fabric (``repro.shard``).  1 (the default)
+    #: runs single-node; N>1 partitions the campaign tuple space across N
+    #: processes simulating machines — each with its own supervised pool and
+    #: shard-local store — and merges the results back by content address.
+    #: Bit-transparent like ``compiled`` (merged records are signature-
+    #: identical to the single-node run), so it is likewise excluded from
+    #: store fingerprints.
+    shards: int = 1
+    #: wall-clock budget (seconds) per tuple-batch lease before the
+    #: coordinator revokes it and re-leases the batch elsewhere; 0 disables
+    #: the budget (not environment-exposed; chaos tests shrink it).
+    lease_timeout_s: float = 0.0
+    #: experiment tuples per lease; 0 sizes batches automatically from the
+    #: campaign size and shard count (not environment-exposed).
+    lease_items: int = 0
 
     @classmethod
     def from_env(cls, env: Optional[Mapping[str, str]] = None) -> "ExecConfig":
@@ -168,6 +189,7 @@ class ExecConfig:
             exp_timeout_s=max(0.0, _parse_float(env, EXP_TIMEOUT_ENV_VAR, 0.0)),
             compiled=_parse_flag(env, COMPILE_ENV_VAR, True),
             inline_rt=_parse_flag(env, INLINE_RT_ENV_VAR, True),
+            shards=max(1, _parse_int(env, SHARDS_ENV_VAR, 1)),
         )
 
     # -- derived ------------------------------------------------------------

@@ -672,6 +672,30 @@ def run_campaign_jobs_with_manifest(
     from ..obs.tracer import real_tracer
 
     config = config if config is not None else ExecConfig.from_env()
+    # -- shard fabric routing (DPMR_SHARDS / ExecConfig.shards) ---------
+    # N>1 hands the whole invocation to the shard coordinator, which
+    # partitions the tuple space across N worker nodes and re-enters this
+    # function (with shards=1) inside each node.  Observability and
+    # fork-less platforms fall back to single-node execution with a logged
+    # reason — never silently.
+    if config.shards > 1:
+        from ..shard.coordinator import run_sharded_campaign, sharding_fallback
+
+        shard_fallback = sharding_fallback(config, tracer)
+        if shard_fallback is None:
+            return run_sharded_campaign(
+                jobs,
+                config=config,
+                build_states=build_states,
+                items=items,
+                on_record=on_record,
+                cancel=cancel,
+            )
+        logger.warning(
+            "campaign requested %d shards but runs single-node: %s",
+            config.shards,
+            shard_fallback,
+        )
     # Campaign-scoped runtime-specialization toggle: sampled by the build
     # states below (their transform journals gate on it), by base warming,
     # and inherited by forked workers.  Restored in the finally.

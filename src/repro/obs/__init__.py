@@ -26,7 +26,13 @@ from .counters import (
     total_counters,
 )
 from .events import EVENT_KINDS
-from .manifest import MANIFEST_SCHEMA, JobManifest, QuarantineRecord, RunManifest
+from .manifest import (
+    MANIFEST_SCHEMA,
+    JobManifest,
+    QuarantineRecord,
+    RunManifest,
+    ShardManifest,
+)
 from .replay import TracedRun, load_runs, read_events, runs_from_events, t2d_by_run
 from .tracer import CollectingTracer, JsonlTracer, NullTracer, Tracer, real_tracer
 
@@ -40,6 +46,7 @@ __all__ = [
     "QuarantineRecord",
     "OPCODE_CLASSES",
     "RunManifest",
+    "ShardManifest",
     "TracedRun",
     "Tracer",
     "load_runs",

@@ -21,7 +21,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
 
 #: Manifest schema version; bump on incompatible shape changes.
-MANIFEST_SCHEMA = 4
+MANIFEST_SCHEMA = 5
 
 
 @dataclass
@@ -40,6 +40,31 @@ class QuarantineRecord:
     site: str
     attempts: int
     reason: str
+
+
+@dataclass
+class ShardManifest:
+    """Per-shard provenance of one sharded campaign (schema 5).
+
+    One entry per worker node that executed at least one lease.  The
+    coordinator aggregates these from the per-lease manifests the shard
+    workers return, so a merged manifest records *which* shard ran how
+    much of the tuple space — the audit trail behind the merge-identity
+    guarantee.
+    """
+
+    shard: int
+    #: tuple-batch leases this shard completed.
+    leases: int = 0
+    #: experiment records this shard produced (store hits it served count
+    #: toward its records, exactly like a single-node run's ``n_records``).
+    n_records: int = 0
+    #: entries this shard wrote into its shard-local store.
+    store_writes: int = 0
+    #: inner-pool retries within this shard's leases.
+    retries: int = 0
+    #: summed wall-clock of this shard's leases (overlaps across shards).
+    wall_s: float = 0.0
 
 
 @dataclass
@@ -111,6 +136,19 @@ class RunManifest:
     exp_timeouts: int = 0
     #: sites excluded after exhausting retries (never silent).
     quarantined: List[QuarantineRecord] = field(default_factory=list)
+    # -- shard fabric (schema 5; all-zero/empty for single-node runs) -------
+    #: worker nodes the campaign was partitioned across (0: not sharded).
+    n_shards: int = 0
+    #: tuple-batch leases granted by the coordinator (first grants only).
+    lease_grants: int = 0
+    #: leases re-granted after a shard worker died or was killed mid-lease.
+    lease_reassignments: int = 0
+    #: leases revoked because a shard exceeded the lease wall budget.
+    lease_expiries: int = 0
+    #: shard-local store entries synced into the coordinator store.
+    store_synced: int = 0
+    #: per-shard provenance (one entry per worker node that ran a lease).
+    shards: List[ShardManifest] = field(default_factory=list)
     # -- outcome aggregates -------------------------------------------------
     status_counts: Dict[str, int] = field(default_factory=dict)
     counter_totals: Dict[str, int] = field(default_factory=dict)
@@ -144,10 +182,13 @@ class RunManifest:
     def from_dict(cls, d: Dict) -> "RunManifest":
         jobs = [JobManifest(**j) for j in d.get("jobs", ())]
         quarantined = [QuarantineRecord(**q) for q in d.get("quarantined", ())]
+        shards = [ShardManifest(**s) for s in d.get("shards", ())]
         fields = {
-            k: v for k, v in d.items() if k not in ("jobs", "quarantined")
+            k: v
+            for k, v in d.items()
+            if k not in ("jobs", "quarantined", "shards")
         }
-        return cls(jobs=jobs, quarantined=quarantined, **fields)
+        return cls(jobs=jobs, quarantined=quarantined, shards=shards, **fields)
 
     @classmethod
     def read(cls, path: str) -> "RunManifest":

@@ -35,6 +35,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="also serve the HTTP shim on this port (0 = ephemeral)",
     )
     parser.add_argument(
+        "--unix",
+        default=None,
+        metavar="PATH",
+        help="serve the LDJSON protocol on this UNIX socket instead of TCP",
+    )
+    parser.add_argument(
         "--store",
         default=None,
         help="result-store directory (overrides DPMR_STORE)",
@@ -50,20 +56,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.store is not None:
         config = replace(config, store_path=args.store)
     try:
-        asyncio.run(_serve(config, args.host, args.port, args.http_port))
+        asyncio.run(
+            _serve(config, args.host, args.port, args.http_port, args.unix)
+        )
     except KeyboardInterrupt:
         pass
     return 0
 
 
 async def _serve(
-    config: ExecConfig, host: str, port: int, http_port: Optional[int]
+    config: ExecConfig,
+    host: str,
+    port: int,
+    http_port: Optional[int],
+    unix_path: Optional[str] = None,
 ) -> None:
-    server = ServiceServer(config, host, port, http_port)
+    server = ServiceServer(config, host, port, http_port, unix_path=unix_path)
     await server.start()
     extra = f" (http {server.http_port})" if server.http_port is not None else ""
+    where = unix_path if unix_path is not None else f"{server.host}:{server.port}"
     print(
-        f"dpmr campaign service listening on {server.host}:{server.port}{extra}",
+        f"dpmr campaign service listening on {where}{extra}",
         flush=True,
     )
     try:

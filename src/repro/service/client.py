@@ -15,6 +15,8 @@ executing its tuples and the store retains every result. ::
     from repro.eval import CampaignRequest
     from repro.service import ServiceClient
 
+    # TCP (host/port) or a UNIX-domain socket (unix_path=...) — the LDJSON
+    # protocol is identical over both transports.
     with ServiceClient(port=7421) as client:
         result = client.submit(CampaignRequest(
             workloads=("mcf",), kinds=("heap-array-resize",),
@@ -46,8 +48,14 @@ class ServiceClient:
         host: str = "127.0.0.1",
         port: int = 7421,
         timeout: Optional[float] = 600.0,
+        unix_path: Optional[str] = None,
     ):
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+        if unix_path is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(unix_path)
+        else:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
         self._rfile = self._sock.makefile("rb")
         #: frames for other request ids, parked while collecting one.
         self._stash: Dict[str, List[Dict]] = {}

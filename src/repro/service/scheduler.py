@@ -433,6 +433,18 @@ class CampaignScheduler:
                 engine=manifest.engine,
                 effective_jobs=manifest.effective_jobs,
             )
+            # Shard-backend batches (ExecConfig.shards > 1) carry per-node
+            # provenance; surface it as one event per shard so the status
+            # projections show live per-shard progress cells.
+            for sm in manifest.shards:
+                self._event(
+                    "shard_done",
+                    shard=sm.shard,
+                    leases=sm.leases,
+                    n_records=sm.n_records,
+                    retries=sm.retries,
+                    wall_s=round(sm.wall_s, 6),
+                )
             if not self._cancel.is_set():
                 for key in keys:
                     if key in self.dedupe.inflight:

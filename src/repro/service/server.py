@@ -26,6 +26,7 @@ from __future__ import annotations
 import asyncio
 import json
 import logging
+import os
 import threading
 from typing import Dict, List, Optional, Tuple
 
@@ -46,31 +47,45 @@ class ServiceServer:
         host: str = "127.0.0.1",
         port: int = 0,
         http_port: Optional[int] = None,
+        unix_path: Optional[str] = None,
     ):
         self.scheduler = CampaignScheduler(config)
         self.host = host
         self.port = port
         self.http_port = http_port
+        #: UNIX-domain socket path for the LDJSON protocol.  When set, the
+        #: TCP listener is not bound at all — tests and co-located tooling
+        #: get a per-instance filesystem address with no port to collide on
+        #: (the port-0 default already avoids fixed-port collisions for TCP).
+        self.unix_path = unix_path
         self._server: Optional[asyncio.AbstractServer] = None
         self._http_server: Optional[asyncio.AbstractServer] = None
 
     async def start(self) -> Tuple[str, int]:
-        """Bind the listeners; returns ``(host, port)`` of the socket API."""
-        self._server = await asyncio.start_server(
-            self._handle_client, self.host, self.port
-        )
-        self.port = self._server.sockets[0].getsockname()[1]
+        """Bind the listeners; returns ``(host, port)`` of the socket API
+        (``(unix_path, -1)`` when serving on a UNIX socket)."""
+        if self.unix_path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._handle_client, path=self.unix_path
+            )
+            self.port = -1
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_client, self.host, self.port
+            )
+            self.port = self._server.sockets[0].getsockname()[1]
         if self.http_port is not None:
             self._http_server = await asyncio.start_server(
                 self._handle_http, self.host, self.http_port
             )
             self.http_port = self._http_server.sockets[0].getsockname()[1]
         logger.info(
-            "campaign service listening on %s:%d%s",
-            self.host,
-            self.port,
+            "campaign service listening on %s%s",
+            self.unix_path if self.unix_path is not None else f"{self.host}:{self.port}",
             f" (http {self.http_port})" if self._http_server else "",
         )
+        if self.unix_path is not None:
+            return self.unix_path, -1
         return self.host, self.port
 
     async def serve_forever(self) -> None:
@@ -82,6 +97,11 @@ class ServiceServer:
             if server is not None:
                 server.close()
                 await server.wait_closed()
+        if self.unix_path is not None:
+            try:
+                os.unlink(self.unix_path)
+            except OSError:
+                pass
         await self.scheduler.aclose()
 
     # -- LDJSON socket protocol -----------------------------------------
@@ -203,11 +223,13 @@ class ServiceDaemon:
         host: str = "127.0.0.1",
         port: int = 0,
         http_port: Optional[int] = None,
+        unix_path: Optional[str] = None,
     ):
         self.config = config
         self.host = host
         self.port = port
         self.http_port = http_port
+        self.unix_path = unix_path
         self.server: Optional[ServiceServer] = None
         self._thread: Optional[threading.Thread] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -260,7 +282,13 @@ class ServiceDaemon:
                 logger.exception("campaign service daemon died")
 
     async def _main(self) -> None:
-        server = ServiceServer(self.config, self.host, self.port, self.http_port)
+        server = ServiceServer(
+            self.config,
+            self.host,
+            self.port,
+            self.http_port,
+            unix_path=self.unix_path,
+        )
         await server.start()
         self.server = server
         self.host, self.port = server.host, server.port

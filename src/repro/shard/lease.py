@@ -1,0 +1,99 @@
+"""Tuple-batch leases: the unit of work the coordinator hands to shards.
+
+The campaign tuple space ``(workload × kind × site × variant × run)`` is
+embarrassingly partitionable — every experiment tuple is a pure function
+of its inputs — so distribution is a matter of *bookkeeping*, not
+synchronization.  A :class:`Lease` is a contiguous batch of experiment
+tuples in serial order; the :class:`LeaseTable` partitions the outstanding
+tuples into leases, tracks which are done, and counts grants across
+re-lease rounds.
+
+Leases are hashable (frozen, tuple-typed) because they travel through
+:class:`~repro.eval.supervise.WorkerSupervisor` as supervised *items*: a
+shard worker that dies or wedges mid-lease is handled by exactly the
+retry/quarantine machinery that already handles a dying experiment —
+the lease is the experiment, one level up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+#: An experiment tuple: (job index, site index, variant index, run index).
+Item = Tuple[int, int, int, int]
+
+#: Target leases per shard in one round.  Several small leases per shard
+#: (rather than one big one) bound the work lost to a SIGKILL or lease
+#: expiry to a fraction of a shard's share, at the cost of a little more
+#: coordinator traffic.
+LEASES_PER_SHARD = 4
+
+
+@dataclass(frozen=True)
+class Lease:
+    """A contiguous batch of experiment tuples granted to one shard."""
+
+    lease_id: int
+    items: Tuple[Item, ...]
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+def lease_size(n_items: int, n_shards: int, lease_items: int = 0) -> int:
+    """Tuples per lease: explicit ``lease_items`` or the auto heuristic."""
+    if lease_items > 0:
+        return lease_items
+    n_shards = max(1, n_shards)
+    return max(1, -(-n_items // (n_shards * LEASES_PER_SHARD)))
+
+
+class LeaseTable:
+    """Partitions outstanding tuples into leases and tracks their fate.
+
+    One table serves a whole sharded campaign across re-lease rounds:
+    ``partition`` turns the currently-outstanding items into fresh leases
+    (round one covers every store miss; later rounds cover only items
+    whose synced results went missing, e.g. a corrupted shard-store
+    entry), ``mark_done`` records a completed lease, and the grant
+    counters feed the merged manifest.
+    """
+
+    def __init__(self, n_shards: int, lease_items: int = 0):
+        self.n_shards = max(1, n_shards)
+        self.lease_items = max(0, lease_items)
+        #: leases created in round one (first grants).
+        self.grants = 0
+        #: leases created by later recovery rounds (re-leases of items whose
+        #: results were lost after the lease nominally completed).
+        self.regrants = 0
+        self.rounds = 0
+        self._next_id = 0
+        self._done: Dict[int, int] = {}  # lease_id -> shard wid
+
+    def partition(self, items: Sequence[Item]) -> List[Lease]:
+        """Fresh leases over ``items`` (serial order, contiguous batches)."""
+        size = lease_size(len(items), self.n_shards, self.lease_items)
+        leases: List[Lease] = []
+        for start in range(0, len(items), size):
+            leases.append(
+                Lease(
+                    lease_id=self._next_id,
+                    items=tuple(items[start : start + size]),
+                )
+            )
+            self._next_id += 1
+        if self.rounds == 0:
+            self.grants += len(leases)
+        else:
+            self.regrants += len(leases)
+        self.rounds += 1
+        return leases
+
+    def mark_done(self, lease: Lease, shard: int) -> None:
+        self._done[lease.lease_id] = shard
+
+    @property
+    def completed(self) -> int:
+        return len(self._done)

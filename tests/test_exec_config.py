@@ -66,9 +66,11 @@ class TestFromEnv:
                 "DPMR_COUNTERS": "yes",
                 "DPMR_TIMEOUT_FACTOR": "7",
                 "DPMR_MANIFEST": "/tmp/m.json",
+                "DPMR_SHARDS": "4",
             }
         )
         assert cfg.jobs == 8
+        assert cfg.shards == 4
         assert cfg.incremental is False
         assert cfg.trace_path == "/tmp/t.jsonl"
         assert cfg.trace_events == ("run-start", "run-end", "fault")
@@ -80,6 +82,13 @@ class TestFromEnv:
     def test_jobs_clamped_to_at_least_one(self):
         assert ExecConfig.from_env({"DPMR_JOBS": "0"}).jobs == 1
         assert ExecConfig.from_env({"DPMR_JOBS": "-3"}).jobs == 1
+
+    def test_shards_default_and_clamped_to_at_least_one(self):
+        assert ExecConfig.from_env({}).shards == 1
+        assert ExecConfig.from_env({"DPMR_SHARDS": "0"}).shards == 1
+        assert ExecConfig.from_env({"DPMR_SHARDS": "-2"}).shards == 1
+        with pytest.raises(ValueError, match="DPMR_SHARDS"):
+            ExecConfig.from_env({"DPMR_SHARDS": "many"})
 
     def test_bad_int_rejected(self):
         with pytest.raises(ValueError, match="DPMR_JOBS"):

@@ -196,6 +196,29 @@ class TestProjections:
     def test_hit_rate_none_before_any_admission(self):
         assert Projections().store_hit_rate() is None
 
+    def test_shard_events_fold_into_per_shard_cells(self):
+        """Shard-originated events: per-shard progress cells accumulate,
+        unknown shard-era kinds are skipped, and replay still equals the
+        live fold over the mixed log."""
+        log, proj = self._populated()
+
+        def emit(kind, **fields):
+            proj.apply(log.append(kind, **fields))
+
+        emit("shard_done", shard=1, leases=2, n_records=4, retries=1, wall_s=0.25)
+        emit("shard_done", shard=0, leases=1, n_records=2, retries=0, wall_s=0.5)
+        emit("shard_done", shard=1, leases=1, n_records=2, retries=0, wall_s=0.25)
+        emit("shard_from_the_future", shard=9, whatever=True)  # ignored
+        snap = proj.to_dict()
+        assert snap["shards"] == {
+            "shard-0": {"leases": 1, "records": 2, "retries": 0, "wall_s": 0.5},
+            "shard-1": {"leases": 3, "records": 6, "retries": 1, "wall_s": 0.5},
+        }
+        assert Projections.replay(log.events).to_dict() == proj.to_dict()
+
+    def test_fresh_projections_have_no_shard_cells(self):
+        assert Projections().to_dict()["shards"] == {}
+
 
 class TestServiceEndToEnd:
     def test_records_bit_identical_to_in_process_run(self):
@@ -213,6 +236,48 @@ class TestServiceEndToEnd:
         assert m.n_records == len(res.records)
         assert m.store_misses == len(res.records)  # nothing shared or stored
         assert m.shared_hits == 0
+
+    def test_unix_socket_transport_is_equivalent(self, tmp_path):
+        """Same LDJSON protocol over a per-test UNIX socket: no TCP port
+        is bound at all, so parallel test runs cannot collide."""
+        solo = run(REQUEST, config=ExecConfig())
+        sock = str(tmp_path / "dpmr.sock")
+        with ServiceDaemon(ExecConfig(), unix_path=sock) as daemon:
+            assert daemon.port == -1
+            with ServiceClient(unix_path=sock) as client:
+                assert client.ping()
+                res = client.submit(REQUEST)
+        assert [record_signature(r) for r in res.records] == [
+            record_signature(r) for r in solo.records
+        ]
+
+    def test_shard_backend_daemon_emits_shard_events(self, tmp_path):
+        """A daemon whose executor runs on the shard fabric streams the
+        same records and folds real shard_done events into projections."""
+        solo = run(REQUEST, config=ExecConfig())
+        sock = str(tmp_path / "dpmr.sock")
+        with ServiceDaemon(ExecConfig(shards=2), unix_path=sock) as daemon:
+            with ServiceClient(unix_path=sock) as client:
+                res = client.submit(REQUEST)
+            # The done frame can beat the runner's batch bookkeeping by a
+            # hair; wait for the shard events to land in the log.
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                events, projections = _snapshot(daemon)
+                if any(e["kind"] == "shard_done" for e in events):
+                    break
+                time.sleep(0.05)
+        assert [record_signature(r) for r in res.records] == [
+            record_signature(r) for r in solo.records
+        ]
+        shard_events = [e for e in events if e["kind"] == "shard_done"]
+        assert shard_events
+        assert projections["shards"]
+        assert sum(e["n_records"] for e in shard_events) == len(res.records)
+        assert sum(
+            cell["records"] for cell in projections["shards"].values()
+        ) == len(res.records)
+        assert Projections.replay(events).to_dict() == projections
 
     def test_concurrent_overlapping_requests_share_tuples(self):
         solo_a = run(REQUEST, config=ExecConfig())

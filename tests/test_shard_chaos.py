@@ -1,0 +1,213 @@
+"""Chaos tests for the shard fabric: kill, wedge, and corrupt a node.
+
+Same contract as :mod:`tests.test_executor_chaos`, one level up: each
+test injects one node-level failure and asserts that the merged campaign
+is still bit-identical to the 1-shard run *and* that every recovery
+decision (worker restart, lease re-grant, lease expiry, corrupt store
+entry) is visible in the merged schema-5 manifest.
+
+The fault surfaces:
+
+* ``repro.eval.parallel._CHAOS_HOOK`` fires inside the shard worker
+  process (lease batches are small, so the node runs its tuples
+  serially) — SIGKILLing or sleeping there takes down / wedges the whole
+  *node* mid-lease, and recovery is the coordinator's supervisor, not
+  the node's own;
+* ``repro.shard.coordinator._SYNC_CHAOS_HOOK`` fires in the coordinator
+  right before a completed lease's entries are read out of the
+  shard-local store — corrupting an entry there exercises checksum
+  detection plus the re-lease recovery round.
+"""
+
+import multiprocessing
+import os
+import signal
+import time
+from pathlib import Path
+from unittest import mock
+
+import pytest
+
+from repro.apps import app_factory
+from repro.eval import (
+    ExecConfig,
+    WorkloadHarness,
+    diversity_variants,
+    run,
+    stdapp_variant,
+)
+from repro.eval import parallel as par
+from repro.faultinject import HEAP_ARRAY_RESIZE
+from repro.shard import coordinator
+from repro.shard.worker import shard_store_path
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="the shard fabric requires the fork start method",
+)
+
+# mcf / heap-array-resize: 2 sites x 3 variants x 1 seed = 6 experiments.
+KIND = HEAP_ARRAY_RESIZE
+N_SITES = 2
+N_VARIANTS = 3
+
+
+def make_harness():
+    return WorkloadHarness("mcf", app_factory("mcf", 1), seeds=(0,))
+
+
+def make_variants():
+    return [stdapp_variant()] + diversity_variants("sds")[: N_VARIANTS - 1]
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return make_harness()
+
+
+@pytest.fixture(scope="module")
+def variants():
+    return make_variants()
+
+
+@pytest.fixture(scope="module")
+def serial_baseline(harness, variants):
+    """Signatures of the 1-shard run — the bit-identity reference."""
+    res = run(harness, variants, kind=KIND, config=ExecConfig(shards=1))
+    assert len(res.records) == N_SITES * N_VARIANTS
+    return [r.signature() for r in res.records]
+
+
+def run_sharded_chaos(harness, variants, hook, config):
+    """Run a sharded campaign with the experiment-level chaos hook
+    installed; forked shard workers inherit it."""
+    with mock.patch.object(par, "_CHAOS_HOOK", hook):
+        return run(harness, variants, kind=KIND, config=config)
+
+
+def latch_once(latch_path):
+    """True exactly once across every process sharing ``latch_path``."""
+    try:
+        os.close(os.open(str(latch_path), os.O_CREAT | os.O_EXCL))
+        return True
+    except FileExistsError:
+        return False
+
+
+class TestNodeDeath:
+    def test_sigkill_mid_lease_relaeses_and_stays_identical(
+        self, tmp_path, harness, variants, serial_baseline
+    ):
+        """A shard node SIGKILLed mid-lease: the coordinator's supervisor
+        sees the pipe EOF, respawns the node, re-leases the batch."""
+        latch = tmp_path / "sigkill.latch"
+
+        def hook(item):
+            if latch_once(latch):
+                os.kill(os.getpid(), signal.SIGKILL)
+
+        res = run_sharded_chaos(
+            harness,
+            variants,
+            hook,
+            ExecConfig(shards=2, retry_backoff_s=0.01),
+        )
+        assert [r.signature() for r in res.records] == serial_baseline
+        m = res.manifest
+        assert m.n_shards == 2
+        assert m.worker_restarts >= 1
+        assert m.lease_reassignments >= 1
+        assert not m.quarantined
+
+    def test_wedged_node_expires_its_lease(
+        self, tmp_path, harness, variants, serial_baseline
+    ):
+        """A node wedged past ``lease_timeout_s`` is killed and its lease
+        granted to a fresh node — the expiry shows in the manifest."""
+        latch = tmp_path / "wedge.latch"
+
+        def hook(item):
+            if latch_once(latch):
+                time.sleep(60)  # far past the lease budget; killed at ~2s
+
+        res = run_sharded_chaos(
+            harness,
+            variants,
+            hook,
+            ExecConfig(shards=2, lease_timeout_s=2.0, retry_backoff_s=0.01),
+        )
+        assert [r.signature() for r in res.records] == serial_baseline
+        m = res.manifest
+        assert m.lease_expiries >= 1
+        assert m.worker_restarts >= 1
+        assert m.lease_reassignments >= 1
+        assert not m.quarantined
+
+
+class TestStoreCorruption:
+    def test_corrupt_shard_entry_detected_and_re_leased(
+        self, tmp_path, harness, variants, serial_baseline
+    ):
+        """One shard-local store entry corrupted just before sync: the
+        checksum catches it, the tuple is re-leased in a recovery round,
+        and the merged campaign is still bit-identical."""
+        corrupted = []
+
+        def corrupt_once(lease, wid, fabric_root):
+            if corrupted:
+                return
+            root = Path(shard_store_path(fabric_root, wid))
+            entries = sorted(root.rglob("*.json"))
+            if entries:
+                entries[0].write_text('{"checksum": "garbage"')
+                corrupted.append(str(entries[0]))
+
+        with mock.patch.object(coordinator, "_SYNC_CHAOS_HOOK", corrupt_once):
+            res = run(
+                harness,
+                variants,
+                kind=KIND,
+                config=ExecConfig(shards=2, retry_backoff_s=0.01),
+            )
+        assert corrupted, "chaos hook never found an entry to corrupt"
+        assert [r.signature() for r in res.records] == serial_baseline
+        m = res.manifest
+        assert m.store_corrupt >= 1
+        assert m.lease_reassignments >= 1
+        assert m.store_synced == len(res.records)
+        assert not m.quarantined
+
+    def test_persistent_corruption_quarantines_instead_of_hanging(
+        self, harness, variants
+    ):
+        """If a tuple's synced result keeps vanishing, the recovery budget
+        runs out and the site is quarantined — never an infinite loop."""
+        target = []
+
+        def corrupt_always(lease, wid, fabric_root):
+            root = Path(shard_store_path(fabric_root, wid))
+            entries = sorted(root.rglob("*.json"))
+            if not entries:
+                return
+            if not target:
+                target.append(entries[0].name)
+            for entry in entries:
+                if entry.name == target[0]:
+                    entry.write_text("not json at all")
+
+        with mock.patch.object(coordinator, "_SYNC_CHAOS_HOOK", corrupt_always):
+            res = run(
+                harness,
+                variants,
+                kind=KIND,
+                config=ExecConfig(shards=2, retries=1, retry_backoff_s=0.01),
+            )
+        m = res.manifest
+        assert m.quarantined
+        assert any(
+            "missing after re-lease rounds" in q.reason for q in m.quarantined
+        )
+        # Surviving records are still present, identical, and the merged
+        # manifest accounts for every admitted tuple.
+        assert len(res.records) < N_SITES * N_VARIANTS
+        assert m.store_corrupt >= 1
